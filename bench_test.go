@@ -1,0 +1,192 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§6). Each
+// benchmark drives the corresponding experiment at Quick scale and reports
+// the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. The harness binary (cmd/sdg-bench)
+// prints the full row-by-row tables instead.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var benchScale = experiments.Quick
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Table1().String(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5CFReadWriteRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Ratio == "1:1" {
+				b.ReportMetric(r.Throughput, "req/s@1:1")
+				b.ReportMetric(float64(r.Latency.P95.Microseconds())/1000, "p95ms@1:1")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6KVStateSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		large := int64(16 << 20)
+		for _, r := range rows {
+			if r.StateBytes != large {
+				continue
+			}
+			switch r.System {
+			case "SDG":
+				b.ReportMetric(r.Throughput, "sdg-req/s@16MB")
+			case "Naiad-Disk":
+				b.ReportMetric(r.Throughput, "naiad-disk-req/s@16MB")
+			case "Naiad-NoDisk":
+				b.ReportMetric(r.Throughput, "naiad-nodisk-req/s@16MB")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7KVScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) > 0 {
+			first, last := rows[0], rows[len(rows)-1]
+			b.ReportMetric(first.Throughput, "req/s@1node")
+			b.ReportMetric(last.Throughput, "req/s@8nodes")
+			b.ReportMetric(last.Throughput/first.Throughput, "speedup")
+		}
+	}
+}
+
+func BenchmarkFig8WCWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Window == 5*time.Millisecond && r.System == "SDG" {
+				b.ReportMetric(r.Throughput, "sdg-words/s@5ms")
+			}
+			if r.Window == 150*time.Millisecond && r.System == "Naiad-HighThroughput" {
+				b.ReportMetric(r.Throughput, "naiadHT-words/s@150ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9LRScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Nodes == 4 {
+				switch r.System {
+				case "SDG":
+					b.ReportMetric(r.Throughput/(1<<20), "sdg-MB/s@4")
+				case "Spark":
+					b.ReportMetric(r.Throughput/(1<<20), "spark-MB/s@4")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Stragglers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, events, _, err := experiments.Fig10(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) > 0 {
+			b.ReportMetric(series[0].Throughput, "req/s@start")
+			b.ReportMetric(series[len(series)-1].Throughput, "req/s@end")
+		}
+		b.ReportMetric(float64(len(events)), "scale-events")
+	}
+}
+
+func BenchmarkFig11Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		large := int64(24 << 20)
+		for _, r := range rows {
+			if r.StateBytes != large {
+				continue
+			}
+			if r.M == 1 && r.N == 1 {
+				b.ReportMetric(float64(r.Recovery.Milliseconds()), "ms-1to1@24MB")
+			}
+			if r.M == 2 && r.N == 2 {
+				b.ReportMetric(float64(r.Recovery.Milliseconds()), "ms-2to2@24MB")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12SyncVsAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig12(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		large := int64(16 << 20)
+		for _, r := range rows {
+			if r.StateBytes != large {
+				continue
+			}
+			switch r.Mode {
+			case "sync":
+				b.ReportMetric(r.Throughput, "sync-req/s@16MB")
+				b.ReportMetric(float64(r.Worst.Milliseconds()), "sync-worst-ms")
+			case "async":
+				b.ReportMetric(r.Throughput, "async-req/s@16MB")
+				b.ReportMetric(float64(r.Worst.Milliseconds()), "async-worst-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13CheckpointOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		freqRows, sizeRows, _, err := experiments.Fig13(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range freqRows {
+			if r.Label == "No FT" {
+				b.ReportMetric(float64(r.Latency.P95.Microseconds())/1000, "noft-p95ms")
+			}
+		}
+		if len(sizeRows) > 0 {
+			last := sizeRows[len(sizeRows)-1]
+			b.ReportMetric(float64(last.Latency.P95.Microseconds())/1000, "maxstate-p95ms")
+		}
+	}
+}

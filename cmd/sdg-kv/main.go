@@ -1,0 +1,182 @@
+// Command sdg-kv serves the SDG key/value store over TCP, demonstrating
+// the library behind a real network protocol. The wire format is
+// length-prefixed frames carrying a 1-byte opcode:
+//
+//	0x01 PUT  key(8 bytes BE) value(rest)   -> 0x00 OK
+//	0x02 GET  key(8 bytes BE)               -> 0x00 value | 0x01 not found
+//	0x03 DEL  key(8 bytes BE)               -> 0x00 was-present(1 byte)
+//
+// Usage:
+//
+//	sdg-kv -listen 127.0.0.1:7070 -partitions 4
+//	sdg-kv -demo            # start a server, run a scripted client, exit
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/apps/kv"
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+)
+
+const (
+	opPut = 0x01
+	opGet = 0x02
+	opDel = 0x03
+
+	respOK       = 0x00
+	respNotFound = 0x01
+	respError    = 0xff
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		partitions = flag.Int("partitions", 2, "store partitions")
+		ftInterval = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
+		demo       = flag.Bool("demo", false, "run a scripted demo client and exit")
+	)
+	flag.Parse()
+
+	mode := checkpoint.ModeAsync
+	if *ftInterval <= 0 {
+		mode = checkpoint.ModeOff
+		*ftInterval = time.Hour
+	}
+	store, err := kv.New(kv.Config{
+		Partitions: *partitions,
+		Runtime: runtime.Options{
+			Mode:     mode,
+			Interval: *ftInterval,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdg-kv:", err)
+		os.Exit(1)
+	}
+	defer store.Stop()
+
+	srv, err := cluster.Serve(*listen, func(req []byte) ([]byte, error) {
+		return handle(store, req), nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdg-kv:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("sdg-kv: serving %d-partition store on %s (checkpointing: %v)\n",
+		*partitions, srv.Addr(), mode)
+
+	if *demo {
+		if err := runDemo(srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-kv demo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("sdg-kv: shutting down")
+}
+
+func handle(store *kv.KV, req []byte) []byte {
+	if len(req) < 9 {
+		return []byte{respError}
+	}
+	op := req[0]
+	key := binary.BigEndian.Uint64(req[1:9])
+	const timeout = 10 * time.Second
+	switch op {
+	case opPut:
+		val := make([]byte, len(req)-9)
+		copy(val, req[9:])
+		if err := store.Put(key, val, timeout); err != nil {
+			return []byte{respError}
+		}
+		return []byte{respOK}
+	case opGet:
+		val, err := store.Get(key, timeout)
+		if err != nil {
+			return []byte{respError}
+		}
+		if val == nil {
+			return []byte{respNotFound}
+		}
+		return append([]byte{respOK}, val...)
+	case opDel:
+		present, err := store.Delete(key, timeout)
+		if err != nil {
+			return []byte{respError}
+		}
+		b := byte(0)
+		if present {
+			b = 1
+		}
+		return []byte{respOK, b}
+	default:
+		return []byte{respError}
+	}
+}
+
+func runDemo(addr string) error {
+	cl, err := cluster.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	put := func(key uint64, val string) error {
+		req := make([]byte, 9+len(val))
+		req[0] = opPut
+		binary.BigEndian.PutUint64(req[1:9], key)
+		copy(req[9:], val)
+		resp, err := cl.Call(req)
+		if err != nil {
+			return err
+		}
+		if resp[0] != respOK {
+			return fmt.Errorf("put %d failed: %x", key, resp[0])
+		}
+		return nil
+	}
+	get := func(key uint64) (string, bool, error) {
+		req := make([]byte, 9)
+		req[0] = opGet
+		binary.BigEndian.PutUint64(req[1:9], key)
+		resp, err := cl.Call(req)
+		if err != nil {
+			return "", false, err
+		}
+		if resp[0] == respNotFound {
+			return "", false, nil
+		}
+		return string(resp[1:]), true, nil
+	}
+
+	for i := uint64(0); i < 100; i++ {
+		if err := put(i, fmt.Sprintf("value-%d", i)); err != nil {
+			return err
+		}
+	}
+	for i := uint64(0); i < 100; i += 25 {
+		v, ok, err := get(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  get %-3d -> %q (found=%v)\n", i, v, ok)
+	}
+	if _, ok, _ := get(999); ok {
+		return fmt.Errorf("key 999 should be absent")
+	}
+	fmt.Println("sdg-kv demo: 100 puts + reads over TCP completed")
+	return nil
+}

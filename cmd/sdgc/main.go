@@ -1,0 +1,228 @@
+// Command sdgc is the java2sdg analog (§4 of the paper): it translates the
+// built-in annotated example programs to stateful dataflow graphs and
+// prints the analysis artefacts — generated TEs with their state accesses,
+// dataflow edges with dispatch semantics and live variables, the node
+// allocation, and optionally Graphviz dot output.
+//
+// Usage:
+//
+//	sdgc -program cf          # translate the collaborative filtering class
+//	sdgc -program dict -dot   # translate and emit dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/state"
+	"repro/internal/translator"
+)
+
+func main() {
+	var (
+		name = flag.String("program", "cf", "built-in program to translate: cf | dict")
+		src  = flag.String("src", "", "annotated Go source file to translate instead")
+		dot  = flag.Bool("dot", false, "emit Graphviz dot instead of the plan")
+	)
+	flag.Parse()
+
+	var prog *translator.Program
+	if *src != "" {
+		data, err := os.ReadFile(*src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdgc:", err)
+			os.Exit(1)
+		}
+		// Source programs may call the built-in merge functions by name.
+		prog, err = translator.ParseGoProgram(strings.TrimSuffix(*src, ".go"), string(data), builtinMerges())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdgc:", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *name {
+		case "cf":
+			prog = cfProgram()
+		case "dict":
+			prog = dictProgram()
+		default:
+			fmt.Fprintf(os.Stderr, "sdgc: unknown program %q (known: cf, dict)\n", *name)
+			os.Exit(1)
+		}
+	}
+
+	plan, err := translator.Translate(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdgc:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(plan.Graph.Dot())
+		return
+	}
+
+	fmt.Printf("program %q -> SDG with %d TEs, %d SEs\n\n",
+		prog.Name, len(plan.Graph.TEs), len(plan.Graph.SEs))
+	fmt.Println("state elements:")
+	for _, se := range plan.Graph.SEs {
+		fmt.Printf("  %-12s %-12s %s\n", se.Name, se.Kind, se.Type)
+	}
+	fmt.Println("\ntask elements:")
+	for _, te := range plan.TEs {
+		access := "stateless"
+		if te.Field != "" {
+			access = fmt.Sprintf("%s (%s", te.Field, te.Mode)
+			if te.KeyVar != "" {
+				access += " by " + te.KeyVar
+			}
+			access += ")"
+		}
+		entry := " "
+		if te.Entry {
+			entry = "*"
+		}
+		live := te.LiveIn
+		sort.Strings(live)
+		fmt.Printf("  %s %-28s access=%-28s live-in={%s}\n",
+			entry, te.Name, access, strings.Join(live, ","))
+	}
+	fmt.Println("\ndataflow edges:")
+	for _, e := range plan.Edges {
+		carries := e.Carries
+		sort.Strings(carries)
+		key := ""
+		if e.KeyVar != "" {
+			key = " key=" + e.KeyVar
+		}
+		fmt.Printf("  %-28s -> %-28s %-12s%s carries={%s}\n",
+			e.From, e.To, e.Dispatch, key, strings.Join(carries, ","))
+	}
+	alloc := plan.Graph.Allocate()
+	fmt.Printf("\nallocation: %d nodes\n", alloc.Nodes)
+	for n := 0; n < alloc.Nodes; n++ {
+		var parts []string
+		for _, se := range alloc.SEsOnNode(n) {
+			parts = append(parts, "SE:"+plan.Graph.SEs[se].Name)
+		}
+		for _, te := range alloc.TEsOnNode(n) {
+			parts = append(parts, plan.Graph.TEs[te].Name)
+		}
+		fmt.Printf("  n%d: %s\n", n+1, strings.Join(parts, ", "))
+	}
+}
+
+// builtinMerges is the merge registry available to -src programs.
+func builtinMerges() map[string]func([]any) any {
+	return map[string]func([]any) any{
+		"sumVectors": func(parts []any) any {
+			rec := map[int64]float64{}
+			for _, p := range parts {
+				if m, ok := p.(map[int64]float64); ok {
+					for k, v := range m {
+						rec[k] += v
+					}
+				}
+			}
+			return rec
+		},
+		"sum": func(parts []any) any {
+			total := 0.0
+			for _, p := range parts {
+				if f, ok := p.(float64); ok {
+					total += f
+				}
+			}
+			return total
+		},
+	}
+}
+
+// cfProgram is Alg. 1 from the paper in the translator IR.
+func cfProgram() *translator.Program {
+	return &translator.Program{
+		Name: "cf",
+		Fields: []translator.Field{
+			{Name: "userItem", Type: state.TypeMatrix, Ann: translator.AnnPartitioned},
+			{Name: "coOcc", Type: state.TypeMatrix, Ann: translator.AnnPartial},
+		},
+		MergeFuncs: map[string]func([]any) any{
+			"sumVectors": func(parts []any) any {
+				rec := map[int64]float64{}
+				for _, p := range parts {
+					if m, ok := p.(map[int64]float64); ok {
+						for k, v := range m {
+							rec[k] += v
+						}
+					}
+				}
+				return rec
+			},
+		},
+		Methods: []*translator.Method{
+			{
+				Name:   "addRating",
+				Params: []string{"user", "item", "rating"},
+				Body: []translator.Stmt{
+					translator.StateUpdate{Field: "userItem", Op: "set",
+						Args: []translator.Expr{translator.Var{Name: "user"}, translator.Var{Name: "item"}, translator.Var{Name: "rating"}}},
+					translator.Assign{Var: "userRow", Expr: translator.StateRead{Field: "userItem", Op: "row",
+						Args: []translator.Expr{translator.Var{Name: "user"}}}},
+					translator.ForEach{KeyVar: "i", ValVar: "r", Over: translator.Var{Name: "userRow"}, Body: []translator.Stmt{
+						translator.If{Cond: translator.BinOp{Op: ">", L: translator.Var{Name: "r"}, R: translator.Const{Value: 0.0}}, Then: []translator.Stmt{
+							translator.If{Cond: translator.BinOp{Op: "!=", L: translator.Var{Name: "i"}, R: translator.Var{Name: "item"}}, Then: []translator.Stmt{
+								translator.StateUpdate{Field: "coOcc", Op: "add",
+									Args: []translator.Expr{translator.Var{Name: "item"}, translator.Var{Name: "i"}, translator.Const{Value: 1.0}}},
+								translator.StateUpdate{Field: "coOcc", Op: "add",
+									Args: []translator.Expr{translator.Var{Name: "i"}, translator.Var{Name: "item"}, translator.Const{Value: 1.0}}},
+							}},
+						}},
+					}},
+				},
+			},
+			{
+				Name:   "getRec",
+				Params: []string{"user"},
+				Body: []translator.Stmt{
+					translator.Assign{Var: "userRow", Expr: translator.StateRead{Field: "userItem", Op: "row",
+						Args: []translator.Expr{translator.Var{Name: "user"}}}},
+					translator.Assign{Var: "userRec", Partial: true,
+						Expr: translator.StateRead{Field: "coOcc", Op: "mulvec",
+							Args: []translator.Expr{translator.Var{Name: "userRow"}}, Global: true}},
+					translator.Assign{Var: "rec", Expr: translator.MergeCall{Func: "sumVectors", Arg: translator.Var{Name: "userRec"}}},
+					translator.Return{Expr: translator.Var{Name: "rec"}},
+				},
+			},
+		},
+	}
+}
+
+// dictProgram is a minimal partitioned dictionary class.
+func dictProgram() *translator.Program {
+	return &translator.Program{
+		Name: "dict",
+		Fields: []translator.Field{
+			{Name: "store", Type: state.TypeKVMap, Ann: translator.AnnPartitioned},
+		},
+		Methods: []*translator.Method{
+			{
+				Name: "put", Params: []string{"k", "v"},
+				Body: []translator.Stmt{
+					translator.StateUpdate{Field: "store", Op: "put",
+						Args: []translator.Expr{translator.Var{Name: "k"}, translator.Var{Name: "v"}}},
+					translator.Return{Expr: translator.Const{Value: true}},
+				},
+			},
+			{
+				Name: "get", Params: []string{"k"},
+				Body: []translator.Stmt{
+					translator.Assign{Var: "v", Expr: translator.StateRead{Field: "store", Op: "get",
+						Args: []translator.Expr{translator.Var{Name: "k"}}}},
+					translator.Return{Expr: translator.Var{Name: "v"}},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Making State Explicit for
+// Imperative Big Data Processing" (Fernandez, Migliavacca, Kalyvianaki,
+// Pietzuch — USENIX ATC 2014): stateful dataflow graphs (SDGs) with
+// partitioned and partial distributed state, asynchronous dirty-state
+// checkpointing, m-to-n parallel recovery, reactive straggler scaling, and
+// a translator from annotated imperative programs to executable SDGs.
+//
+// The public API lives in package repro/sdg; the benchmark harness in this
+// package regenerates the paper's evaluation (one benchmark per table and
+// figure). See README.md and DESIGN.md.
+package repro

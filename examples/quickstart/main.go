@@ -1,0 +1,92 @@
+// Quickstart: a minimal stateful dataflow graph — a partitioned word
+// counter fed by a stateless tokenizer — built with the public sdg API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"strings"
+	"time"
+
+	"repro/sdg"
+)
+
+// countMsg is the payload between the tokenizer and the counter.
+type countMsg struct {
+	Word string
+}
+
+func main() {
+	// 1. Define the graph: one partitioned state element, two tasks.
+	b := sdg.NewGraph("quickstart")
+	counts := b.PartitionedState("counts", sdg.StoreKVMap)
+
+	tokenize := b.Task("tokenize", func(ctx sdg.Context, it sdg.Item) {
+		for _, w := range strings.Fields(it.Value.(string)) {
+			ctx.Emit(0, hash(w), countMsg{Word: w})
+		}
+	}, sdg.TaskOptions{Entry: true})
+
+	count := b.Task("count", func(ctx sdg.Context, it sdg.Item) {
+		kv := ctx.Store().(*sdg.KVMap)
+		var n uint64
+		if v, ok := kv.Get(it.Key); ok {
+			n = uint64(v[0]) | uint64(v[1])<<8
+		}
+		n++
+		kv.Put(it.Key, []byte{byte(n), byte(n >> 8)})
+	}, sdg.TaskOptions{ByKeyState: sdg.Ref(counts)})
+
+	_ = b.Task("lookup", func(ctx sdg.Context, it sdg.Item) {
+		kv := ctx.Store().(*sdg.KVMap)
+		var n uint64
+		if v, ok := kv.Get(it.Key); ok {
+			n = uint64(v[0]) | uint64(v[1])<<8
+		}
+		ctx.Reply(n)
+	}, sdg.TaskOptions{Entry: true, ByKeyState: sdg.Ref(counts)})
+
+	// Partitioned dispatch routes each word to the partition owning it.
+	b.Connect(tokenize, count, sdg.Partitioned)
+
+	// 2. Deploy with two state partitions.
+	sys, err := b.Deploy(sdg.Options{Partitions: map[string]int{"counts": 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+
+	// 3. Feed data and query.
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog barks",
+	}
+	for _, line := range lines {
+		if err := sys.Inject("tokenize", 0, line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.Drain(5 * time.Second)
+
+	for _, w := range []string{"the", "quick", "dog", "cat"} {
+		n, err := sys.Call("lookup", hash(w), nil, 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("count(%-5s) = %d\n", w, n)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\ndeployed on %d simulated nodes; %q has %d partitions holding %d words\n",
+		st.Nodes, st.SEs[0].Name, st.SEs[0].Instances, st.SEs[0].Entries)
+}
+
+func hash(w string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(w))
+	return h.Sum64()
+}

@@ -1,0 +1,51 @@
+package cf
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The two CF workflows of §2.1: addRating must sustain high update
+// throughput; getRec must serve low-latency reads over partial state.
+func BenchmarkAddRating(b *testing.B) {
+	app, err := New(Config{UserPartitions: 2, CoOccReplicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Stop()
+	gen := workload.NewRatingGen(42, 2000, 500)
+	ratings := gen.Batch(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ratings[i%len(ratings)]
+		if err := app.AddRating(r.User, r.Item, r.Rating); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	app.Runtime().Drain(60 * time.Second)
+}
+
+func BenchmarkGetRec(b *testing.B) {
+	app, err := New(Config{UserPartitions: 2, CoOccReplicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Stop()
+	gen := workload.NewRatingGen(42, 500, 200)
+	for i := 0; i < 2000; i++ {
+		r := gen.Next()
+		if err := app.AddRating(r.User, r.Item, r.Rating); err != nil {
+			b.Fatal(err)
+		}
+	}
+	app.Runtime().Drain(60 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.GetRec(i%500, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package wordcount
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkFeed measures the fine-grained state-update path: one line
+// fans out into per-word partitioned counter updates.
+func BenchmarkFeed(b *testing.B) {
+	wc, err := New(Config{Window: time.Hour, Partitions: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wc.Stop()
+	gen := workload.NewTextGen(3, 5000)
+	lines := make([][]string, 256)
+	for i := range lines {
+		lines[i] = gen.Line(10)
+	}
+	b.SetBytes(10) // words per line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wc.Feed(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	wc.Runtime().Drain(60 * time.Second)
+}

@@ -1,0 +1,264 @@
+// Package sparksim is a structural baseline standing in for Spark and
+// Streaming Spark (D-Streams) in the paper's comparisons (Figs. 8 and 9).
+// It runs real application logic with Spark's structural properties:
+//
+//   - state is immutable: every micro-batch produces a new state version by
+//     copying the previous one and applying the batch ("Dataflows in Spark,
+//     represented as RDDs, are immutable ... requires a new RDD for each
+//     state update");
+//   - execution is scheduled: each micro-batch (and each task of an
+//     iterative batch job) pays a launch overhead;
+//   - the micro-batch interval is tied to the aggregation window, which is
+//     why Streaming Spark's throughput collapses below a minimum window
+//     (Fig. 8: "its smallest sustainable window size is 250 ms").
+package sparksim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// State is an immutable wordcount state version.
+type State struct {
+	Counts map[string]uint64
+}
+
+// copyState clones the whole map — the RDD-update inefficiency the paper
+// calls out for fine-grained updates.
+func copyState(s State) State {
+	out := State{Counts: make(map[string]uint64, len(s.Counts))}
+	for k, v := range s.Counts {
+		out.Counts[k] = v
+	}
+	return out
+}
+
+// StreamingConfig parameterises the D-Streams-style engine.
+type StreamingConfig struct {
+	// Interval is the micro-batch interval, tied to the window size.
+	Interval time.Duration
+	// TaskLaunch is the scheduling overhead per micro-batch (default 5ms:
+	// D-Streams task scheduling is heavier than per-batch dispatch).
+	TaskLaunch time.Duration
+	// QueueLen bounds buffered input lines (default 65536).
+	QueueLen int
+}
+
+// Streaming is a running D-Streams-style wordcount engine.
+type Streaming struct {
+	cfg     StreamingConfig
+	queue   chan []string
+	stopped chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+
+	state      State
+	processed  atomic.Int64 // words processed
+	batches    atomic.Int64
+	maxLag     atomic.Int64 // worst batch lateness, ns
+	lastWindow atomic.Int64
+}
+
+// NewStreaming starts the engine.
+func NewStreaming(cfg StreamingConfig) *Streaming {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.TaskLaunch <= 0 {
+		cfg.TaskLaunch = 5 * time.Millisecond
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 65536
+	}
+	s := &Streaming{
+		cfg:     cfg,
+		queue:   make(chan []string, cfg.QueueLen),
+		stopped: make(chan struct{}),
+		state:   State{Counts: map[string]uint64{}},
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Feed offers one line; it reports false (dropping the line) when the
+// engine's buffer is full — the collapse regime.
+func (s *Streaming) Feed(words []string) bool {
+	select {
+	case s.queue <- words:
+		return true
+	case <-s.stopped:
+		return false
+	default:
+		return false
+	}
+}
+
+func (s *Streaming) run() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case tick := <-ticker.C:
+			// Drain the lines that arrived during the interval.
+			var batch [][]string
+		drain:
+			for {
+				select {
+				case line := <-s.queue:
+					batch = append(batch, line)
+				default:
+					break drain
+				}
+			}
+			// Scheduled task launch, then a full immutable-state update.
+			time.Sleep(s.cfg.TaskLaunch)
+			next := copyState(s.state)
+			words := 0
+			for _, line := range batch {
+				for _, w := range line {
+					next.Counts[w]++
+					words++
+				}
+			}
+			s.state = next
+			s.processed.Add(int64(words))
+			s.batches.Add(1)
+			// Lateness: how far behind the tick the batch finished.
+			lag := time.Since(tick)
+			if int64(lag) > s.maxLag.Load() {
+				s.maxLag.Store(int64(lag))
+			}
+			// The window resets each interval (window == batch).
+			s.state = State{Counts: map[string]uint64{}}
+		}
+	}
+}
+
+// Processed reports total words processed.
+func (s *Streaming) Processed() int64 { return s.processed.Load() }
+
+// Batches reports completed micro-batches.
+func (s *Streaming) Batches() int64 { return s.batches.Load() }
+
+// MaxLag reports the worst batch lateness; lateness beyond the interval
+// means the window cannot be sustained.
+func (s *Streaming) MaxLag() time.Duration { return time.Duration(s.maxLag.Load()) }
+
+// Backlog reports buffered lines.
+func (s *Streaming) Backlog() int { return len(s.queue) }
+
+// Stop terminates the engine.
+func (s *Streaming) Stop() {
+	s.stop.Do(func() { close(s.stopped) })
+	s.wg.Wait()
+}
+
+// BatchLRConfig parameterises the Spark-style iterative LR job (Fig. 9).
+type BatchLRConfig struct {
+	Dim          int
+	LearningRate float64
+	// Tasks is the data-parallel width (the paper's node count).
+	Tasks int
+	// TaskLaunch is the per-task re-instantiation overhead each iteration
+	// pays (default 2ms) — the cost SDG pipelining avoids.
+	TaskLaunch time.Duration
+	// ComputePerPoint models the per-example processing cost of the
+	// paper's full-size dataset as idle wait, so scalability experiments
+	// are independent of the host core count. Zero disables the model.
+	ComputePerPoint time.Duration
+}
+
+// BatchLR is a driver for Spark-style scheduled LR iterations.
+type BatchLR struct {
+	cfg     BatchLRConfig
+	weights []float64
+}
+
+// NewBatchLR builds a job.
+func NewBatchLR(cfg BatchLRConfig) *BatchLR {
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 1
+	}
+	if cfg.TaskLaunch <= 0 {
+		cfg.TaskLaunch = 2 * time.Millisecond
+	}
+	return &BatchLR{cfg: cfg, weights: make([]float64, cfg.Dim)}
+}
+
+// Iterate runs one scheduled iteration over the partitioned dataset: every
+// task is (re-)launched with its overhead, computes its partition gradient
+// against the broadcast weights, and the driver folds the results.
+func (b *BatchLR) Iterate(partitions [][]workload.Point) {
+	grads := make([][]float64, len(partitions))
+	var wg sync.WaitGroup
+	for t, part := range partitions {
+		wg.Add(1)
+		go func(t int, part []workload.Point) {
+			defer wg.Done()
+			// Task (re-)instantiation: paid every iteration in scheduled
+			// dataflows, amortised to zero in materialised SDGs.
+			time.Sleep(b.cfg.TaskLaunch)
+			if b.cfg.ComputePerPoint > 0 {
+				time.Sleep(time.Duration(len(part)) * b.cfg.ComputePerPoint)
+			}
+			grad := make([]float64, b.cfg.Dim)
+			for _, p := range part {
+				dot := 0.0
+				for j := range b.weights {
+					dot += b.weights[j] * p.X[j]
+				}
+				g := (workload.Sigmoid(p.Y*dot) - 1) * p.Y
+				for j := range grad {
+					grad[j] += g * p.X[j]
+				}
+			}
+			grads[t] = grad
+		}(t, part)
+	}
+	wg.Wait()
+	var n int
+	for _, part := range partitions {
+		n += len(part)
+	}
+	if n == 0 {
+		return
+	}
+	step := b.cfg.LearningRate / float64(n)
+	for _, grad := range grads {
+		for j := range b.weights {
+			b.weights[j] -= step * grad[j]
+		}
+	}
+}
+
+// Weights returns the current model.
+func (b *BatchLR) Weights() []float64 {
+	out := make([]float64, len(b.weights))
+	copy(out, b.weights)
+	return out
+}
+
+// Accuracy scores the model.
+func (b *BatchLR) Accuracy(points []workload.Point) float64 {
+	correct := 0
+	for _, p := range points {
+		dot := 0.0
+		for j := range b.weights {
+			dot += b.weights[j] * p.X[j]
+		}
+		if (dot >= 0 && p.Y > 0) || (dot < 0 && p.Y < 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points))
+}

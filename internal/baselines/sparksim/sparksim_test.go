@@ -1,0 +1,94 @@
+package sparksim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestStreamingCountsWords(t *testing.T) {
+	s := NewStreaming(StreamingConfig{Interval: 20 * time.Millisecond, TaskLaunch: time.Millisecond})
+	defer s.Stop()
+	for i := 0; i < 100; i++ {
+		if !s.Feed([]string{"a", "b"}) {
+			t.Fatal("feed rejected with empty queue")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Processed() < 200 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Processed() != 200 {
+		t.Fatalf("processed %d words", s.Processed())
+	}
+	if s.Batches() == 0 {
+		t.Fatal("no batches ran")
+	}
+}
+
+func TestStreamingCollapsesBelowMinWindow(t *testing.T) {
+	// With a 5ms task launch, a 2ms window cannot be sustained: lag must
+	// exceed the interval.
+	s := NewStreaming(StreamingConfig{Interval: 2 * time.Millisecond, TaskLaunch: 5 * time.Millisecond})
+	defer s.Stop()
+	gen := workload.NewTextGen(1, 100)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s.Feed(gen.Line(10))
+	}
+	if s.MaxLag() < s.cfg.Interval {
+		t.Fatalf("lag %v under a %v window; expected unsustainable", s.MaxLag(), s.cfg.Interval)
+	}
+}
+
+func TestStreamingSustainsLargeWindow(t *testing.T) {
+	s := NewStreaming(StreamingConfig{Interval: 100 * time.Millisecond, TaskLaunch: time.Millisecond})
+	defer s.Stop()
+	gen := workload.NewTextGen(1, 100)
+	for i := 0; i < 50; i++ {
+		s.Feed(gen.Line(10))
+	}
+	time.Sleep(250 * time.Millisecond)
+	if s.MaxLag() > 50*time.Millisecond {
+		t.Fatalf("lag %v under a 100ms window; expected sustainable", s.MaxLag())
+	}
+	if s.Backlog() > 0 {
+		t.Fatalf("backlog %d; expected drained", s.Backlog())
+	}
+}
+
+func TestBatchLRLearns(t *testing.T) {
+	gen := workload.NewPointGen(5, 10, 0.01)
+	points := gen.Batch(4000)
+	// 4 partitions.
+	parts := make([][]workload.Point, 4)
+	for i, p := range points {
+		parts[i%4] = append(parts[i%4], p)
+	}
+	job := NewBatchLR(BatchLRConfig{Dim: 10, Tasks: 4, TaskLaunch: 100 * time.Microsecond})
+	for it := 0; it < 20; it++ {
+		job.Iterate(parts)
+	}
+	if acc := job.Accuracy(gen.Batch(1000)); acc < 0.85 {
+		t.Fatalf("accuracy = %f", acc)
+	}
+	if len(job.Weights()) != 10 {
+		t.Fatal("weights dim")
+	}
+}
+
+func TestBatchLREmptyPartitions(t *testing.T) {
+	job := NewBatchLR(BatchLRConfig{Dim: 4})
+	job.Iterate(nil) // must not panic or divide by zero
+	job.Iterate([][]workload.Point{{}})
+}
+
+func TestCopyStateIsolation(t *testing.T) {
+	a := State{Counts: map[string]uint64{"x": 1}}
+	b := copyState(a)
+	b.Counts["x"] = 99
+	if a.Counts["x"] != 1 {
+		t.Fatal("copyState aliases the map")
+	}
+}

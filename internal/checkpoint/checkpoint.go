@@ -1,0 +1,290 @@
+// Package checkpoint implements the failure-recovery substrate of §5:
+// asynchronous local checkpoints with dirty state, synchronous
+// (stop-the-world) checkpoints for the baseline comparison, and the m-to-n
+// parallel backup/restore protocol of Fig. 4.
+//
+// A checkpoint of one SE instance consists of hash-partitioned chunks
+// (produced by the state package), the instance's output buffers, and the
+// vector of input watermarks at snapshot time. Chunks are streamed to m
+// backup nodes round-robin and written to their simulated disks; at restore
+// time each backup chunk is split n ways so n recovering instances rebuild
+// in parallel.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Mode selects the fault-tolerance strategy.
+type Mode int
+
+const (
+	// ModeOff disables checkpointing (the paper's "No FT" configuration).
+	ModeOff Mode = iota
+	// ModeAsync is the paper's contribution: dirty-state checkpoints that
+	// let processing continue while the snapshot is serialised.
+	ModeAsync
+	// ModeSync stops processing for the duration of the checkpoint, as
+	// Naiad and SEEP do; used by the baselines and Fig. 12.
+	ModeSync
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAsync:
+		return "async"
+	case ModeSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Meta describes one committed checkpoint of one SE instance. The
+// per-TE maps cover the TE instances colocated with the SE instance (the
+// ones whose processing mutates it): their input watermark vectors, output
+// sequence counters and output buffers all ride with the snapshot so a
+// restored node resumes log-based recovery exactly where the snapshot was
+// taken (§5).
+type Meta struct {
+	SE         string                    // SE instance identity, e.g. "coOcc/1"
+	Epoch      uint64                    // monotonically increasing per instance
+	Chunks     int                       // number of chunks written
+	StoreType  state.StoreType           // for reconstruction
+	Watermarks map[int]map[uint64]uint64 // TE id -> origin -> last seq
+	OutSeqs    map[int]uint64            // TE id -> output seq counter
+	Buffered   map[int][][]core.Item     // TE id -> per-out-edge buffers
+}
+
+// Result reports the cost of taking one checkpoint.
+type Result struct {
+	Meta         Meta
+	Bytes        int64         // chunk payload written to backup disks
+	Duration     time.Duration // wall time for the whole procedure
+	LockTime     time.Duration // time the SE was locked (merge for async)
+	MergedDirty  int           // dirty entries consolidated (async only)
+	SnapshotTime time.Duration // serialisation time
+}
+
+// Backup is the checkpoint store: it spreads chunks over m backup nodes and
+// keeps the manifest of the latest committed checkpoint per SE instance.
+// The manifest plays the role of cluster metadata that survives worker
+// failures.
+type Backup struct {
+	cl      *cluster.Cluster
+	targets []*cluster.Node
+
+	mu        sync.Mutex
+	manifests map[string]Meta
+}
+
+// NewBackup creates a backup store over the given target nodes (m = number
+// of targets).
+func NewBackup(cl *cluster.Cluster, targets []*cluster.Node) *Backup {
+	return &Backup{cl: cl, targets: targets, manifests: make(map[string]Meta)}
+}
+
+// Targets reports the number of backup nodes (m).
+func (b *Backup) Targets() int { return len(b.targets) }
+
+func chunkName(se string, epoch uint64, idx int) string {
+	return fmt.Sprintf("ckpt/%s/%d/%d", se, epoch, idx)
+}
+
+func bufName(se string, epoch uint64) string {
+	return fmt.Sprintf("ckpt/%s/%d/buffers", se, epoch)
+}
+
+// Save streams the chunks to the backup nodes in parallel (Fig. 4 steps
+// B2-B3: a pool of goroutines serialises and streams chunk groups
+// round-robin across the m targets) and commits the manifest. It reports
+// the number of payload bytes written.
+func (b *Backup) Save(meta Meta, chunks []state.Chunk) (int64, error) {
+	if len(b.targets) == 0 {
+		return 0, fmt.Errorf("checkpoint: no backup targets")
+	}
+	bufBytes, err := encodeBuffers(meta.Buffered)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: encode buffers: %w", err)
+	}
+	var total int64
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, c state.Chunk) {
+			defer wg.Done()
+			target := b.targets[i%len(b.targets)]
+			payload := encodeChunk(c)
+			b.cl.Transfer(int64(len(payload)))
+			target.Disk.Write(chunkName(meta.SE, meta.Epoch, i), payload)
+		}(i, c)
+		total += int64(len(c.Data))
+	}
+	wg.Wait()
+	// Output buffers ride with the first target.
+	b.cl.Transfer(int64(len(bufBytes)))
+	b.targets[0].Disk.Write(bufName(meta.SE, meta.Epoch), bufBytes)
+	total += int64(len(bufBytes))
+
+	meta.Chunks = len(chunks)
+	b.mu.Lock()
+	prev, had := b.manifests[meta.SE]
+	b.manifests[meta.SE] = meta
+	b.mu.Unlock()
+	// Old epochs are superseded; free their space.
+	if had && prev.Epoch != meta.Epoch {
+		b.gc(prev)
+	}
+	return total, nil
+}
+
+func (b *Backup) gc(old Meta) {
+	for i := 0; i < old.Chunks; i++ {
+		b.targets[i%len(b.targets)].Disk.Delete(chunkName(old.SE, old.Epoch, i))
+	}
+	b.targets[0].Disk.Delete(bufName(old.SE, old.Epoch))
+}
+
+// Latest returns the manifest of the newest committed checkpoint of the SE
+// instance.
+func (b *Backup) Latest(se string) (Meta, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.manifests[se]
+	return m, ok
+}
+
+// Restore implements the n-way parallel restore (Fig. 4 steps R1-R2): each
+// backup chunk is read from its disk, split into n partitions, and the
+// partitions are grouped per recovering instance. groups[j] holds the
+// chunks for recovering instance j. The reads and splits across backup
+// targets run in parallel.
+func (b *Backup) Restore(se string, n int) (groups [][]state.Chunk, meta Meta, err error) {
+	meta, ok := b.Latest(se)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("checkpoint: no checkpoint for %q", se)
+	}
+	if n < 1 {
+		return nil, Meta{}, state.ErrBadSplit
+	}
+	groups = make([][]state.Chunk, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, meta.Chunks)
+	for i := 0; i < meta.Chunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			target := b.targets[i%len(b.targets)]
+			payload, err := target.Disk.Read(chunkName(se, meta.Epoch, i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b.cl.Transfer(int64(len(payload)))
+			c, err := decodeChunk(payload)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			parts, err := state.SplitChunk(c, n)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			for j, p := range parts {
+				groups[j] = append(groups[j], p)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, Meta{}, fmt.Errorf("checkpoint: restore %q: %w", se, e)
+		}
+	}
+	// Recover buffered output items.
+	bufPayload, err := b.targets[0].Disk.Read(bufName(se, meta.Epoch))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("checkpoint: restore buffers for %q: %w", se, err)
+	}
+	b.cl.Transfer(int64(len(bufPayload)))
+	buffered, err := decodeBuffers(bufPayload)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("checkpoint: decode buffers for %q: %w", se, err)
+	}
+	meta.Buffered = buffered
+	return groups, meta, nil
+}
+
+// Forget drops the manifest and stored chunks for an SE instance.
+func (b *Backup) Forget(se string) {
+	b.mu.Lock()
+	meta, ok := b.manifests[se]
+	delete(b.manifests, se)
+	b.mu.Unlock()
+	if ok {
+		b.gc(meta)
+	}
+}
+
+// Chunk wire format on backup disks: store type, index, of, then data.
+func encodeChunk(c state.Chunk) []byte {
+	out := make([]byte, 0, len(c.Data)+16)
+	out = append(out, byte(c.Type))
+	var hdr [8]byte
+	hdr[0] = byte(c.Index >> 24)
+	hdr[1] = byte(c.Index >> 16)
+	hdr[2] = byte(c.Index >> 8)
+	hdr[3] = byte(c.Index)
+	hdr[4] = byte(c.Of >> 24)
+	hdr[5] = byte(c.Of >> 16)
+	hdr[6] = byte(c.Of >> 8)
+	hdr[7] = byte(c.Of)
+	out = append(out, hdr[:]...)
+	out = append(out, c.Data...)
+	return out
+}
+
+func decodeChunk(payload []byte) (state.Chunk, error) {
+	if len(payload) < 9 {
+		return state.Chunk{}, state.ErrBadChunk
+	}
+	return state.Chunk{
+		Type:  state.StoreType(payload[0]),
+		Index: int(payload[1])<<24 | int(payload[2])<<16 | int(payload[3])<<8 | int(payload[4]),
+		Of:    int(payload[5])<<24 | int(payload[6])<<16 | int(payload[7])<<8 | int(payload[8]),
+		Data:  payload[9:],
+	}, nil
+}
+
+// Output buffers are gob-encoded; applications must gob.Register their
+// payload types (the runtime does so for the built-in applications).
+func encodeBuffers(buffered map[int][][]core.Item) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(buffered); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBuffers(payload []byte) (map[int][][]core.Item, error) {
+	var out map[int][][]core.Item
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

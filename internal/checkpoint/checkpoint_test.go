@@ -1,0 +1,347 @@
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+func init() {
+	gob.Register([]byte{})
+}
+
+func newBackupEnv(t *testing.T, m int, diskBW int64) (*cluster.Cluster, *Backup) {
+	t.Helper()
+	cl := cluster.New(m, cluster.Config{DiskWriteBW: diskBW, DiskReadBW: diskBW})
+	targets := make([]*cluster.Node, m)
+	for i := 0; i < m; i++ {
+		targets[i] = cl.Node(i)
+	}
+	return cl, NewBackup(cl, targets)
+}
+
+func populatedKV(n int) *state.KVMap {
+	kv := state.NewKVMap()
+	for i := uint64(0); i < uint64(n); i++ {
+		kv.Put(i, []byte(fmt.Sprintf("value-%d", i)))
+	}
+	return kv
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	_, b := newBackupEnv(t, 2, 0)
+	kv := populatedKV(500)
+	chunks, err := kv.Checkpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{
+		SE: "kv/0", Epoch: 1, StoreType: state.TypeKVMap,
+		Watermarks: map[int]map[uint64]uint64{3: {42: 7}},
+	}
+	if _, err := b.Save(meta, chunks); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := b.Latest("kv/0")
+	if !ok || got.Epoch != 1 || got.Chunks != 4 {
+		t.Fatalf("Latest = %+v, %v", got, ok)
+	}
+
+	for _, n := range []int{1, 2, 3} {
+		groups, meta2, err := b.Restore("kv/0", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(groups) != n {
+			t.Fatalf("restore groups = %d, want %d", len(groups), n)
+		}
+		if meta2.Watermarks[3][42] != 7 {
+			t.Fatal("watermarks lost")
+		}
+		total := 0
+		for j, g := range groups {
+			st, err := RestoreInstance(meta2, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kvp := st.(*state.KVMap)
+			total += kvp.NumEntries()
+			kvp.ForEach(func(k uint64, _ []byte) bool {
+				if state.PartitionKey(k, n) != j {
+					t.Errorf("key %d restored to wrong instance %d/%d", k, j, n)
+					return false
+				}
+				return true
+			})
+		}
+		if total != 500 {
+			t.Fatalf("n=%d restored %d entries, want 500", n, total)
+		}
+	}
+}
+
+func TestRestoreMissing(t *testing.T) {
+	_, b := newBackupEnv(t, 1, 0)
+	if _, _, err := b.Restore("nope", 1); err == nil {
+		t.Fatal("restore of unknown SE should fail")
+	}
+}
+
+func TestSaveGCsPreviousEpoch(t *testing.T) {
+	cl, b := newBackupEnv(t, 2, 0)
+	kv := populatedKV(100)
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		chunks, _ := kv.Checkpoint(2)
+		if _, err := b.Save(Meta{SE: "kv/0", Epoch: epoch, StoreType: state.TypeKVMap}, chunks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the latest epoch's objects should remain on disk.
+	for i := 0; i < 2; i++ {
+		for _, name := range cl.Node(i).Disk.List() {
+			if name != chunkName("kv/0", 3, i) && name != bufName("kv/0", 3) {
+				t.Errorf("stale object %q on disk %d", name, i)
+			}
+		}
+	}
+}
+
+func TestForget(t *testing.T) {
+	cl, b := newBackupEnv(t, 1, 0)
+	kv := populatedKV(10)
+	chunks, _ := kv.Checkpoint(1)
+	if _, err := b.Save(Meta{SE: "kv/0", Epoch: 1, StoreType: state.TypeKVMap}, chunks); err != nil {
+		t.Fatal(err)
+	}
+	b.Forget("kv/0")
+	if _, ok := b.Latest("kv/0"); ok {
+		t.Fatal("manifest survived Forget")
+	}
+	if got := len(cl.Node(0).Disk.List()); got != 0 {
+		t.Fatalf("%d objects survived Forget", got)
+	}
+}
+
+func TestBuffersRoundTrip(t *testing.T) {
+	_, b := newBackupEnv(t, 1, 0)
+	kv := populatedKV(10)
+	chunks, _ := kv.Checkpoint(1)
+	buffered := map[int][][]core.Item{
+		2: {
+			{{Origin: 1, Seq: 1, Value: []byte("x")}, {Origin: 1, Seq: 2, Value: []byte("y")}},
+			{},
+		},
+	}
+	meta := Meta{SE: "kv/0", Epoch: 1, StoreType: state.TypeKVMap,
+		Buffered: buffered, OutSeqs: map[int]uint64{0: 3}}
+	if _, err := b.Save(meta, chunks); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := b.Restore("kv/0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Buffered[2]) != 2 || len(got.Buffered[2][0]) != 2 {
+		t.Fatalf("buffers = %+v", got.Buffered)
+	}
+	if got.Buffered[2][0][1].Seq != 2 || string(got.Buffered[2][0][1].Value.([]byte)) != "y" {
+		t.Fatalf("buffer content = %+v", got.Buffered[2][0][1])
+	}
+	if got.OutSeqs[0] != 3 {
+		t.Fatal("out seqs lost")
+	}
+}
+
+func TestAsyncCheckpointAllowsWritesDuringSnapshot(t *testing.T) {
+	_, b := newBackupEnv(t, 2, 0)
+	kv := populatedKV(2000)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var writes int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				kv.Put(i%2000, []byte("overwritten"))
+				writes++
+			}
+		}
+	}()
+
+	res, err := Async(kv, Meta{SE: "kv/0", Epoch: 1}, 4, b)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta.StoreType != state.TypeKVMap {
+		t.Fatal("store type not recorded")
+	}
+	if res.Bytes <= 0 || res.Duration <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if writes == 0 {
+		t.Fatal("no concurrent writes happened; test inconclusive")
+	}
+	// All concurrent writes are preserved in the live store.
+	if v, _ := kv.Get(0); string(v) != "overwritten" {
+		t.Fatal("concurrent write lost after merge")
+	}
+	// And the checkpoint is consistent: every value is either the original
+	// or absent from dirty interference (no torn entries).
+	groups, meta, err := b.Restore("kv/0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RestoreInstance(meta, groups[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEntries() != 2000 {
+		t.Fatalf("checkpoint entries = %d, want 2000", st.NumEntries())
+	}
+}
+
+func TestAsyncCheckpointLockTimeSmall(t *testing.T) {
+	// With a slow disk, async checkpoint duration is dominated by I/O but
+	// lock time stays tiny because only the merge locks the store.
+	_, b := newBackupEnv(t, 1, 2<<20) // 2 MB/s
+	kv := populatedKV(3000)           // ~100 KB of payload
+	res, err := Async(kv, Meta{SE: "kv/0", Epoch: 1}, 2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 10*time.Millisecond {
+		t.Fatalf("duration %v suspiciously fast for a slow disk", res.Duration)
+	}
+	if res.LockTime > res.Duration/4 {
+		t.Fatalf("lock time %v should be a small fraction of duration %v", res.LockTime, res.Duration)
+	}
+}
+
+func TestSyncCheckpointHoldsPause(t *testing.T) {
+	_, b := newBackupEnv(t, 1, 2<<20)
+	kv := populatedKV(3000)
+	paused := false
+	resumed := false
+	res, err := Sync(kv, Meta{SE: "kv/0", Epoch: 1}, 2, b, func() func() {
+		paused = true
+		return func() { resumed = true }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paused || !resumed {
+		t.Fatal("pause/resume not driven")
+	}
+	// Sync lock time covers serialisation + backup: nearly the full run.
+	if res.LockTime < res.Duration/2 {
+		t.Fatalf("sync lock time %v should dominate duration %v", res.LockTime, res.Duration)
+	}
+}
+
+func TestAsyncFailsWhenAlreadyDirty(t *testing.T) {
+	_, b := newBackupEnv(t, 1, 0)
+	kv := populatedKV(10)
+	if err := kv.BeginDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Async(kv, Meta{SE: "kv/0", Epoch: 1}, 1, b); err == nil {
+		t.Fatal("Async on dirty store should fail")
+	}
+}
+
+func TestSaveWithNoTargets(t *testing.T) {
+	cl := cluster.New(0, cluster.Config{})
+	b := NewBackup(cl, nil)
+	kv := populatedKV(1)
+	chunks, _ := kv.Checkpoint(1)
+	if _, err := b.Save(Meta{SE: "kv/0", Epoch: 1}, chunks); err == nil {
+		t.Fatal("save without targets should fail")
+	}
+}
+
+func TestChunkCodecRoundTrip(t *testing.T) {
+	c := state.Chunk{Type: state.TypeMatrix, Index: 3, Of: 9, Data: []byte{1, 2, 3}}
+	got, err := decodeChunk(encodeChunk(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != c.Type || got.Index != 3 || got.Of != 9 || string(got.Data) != string(c.Data) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := decodeChunk([]byte{1}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOff.String() != "off" || ModeAsync.String() != "async" || ModeSync.String() != "sync" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestMToNRecoveryTimeShape(t *testing.T) {
+	// Fig. 11's headline: 2-to-2 recovery beats 1-to-1 because both disk
+	// reads and reconstruction parallelise. With a bandwidth-limited disk,
+	// restoring via 2 backup disks into 2 instances must be faster than one
+	// disk into one instance.
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	mkState := func() *state.KVMap {
+		kv := state.NewKVMap()
+		for i := uint64(0); i < 3000; i++ {
+			kv.Put(i, make([]byte, 256))
+		}
+		return kv
+	}
+	measure := func(m, n int) time.Duration {
+		_, b := newBackupEnv(t, m, 4<<20) // 4 MB/s disks
+		kv := mkState()
+		chunks, err := kv.Checkpoint(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Save(Meta{SE: "kv/0", Epoch: 1, StoreType: state.TypeKVMap}, chunks); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		groups, meta, err := b.Restore("kv/0", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g []state.Chunk) {
+				defer wg.Done()
+				if _, err := RestoreInstance(meta, g); err != nil {
+					t.Error(err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	t11 := measure(1, 1)
+	t22 := measure(2, 2)
+	if t22 >= t11 {
+		t.Errorf("2-to-2 recovery (%v) should beat 1-to-1 (%v)", t22, t11)
+	}
+}

@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/state"
+)
+
+// Async executes the five-step asynchronous checkpoint of §5 on one SE
+// instance:
+//
+//	(1) flag the SE dirty (BeginDirty) — writers divert to the overlay;
+//	(2..3) serialise the now-consistent base into nChunks chunks while
+//	       processing continues;
+//	(4) back the chunks up to the m target nodes in parallel;
+//	(5) lock briefly and consolidate the dirty overlay (MergeDirty).
+//
+// Only step 5 blocks writers, and its cost is proportional to the update
+// rate during the checkpoint, not to the state size — the property Fig. 12
+// and Fig. 13 measure.
+func Async(st state.Store, meta Meta, nChunks int, b *Backup) (Result, error) {
+	start := time.Now()
+	if err := st.BeginDirty(); err != nil {
+		return Result{}, fmt.Errorf("checkpoint: begin dirty: %w", err)
+	}
+	snapStart := time.Now()
+	chunks, err := st.Checkpoint(nChunks)
+	snapDur := time.Since(snapStart)
+	if err != nil {
+		// Leave dirty mode before reporting.
+		_, _ = st.MergeDirty()
+		return Result{}, fmt.Errorf("checkpoint: serialise: %w", err)
+	}
+	meta.StoreType = st.Type()
+	bytes, err := b.Save(meta, chunks)
+	if err != nil {
+		_, _ = st.MergeDirty()
+		return Result{}, err
+	}
+	lockStart := time.Now()
+	merged, err := st.MergeDirty()
+	lockDur := time.Since(lockStart)
+	if err != nil {
+		return Result{}, fmt.Errorf("checkpoint: merge dirty: %w", err)
+	}
+	return Result{
+		Meta:         meta,
+		Bytes:        bytes,
+		Duration:     time.Since(start),
+		LockTime:     lockDur,
+		MergedDirty:  merged,
+		SnapshotTime: snapDur,
+	}, nil
+}
+
+// Sync executes a stop-the-world checkpoint: pause() must halt all
+// processing that touches the SE; its returned resume function is called
+// after the snapshot is persisted. The entire serialisation and backup time
+// counts as lock time, which is why synchronous checkpointing collapses
+// with large state (Fig. 12).
+func Sync(st state.Store, meta Meta, nChunks int, b *Backup, pause func() (resume func())) (Result, error) {
+	start := time.Now()
+	resume := pause()
+	lockStart := time.Now()
+	snapStart := time.Now()
+	chunks, err := st.Checkpoint(nChunks)
+	snapDur := time.Since(snapStart)
+	if err != nil {
+		resume()
+		return Result{}, fmt.Errorf("checkpoint: serialise: %w", err)
+	}
+	meta.StoreType = st.Type()
+	bytes, err := b.Save(meta, chunks)
+	lockDur := time.Since(lockStart)
+	resume()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Meta:         meta,
+		Bytes:        bytes,
+		Duration:     time.Since(start),
+		LockTime:     lockDur,
+		SnapshotTime: snapDur,
+	}, nil
+}
+
+// RestoreInstance rebuilds one recovering SE instance from its chunk group
+// (Fig. 4 step R2: "the new SE instances reconcile the chunks").
+func RestoreInstance(meta Meta, group []state.Chunk) (state.Store, error) {
+	st, err := state.New(meta.StoreType)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Restore(group); err != nil {
+		return nil, fmt.Errorf("checkpoint: reconcile chunks for %q: %w", meta.SE, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,155 @@
+// Package cluster simulates the execution environment of the paper's
+// evaluation: a set of nodes with local disks, failure injection and
+// straggler behaviour. Nodes are in-process; their disks model configurable
+// read/write bandwidth so checkpoint and recovery experiments (Figs. 11-13)
+// keep the paper's cost ratios at laptop scale. A real TCP framing layer
+// (tcp.go) backs the networked demos and shows the same protocols working
+// across a wire.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Node is one simulated cluster member. The zero value is not usable;
+// nodes are created through a Cluster.
+type Node struct {
+	ID   int
+	Disk *Disk
+
+	penaltyNS atomic.Int64 // artificial per-item cost, models slow CPUs
+	failed    atomic.Bool
+}
+
+// SetPenalty configures an artificial per-item processing cost: each item
+// processed on the node takes at least this long. A non-zero penalty models
+// a node's service time; a penalty larger than its peers' turns the node
+// into a straggler (§6.3). The cost is modelled with a sleep rather than a
+// spin so that simulated nodes scale independently of the host's physical
+// core count.
+func (n *Node) SetPenalty(d time.Duration) {
+	n.penaltyNS.Store(int64(d))
+}
+
+// Penalty reports the configured per-item cost.
+func (n *Node) Penalty() time.Duration {
+	return time.Duration(n.penaltyNS.Load())
+}
+
+// Penalize blocks for the node's configured per-item cost.
+func (n *Node) Penalize() {
+	if p := n.penaltyNS.Load(); p > 0 {
+		time.Sleep(time.Duration(p))
+	}
+}
+
+// Fail marks the node failed. Work routed to a failed node is dropped by
+// the runtime, emulating a crashed process.
+func (n *Node) Fail() { n.failed.Store(true) }
+
+// Recover clears the failed flag (a replacement node re-using the slot).
+func (n *Node) Recover() { n.failed.Store(false) }
+
+// Failed reports whether the node is down.
+func (n *Node) Failed() bool { return n.failed.Load() }
+
+// Config parameterises a simulated cluster.
+type Config struct {
+	// DiskWriteBW and DiskReadBW model per-disk bandwidth in bytes/second;
+	// zero means infinitely fast.
+	DiskWriteBW int64
+	DiskReadBW  int64
+	// NetBW models inter-node link bandwidth in bytes/second for bulk
+	// transfers (checkpoint streaming); zero means infinitely fast.
+	NetBW int64
+	// NetLatency is the per-transfer latency floor.
+	NetLatency time.Duration
+}
+
+// Cluster is a set of simulated nodes sharing a Config.
+type Cluster struct {
+	mu    sync.Mutex
+	cfg   Config
+	nodes []*Node
+}
+
+// New creates a cluster with n nodes.
+func New(n int, cfg Config) *Cluster {
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < n; i++ {
+		c.addLocked()
+	}
+	return c
+}
+
+func (c *Cluster) addLocked() *Node {
+	n := &Node{
+		ID:   len(c.nodes),
+		Disk: NewDisk(c.cfg.DiskWriteBW, c.cfg.DiskReadBW),
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AddNode appends a fresh node (used when the scaling controller or the
+// recovery manager requests replacements) and returns it.
+func (c *Cluster) AddNode() *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked()
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range (%d nodes)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// Size reports the number of nodes, including failed ones.
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// Alive reports the number of non-failed nodes.
+func (c *Cluster) Alive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, node := range c.nodes {
+		if !node.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Transfer models moving size bytes between two nodes over the network,
+// blocking for the simulated duration.
+func (c *Cluster) Transfer(size int64) {
+	c.mu.Lock()
+	bw, lat := c.cfg.NetBW, c.cfg.NetLatency
+	c.mu.Unlock()
+	d := lat
+	if bw > 0 {
+		d += time.Duration(float64(size) / float64(bw) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClusterNodes(t *testing.T) {
+	c := New(3, Config{})
+	if c.Size() != 3 || c.Alive() != 3 {
+		t.Fatalf("size=%d alive=%d", c.Size(), c.Alive())
+	}
+	n := c.Node(1)
+	if n.ID != 1 {
+		t.Fatalf("node id = %d", n.ID)
+	}
+	n.Fail()
+	if !n.Failed() || c.Alive() != 2 {
+		t.Fatal("failure not reflected")
+	}
+	n.Recover()
+	if n.Failed() || c.Alive() != 3 {
+		t.Fatal("recovery not reflected")
+	}
+	added := c.AddNode()
+	if added.ID != 3 || c.Size() != 4 {
+		t.Fatal("AddNode broken")
+	}
+}
+
+func TestClusterNodeOutOfRange(t *testing.T) {
+	c := New(1, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Node(5)
+}
+
+func TestNodePenalty(t *testing.T) {
+	c := New(1, Config{})
+	n := c.Node(0)
+	n.Penalize() // zero penalty: immediate
+	n.SetPenalty(2 * time.Millisecond)
+	if n.Penalty() != 2*time.Millisecond {
+		t.Fatal("penalty not stored")
+	}
+	start := time.Now()
+	n.Penalize()
+	if elapsed := time.Since(start); elapsed < 1*time.Millisecond {
+		t.Errorf("penalize returned too fast: %v", elapsed)
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk(0, 0)
+	d.Write("a", []byte("hello"))
+	got, err := d.Read("a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if _, err := d.Read("missing"); err != ErrNotFound {
+		t.Fatalf("missing read err = %v", err)
+	}
+	if d.Usage() != 5 {
+		t.Fatalf("usage = %d", d.Usage())
+	}
+	w, r := d.Stats()
+	if w != 5 || r != 5 {
+		t.Fatalf("stats = %d, %d", w, r)
+	}
+	d.Delete("a")
+	if _, err := d.Read("a"); err != ErrNotFound {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestDiskIsolatedFromCallerBuffer(t *testing.T) {
+	d := NewDisk(0, 0)
+	buf := []byte("abc")
+	d.Write("k", buf)
+	buf[0] = 'x'
+	got, _ := d.Read("k")
+	if string(got) != "abc" {
+		t.Fatal("disk aliases caller buffer")
+	}
+}
+
+func TestDiskBandwidthModel(t *testing.T) {
+	// 1 MB/s write bandwidth: a 100 KB write should take ~100 ms.
+	d := NewDisk(1<<20, 0)
+	start := time.Now()
+	d.Write("big", make([]byte, 100<<10))
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("write finished in %v; bandwidth model not applied", elapsed)
+	}
+}
+
+func TestDiskSerialisesIO(t *testing.T) {
+	// Two concurrent 50 KB writes at 1 MB/s must take ~100 ms total
+	// because the simulated head is serialised.
+	d := NewDisk(1<<20, 0)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.Write(fmt.Sprintf("o%d", i), make([]byte, 50<<10))
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("concurrent writes finished in %v; IO not serialised", elapsed)
+	}
+}
+
+func TestDiskList(t *testing.T) {
+	d := NewDisk(0, 0)
+	d.Write("b", nil)
+	d.Write("a", nil)
+	got := d.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestTransferModel(t *testing.T) {
+	c := New(1, Config{NetBW: 1 << 20, NetLatency: 5 * time.Millisecond})
+	start := time.Now()
+	c.Transfer(100 << 10) // ~100ms at 1MB/s + 5ms latency
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("transfer took %v; model not applied", elapsed)
+	}
+	// Infinite bandwidth: returns quickly.
+	c2 := New(1, Config{})
+	start = time.Now()
+	c2.Transfer(1 << 30)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("infinite-bandwidth transfer took %v", elapsed)
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("frame-data")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	// Empty frame round-trips too.
+	buf.Reset()
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFrame(&buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty frame = %v, %v", got, err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	buf.Write(hdr)
+	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPServerEcho(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		resp := append([]byte("echo:"), req...)
+		return resp, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp, err := cl.Call([]byte("ping"))
+	if err != nil || string(resp) != "echo:ping" {
+		t.Fatalf("call = %q, %v", resp, err)
+	}
+	// Multiple sequential calls on one connection.
+	for i := 0; i < 10; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		resp, err := cl.Call([]byte(msg))
+		if err != nil || string(resp) != "echo:"+msg {
+			t.Fatalf("call %d = %q, %v", i, resp, err)
+		}
+	}
+}
+
+func TestTCPServerConcurrentClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				msg := fmt.Sprintf("g%d-m%d", g, i)
+				resp, err := cl.Call([]byte(msg))
+				if err != nil || string(resp) != msg {
+					t.Errorf("call = %q, %v", resp, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) { return req, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when reading an object the disk does not hold.
+var ErrNotFound = errors.New("cluster: object not found on disk")
+
+// Disk is a bandwidth-modelled object store standing in for a node-local
+// disk. Writes and reads block for size/bandwidth, serialised per disk, so
+// concurrent checkpoint streams to one disk contend exactly as the paper's
+// m-to-n analysis assumes ("prevents a single node from becoming a disk
+// ... bottleneck", §5).
+type Disk struct {
+	writeBW int64 // bytes/sec, 0 = infinite
+	readBW  int64
+
+	io      sync.Mutex // serialises simulated head time
+	mu      sync.Mutex // guards objects
+	objects map[string][]byte
+
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// NewDisk creates a disk with the given bandwidths (bytes/second; zero
+// means infinitely fast).
+func NewDisk(writeBW, readBW int64) *Disk {
+	return &Disk{writeBW: writeBW, readBW: readBW, objects: make(map[string][]byte)}
+}
+
+func (d *Disk) simulate(size int64, bw int64) {
+	if bw <= 0 {
+		return
+	}
+	dur := time.Duration(float64(size) / float64(bw) * float64(time.Second))
+	// Hold the io lock while "the head moves": concurrent requests queue.
+	d.io.Lock()
+	time.Sleep(dur)
+	d.io.Unlock()
+}
+
+// Write stores data under name, blocking for the simulated transfer time.
+// The data is copied.
+func (d *Disk) Write(name string, data []byte) {
+	d.simulate(int64(len(data)), d.writeBW)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	d.objects[name] = cp
+	d.bytesWritten += int64(len(data))
+	d.mu.Unlock()
+}
+
+// Read retrieves the object, blocking for the simulated transfer time.
+func (d *Disk) Read(name string) ([]byte, error) {
+	d.mu.Lock()
+	data, ok := d.objects[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	d.simulate(int64(len(data)), d.readBW)
+	d.mu.Lock()
+	d.bytesRead += int64(len(data))
+	d.mu.Unlock()
+	return data, nil
+}
+
+// Delete removes the object if present.
+func (d *Disk) Delete(name string) {
+	d.mu.Lock()
+	delete(d.objects, name)
+	d.mu.Unlock()
+}
+
+// List returns the stored object names in sorted order.
+func (d *Disk) List() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.objects))
+	for name := range d.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Usage reports total stored bytes.
+func (d *Disk) Usage() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, data := range d.objects {
+		n += int64(len(data))
+	}
+	return n
+}
+
+// Stats reports cumulative bytes written and read.
+func (d *Disk) Stats() (written, read int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesWritten, d.bytesRead
+}

@@ -1,0 +1,107 @@
+package core
+
+import "sort"
+
+// Assignment maps SDG vertices to node indices (0..Nodes-1).
+type Assignment struct {
+	SENode map[int]int // SE id -> node
+	TENode map[int]int // TE id -> node
+	Nodes  int
+}
+
+// Allocate maps TEs and SEs to nodes with the paper's four-step strategy
+// (§3.3):
+//
+//	step 1: SEs accessed inside a dataflow cycle are colocated on one node,
+//	        reducing communication in iterative algorithms;
+//	step 2: remaining SEs go to separate nodes to maximise available memory;
+//	step 3: TEs are colocated with the SEs they access;
+//	step 4: remaining (stateless) TEs go to fresh nodes.
+//
+// The worked example in the paper (Fig. 1) allocates the CF graph to three
+// nodes: userItem+its TEs, coOcc+its TEs, and the merge TE alone.
+func (g *Graph) Allocate() Assignment {
+	a := Assignment{
+		SENode: make(map[int]int, len(g.SEs)),
+		TENode: make(map[int]int, len(g.TEs)),
+	}
+	next := 0
+
+	// Step 1: colocate SEs accessed within cycles.
+	cyc := g.cyclicTEs()
+	if len(cyc) > 0 {
+		cycleSEs := map[int]bool{}
+		for te := range cyc {
+			if acc := g.TEs[te].Access; acc != nil {
+				cycleSEs[acc.SE] = true
+			}
+		}
+		if len(cycleSEs) > 0 {
+			node := next
+			next++
+			ids := sortedKeys(cycleSEs)
+			for _, se := range ids {
+				a.SENode[se] = node
+			}
+		}
+	}
+
+	// Step 2: remaining SEs on separate nodes.
+	for _, se := range g.SEs {
+		if _, done := a.SENode[se.ID]; !done {
+			a.SENode[se.ID] = next
+			next++
+		}
+	}
+
+	// Step 3: TEs colocated with the SE they access.
+	for _, te := range g.TEs {
+		if te.Access != nil {
+			a.TENode[te.ID] = a.SENode[te.Access.SE]
+		}
+	}
+
+	// Step 4: unallocated TEs on fresh nodes.
+	for _, te := range g.TEs {
+		if _, done := a.TENode[te.ID]; !done {
+			a.TENode[te.ID] = next
+			next++
+		}
+	}
+
+	a.Nodes = next
+	return a
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TEsOnNode returns the TE ids assigned to node, in id order.
+func (a Assignment) TEsOnNode(node int) []int {
+	var out []int
+	for te, n := range a.TENode {
+		if n == node {
+			out = append(out, te)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SEsOnNode returns the SE ids assigned to node, in id order.
+func (a Assignment) SEsOnNode(node int) []int {
+	var out []int
+	for se, n := range a.SENode {
+		if n == node {
+			out = append(out, se)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

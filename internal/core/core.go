@@ -1,0 +1,256 @@
+// Package core defines the stateful dataflow graph (SDG) model of the paper
+// (§3): task elements (TEs) transform dataflows, state elements (SEs) hold
+// explicit mutable state, access edges connect each TE to at most one SE,
+// and dataflow edges carry items between TEs with one of four dispatching
+// semantics. The package also implements graph validation (§3.2's
+// compatibility rules) and the four-step allocation of TEs and SEs to nodes
+// (§3.3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/state"
+)
+
+// StateKind distinguishes the two forms of distributed state (§3.2, Fig. 2).
+type StateKind int
+
+const (
+	// KindPartitioned state splits its data structure into disjoint
+	// partitions by access key (Fig. 2b).
+	KindPartitioned StateKind = iota
+	// KindPartial state duplicates its data structure; instances are
+	// updated independently and reconciled by merge TEs (Fig. 2c).
+	KindPartial
+)
+
+// String names the state kind.
+func (k StateKind) String() string {
+	switch k {
+	case KindPartitioned:
+		return "partitioned"
+	case KindPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("StateKind(%d)", int(k))
+	}
+}
+
+// AccessMode describes how a TE accesses its SE (§4.1 annotations).
+type AccessMode int
+
+const (
+	// AccessByKey is partitioned access: the dispatch key selects the SE
+	// partition, which is local to the TE instance (@Partitioned).
+	AccessByKey AccessMode = iota
+	// AccessLocal touches only the co-located partial SE instance
+	// (@Partial without @Global).
+	AccessLocal
+	// AccessGlobal applies to all partial SE instances; the runtime fans
+	// the computation out to every instance (@Global).
+	AccessGlobal
+)
+
+// String names the access mode.
+func (m AccessMode) String() string {
+	switch m {
+	case AccessByKey:
+		return "by-key"
+	case AccessLocal:
+		return "local"
+	case AccessGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// Dispatch is the dataflow-edge dispatching semantics chosen by the
+// translation rules of §4.2.
+type Dispatch int
+
+const (
+	// DispatchPartitioned hashes the item key to one downstream instance.
+	DispatchPartitioned Dispatch = iota
+	// DispatchOneToAny load-balances items across downstream instances.
+	DispatchOneToAny
+	// DispatchOneToAll broadcasts each item to every downstream instance
+	// (global access to partial state).
+	DispatchOneToAll
+	// DispatchAllToOne gathers one item per upstream instance into a
+	// collection before invoking the downstream TE (@Collection, merge).
+	DispatchAllToOne
+)
+
+// String names the dispatch semantics.
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchPartitioned:
+		return "partitioned"
+	case DispatchOneToAny:
+		return "one-to-any"
+	case DispatchOneToAll:
+		return "one-to-all"
+	case DispatchAllToOne:
+		return "all-to-one"
+	default:
+		return fmt.Sprintf("Dispatch(%d)", int(d))
+	}
+}
+
+// Item is one data element in a dataflow. Items carry scalar timestamps
+// (Origin, Seq) for duplicate detection during log-based recovery (§5), the
+// dispatch key, and a request correlation id used by all-to-one barriers.
+type Item struct {
+	Origin uint64 // origin TE instance identity
+	Seq    uint64 // per-origin sequence number
+	Key    uint64 // dispatch key for partitioned edges
+	ReqID  uint64 // correlation id for gather barriers
+	Parts  int    // expected collection size for all-to-one gathers
+	Value  any    // payload
+}
+
+// Collection is the payload delivered to a merge TE after an all-to-one
+// gather: one entry per upstream partial result (§4.1 @Collection).
+type Collection []any
+
+// Context is the execution environment handed to a TaskFunc. The runtime
+// provides the local SE instance, the emit path and instance identity.
+type Context interface {
+	// Store returns the local SE instance, or nil for stateless TEs.
+	Store() state.Store
+	// Emit sends value downstream on the TE's out-edge with the given
+	// index (edges are ordered as declared in the graph), tagged with a
+	// dispatch key.
+	Emit(edge int, key uint64, value any)
+	// EmitReq is Emit for request/reply flows: it preserves the request
+	// correlation id of the item being processed.
+	EmitReq(edge int, key uint64, value any)
+	// Reply delivers a value to the external caller that injected the
+	// request (used by sink TEs such as merge).
+	Reply(value any)
+	// Instance reports this TE instance's index and the current number of
+	// instances of the TE.
+	Instance() (idx, total int)
+}
+
+// TaskFunc is the computation of a task element, invoked once per input
+// item. TEs are pipelined: the function must return promptly and emit any
+// outputs via the context.
+type TaskFunc func(ctx Context, it Item)
+
+// TE is a task element vertex.
+type TE struct {
+	ID     int
+	Name   string
+	Fn     TaskFunc
+	Access *Access // at most one SE (access edges form a partial function)
+	Entry  bool    // entry points receive externally injected items
+}
+
+// Access is the access edge from a TE to its SE.
+type Access struct {
+	SE   int
+	Mode AccessMode
+}
+
+// SE is a state element vertex.
+type SE struct {
+	ID   int
+	Name string
+	Kind StateKind
+	Type state.StoreType
+	// Build constructs the backing store; when nil, state.New(Type) is
+	// used. Custom builders pre-size dense structures.
+	Build func() state.Store
+}
+
+// NewStore instantiates the SE's backing store.
+func (s *SE) NewStore() (state.Store, error) {
+	if s.Build != nil {
+		return s.Build(), nil
+	}
+	return state.New(s.Type)
+}
+
+// Edge is a dataflow edge between two TEs.
+type Edge struct {
+	From, To int
+	Dispatch Dispatch
+}
+
+// Graph is a complete SDG.
+type Graph struct {
+	Name  string
+	TEs   []*TE
+	SEs   []*SE
+	Edges []*Edge
+}
+
+// NewGraph returns an empty named graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// AddSE appends a state element and returns its id.
+func (g *Graph) AddSE(name string, kind StateKind, typ state.StoreType, build func() state.Store) int {
+	id := len(g.SEs)
+	g.SEs = append(g.SEs, &SE{ID: id, Name: name, Kind: kind, Type: typ, Build: build})
+	return id
+}
+
+// AddTE appends a task element and returns its id. access may be nil for
+// stateless TEs.
+func (g *Graph) AddTE(name string, fn TaskFunc, access *Access, entry bool) int {
+	id := len(g.TEs)
+	g.TEs = append(g.TEs, &TE{ID: id, Name: name, Fn: fn, Access: access, Entry: entry})
+	return id
+}
+
+// Connect appends a dataflow edge from one TE to another and returns the
+// out-edge index local to the source TE (the index used with Context.Emit).
+func (g *Graph) Connect(from, to int, d Dispatch) int {
+	g.Edges = append(g.Edges, &Edge{From: from, To: to, Dispatch: d})
+	idx := 0
+	for _, e := range g.Edges[:len(g.Edges)-1] {
+		if e.From == from {
+			idx++
+		}
+	}
+	return idx
+}
+
+// OutEdges returns the dataflow edges leaving TE id, in declaration order
+// (matching Context.Emit indices).
+func (g *Graph) OutEdges(te int) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.From == te {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the dataflow edges entering TE id.
+func (g *Graph) InEdges(te int) []*Edge {
+	var in []*Edge
+	for _, e := range g.Edges {
+		if e.To == te {
+			in = append(in, e)
+		}
+	}
+	return in
+}
+
+// TEsAccessing returns the ids of TEs with an access edge to SE id.
+func (g *Graph) TEsAccessing(se int) []int {
+	var out []int
+	for _, t := range g.TEs {
+		if t.Access != nil && t.Access.SE == se {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/state"
+)
+
+func noop(ctx Context, it Item) {}
+
+// cfGraph builds the collaborative-filtering SDG of Fig. 1: five TEs on two
+// SEs (partitioned userItem, partial coOcc) plus the merge TE.
+func cfGraph() (*Graph, map[string]int) {
+	g := NewGraph("cf")
+	ids := map[string]int{}
+	ids["userItem"] = g.AddSE("userItem", KindPartitioned, state.TypeMatrix, nil)
+	ids["coOcc"] = g.AddSE("coOcc", KindPartial, state.TypeMatrix, nil)
+
+	ids["updateUserItem"] = g.AddTE("updateUserItem", noop, &Access{SE: ids["userItem"], Mode: AccessByKey}, true)
+	ids["updateCoOcc"] = g.AddTE("updateCoOcc", noop, &Access{SE: ids["coOcc"], Mode: AccessLocal}, false)
+	ids["getUserVec"] = g.AddTE("getUserVec", noop, &Access{SE: ids["userItem"], Mode: AccessByKey}, true)
+	ids["getRecVec"] = g.AddTE("getRecVec", noop, &Access{SE: ids["coOcc"], Mode: AccessGlobal}, false)
+	ids["merge"] = g.AddTE("merge", noop, nil, false)
+
+	g.Connect(ids["updateUserItem"], ids["updateCoOcc"], DispatchOneToAny)
+	g.Connect(ids["getUserVec"], ids["getRecVec"], DispatchOneToAll)
+	g.Connect(ids["getRecVec"], ids["merge"], DispatchAllToOne)
+	return g, ids
+}
+
+func TestCFGraphValidates(t *testing.T) {
+	g, _ := cfGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("CF graph should validate: %v", err)
+	}
+	if g.HasCycle() {
+		t.Fatal("CF graph has no cycles")
+	}
+}
+
+func TestCFAllocationMatchesPaper(t *testing.T) {
+	g, ids := cfGraph()
+	a := g.Allocate()
+	// Paper Fig. 1: three nodes. userItem + its TEs on n1, coOcc + its TEs
+	// on n2, merge alone on n3.
+	if a.Nodes != 3 {
+		t.Fatalf("allocated %d nodes, want 3", a.Nodes)
+	}
+	n1 := a.SENode[ids["userItem"]]
+	n2 := a.SENode[ids["coOcc"]]
+	if n1 == n2 {
+		t.Fatal("userItem and coOcc should be on separate nodes (step 2)")
+	}
+	if a.TENode[ids["updateUserItem"]] != n1 || a.TENode[ids["getUserVec"]] != n1 {
+		t.Error("userItem TEs not colocated with userItem (step 3)")
+	}
+	if a.TENode[ids["updateCoOcc"]] != n2 || a.TENode[ids["getRecVec"]] != n2 {
+		t.Error("coOcc TEs not colocated with coOcc (step 3)")
+	}
+	mergeNode := a.TENode[ids["merge"]]
+	if mergeNode == n1 || mergeNode == n2 {
+		t.Error("merge TE should get its own node (step 4)")
+	}
+	if got := len(a.TEsOnNode(n1)); got != 2 {
+		t.Errorf("node n1 has %d TEs, want 2", got)
+	}
+	if got := len(a.SEsOnNode(mergeNode)); got != 0 {
+		t.Errorf("merge node has %d SEs, want 0", got)
+	}
+}
+
+func TestCycleDetectionAndColocation(t *testing.T) {
+	g := NewGraph("iter")
+	s1 := g.AddSE("model", KindPartitioned, state.TypeVector, nil)
+	s2 := g.AddSE("stats", KindPartitioned, state.TypeKVMap, nil)
+	t1 := g.AddTE("ingest", noop, &Access{SE: s1, Mode: AccessByKey}, true)
+	t2 := g.AddTE("refine", noop, &Access{SE: s2, Mode: AccessByKey}, false)
+	g.Connect(t1, t2, DispatchPartitioned)
+	g.Connect(t2, t1, DispatchPartitioned) // loop back: iteration
+	if err := g.Validate(); err != nil {
+		t.Fatalf("iterative graph should validate: %v", err)
+	}
+	if !g.HasCycle() {
+		t.Fatal("cycle not detected")
+	}
+	a := g.Allocate()
+	if a.SENode[s1] != a.SENode[s2] {
+		t.Error("step 1: SEs in a cycle must be colocated")
+	}
+	if a.TENode[t1] != a.SENode[s1] || a.TENode[t2] != a.SENode[s2] {
+		t.Error("step 3: TEs must be colocated with their SEs")
+	}
+	if a.Nodes != 1 {
+		t.Errorf("expected 1 node, got %d", a.Nodes)
+	}
+}
+
+func TestValidateRejectsEmptyGraph(t *testing.T) {
+	g := NewGraph("empty")
+	if err := g.Validate(); err == nil {
+		t.Fatal("empty graph must not validate")
+	}
+}
+
+func TestValidateRejectsNoEntry(t *testing.T) {
+	g := NewGraph("noentry")
+	g.AddTE("a", noop, nil, false)
+	if err := g.Validate(); err == nil {
+		t.Fatal("graph without entry must not validate")
+	}
+}
+
+func TestValidateRejectsNilFn(t *testing.T) {
+	g := NewGraph("nilfn")
+	g.AddTE("a", nil, nil, true)
+	if err := g.Validate(); err == nil {
+		t.Fatal("TE without function must not validate")
+	}
+}
+
+func TestValidateRejectsBadAccessModeOnPartitioned(t *testing.T) {
+	g := NewGraph("bad")
+	se := g.AddSE("m", KindPartitioned, state.TypeMatrix, nil)
+	g.AddTE("a", noop, &Access{SE: se, Mode: AccessGlobal}, true)
+	if err := g.Validate(); err == nil {
+		t.Fatal("global access to partitioned SE must not validate")
+	}
+}
+
+func TestValidateRejectsByKeyOnPartial(t *testing.T) {
+	g := NewGraph("bad")
+	se := g.AddSE("m", KindPartial, state.TypeMatrix, nil)
+	g.AddTE("a", noop, &Access{SE: se, Mode: AccessByKey}, true)
+	if err := g.Validate(); err == nil {
+		t.Fatal("by-key access to partial SE must not validate")
+	}
+}
+
+func TestValidateRejectsIncompatibleDispatch(t *testing.T) {
+	// Inbound one-to-any into a TE with partitioned state: instances could
+	// receive keys whose partition lives elsewhere.
+	g := NewGraph("bad")
+	se := g.AddSE("m", KindPartitioned, state.TypeMatrix, nil)
+	a := g.AddTE("src", noop, nil, true)
+	b := g.AddTE("dst", noop, &Access{SE: se, Mode: AccessByKey}, false)
+	g.Connect(a, b, DispatchOneToAny)
+	if err := g.Validate(); err == nil {
+		t.Fatal("one-to-any into partitioned access must not validate")
+	}
+}
+
+func TestValidateRejectsGlobalWithoutOneToAll(t *testing.T) {
+	g := NewGraph("bad")
+	se := g.AddSE("m", KindPartial, state.TypeMatrix, nil)
+	a := g.AddTE("src", noop, nil, true)
+	b := g.AddTE("dst", noop, &Access{SE: se, Mode: AccessGlobal}, false)
+	g.Connect(a, b, DispatchOneToAny)
+	if err := g.Validate(); err == nil {
+		t.Fatal("global access without one-to-all inbound must not validate")
+	}
+}
+
+func TestValidateRejectsUnreachableTE(t *testing.T) {
+	g := NewGraph("bad")
+	g.AddTE("entry", noop, nil, true)
+	g.AddTE("island", noop, nil, false)
+	if err := g.Validate(); err == nil {
+		t.Fatal("unreachable TE must not validate")
+	}
+}
+
+func TestValidateRejectsUnknownSE(t *testing.T) {
+	g := NewGraph("bad")
+	g.AddTE("a", noop, &Access{SE: 7, Mode: AccessLocal}, true)
+	if err := g.Validate(); err == nil {
+		t.Fatal("access to unknown SE must not validate")
+	}
+}
+
+func TestValidateRejectsEdgeOutOfRange(t *testing.T) {
+	g := NewGraph("bad")
+	g.AddTE("a", noop, nil, true)
+	g.Edges = append(g.Edges, &Edge{From: 0, To: 5})
+	if err := g.Validate(); err == nil {
+		t.Fatal("dangling edge must not validate")
+	}
+}
+
+func TestConnectReturnsOutEdgeIndex(t *testing.T) {
+	g := NewGraph("idx")
+	a := g.AddTE("a", noop, nil, true)
+	b := g.AddTE("b", noop, nil, false)
+	c := g.AddTE("c", noop, nil, false)
+	if idx := g.Connect(a, b, DispatchOneToAny); idx != 0 {
+		t.Errorf("first out-edge index = %d", idx)
+	}
+	if idx := g.Connect(a, c, DispatchOneToAny); idx != 1 {
+		t.Errorf("second out-edge index = %d", idx)
+	}
+	if idx := g.Connect(b, c, DispatchOneToAny); idx != 0 {
+		t.Errorf("other TE's first out-edge index = %d", idx)
+	}
+	if n := len(g.OutEdges(a)); n != 2 {
+		t.Errorf("OutEdges(a) = %d", n)
+	}
+	if n := len(g.InEdges(c)); n != 2 {
+		t.Errorf("InEdges(c) = %d", n)
+	}
+}
+
+func TestTEsAccessing(t *testing.T) {
+	g, ids := cfGraph()
+	tes := g.TEsAccessing(ids["coOcc"])
+	if len(tes) != 2 {
+		t.Fatalf("TEsAccessing(coOcc) = %v", tes)
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	g, _ := cfGraph()
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "userItem", "coOcc", "one-to-all", "all-to-one", "cylinder", "dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindPartitioned.String() != "partitioned" || KindPartial.String() != "partial" {
+		t.Error("StateKind strings")
+	}
+	if AccessByKey.String() != "by-key" || AccessGlobal.String() != "global" || AccessLocal.String() != "local" {
+		t.Error("AccessMode strings")
+	}
+	for d, want := range map[Dispatch]string{
+		DispatchPartitioned: "partitioned",
+		DispatchOneToAny:    "one-to-any",
+		DispatchOneToAll:    "one-to-all",
+		DispatchAllToOne:    "all-to-one",
+	} {
+		if d.String() != want {
+			t.Errorf("%v != %s", d, want)
+		}
+	}
+	if StateKind(99).String() == "" || AccessMode(99).String() == "" || Dispatch(99).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func TestSENewStore(t *testing.T) {
+	g := NewGraph("s")
+	id := g.AddSE("v", KindPartitioned, state.TypeVector, func() state.Store { return state.NewVector(7) })
+	st, err := g.SEs[id].NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*state.Vector).Len() != 7 {
+		t.Error("custom builder not used")
+	}
+	id2 := g.AddSE("k", KindPartitioned, state.TypeKVMap, nil)
+	st2, err := g.SEs[id2].NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Type() != state.TypeKVMap {
+		t.Error("default builder wrong type")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the SDG in Graphviz dot syntax: TEs as boxes, SEs as
+// cylinders, dataflow edges solid (labelled with dispatch semantics) and
+// access edges dashed (labelled with access mode). Useful for inspecting
+// translator output (cmd/sdgc -dot).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, t := range g.TEs {
+		shape := "box"
+		if t.Entry {
+			shape = "box,peripheries=2"
+		}
+		fmt.Fprintf(&b, "  te%d [label=%q shape=%s];\n", t.ID, t.Name, shape)
+	}
+	for _, s := range g.SEs {
+		fmt.Fprintf(&b, "  se%d [label=\"%s\\n(%s %s)\" shape=cylinder];\n",
+			s.ID, s.Name, s.Kind, s.Type)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  te%d -> te%d [label=%q];\n", e.From, e.To, e.Dispatch.String())
+	}
+	for _, t := range g.TEs {
+		if t.Access != nil {
+			fmt.Fprintf(&b, "  te%d -> se%d [style=dashed label=%q];\n",
+				t.ID, t.Access.SE, t.Access.Mode.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidGraph wraps all validation failures.
+var ErrInvalidGraph = errors.New("core: invalid SDG")
+
+func invalid(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidGraph, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the structural rules of the SDG model:
+//
+//  1. access edges form a partial function: each TE accesses at most one SE
+//     (guaranteed by construction, but edge/SE ids must be in range);
+//  2. partitioned SEs are accessed by key only, and every dataflow edge into
+//     a TE with partitioned access uses partitioned dispatch, so TE
+//     instances always reach their local partition (§3.2: "the dataflow
+//     partitioning strategy must be compatible with the data access
+//     pattern");
+//  3. partial SEs are accessed locally or globally, never by key;
+//  4. global access to a partial SE requires one-to-all inbound dispatch so
+//     all instances participate (§4.2 rule 3);
+//  5. all-to-one edges terminate in a stateless or local-access merge TE;
+//  6. entry TEs exist, and every non-entry TE is reachable from some entry.
+func (g *Graph) Validate() error {
+	if len(g.TEs) == 0 {
+		return invalid("graph %q has no task elements", g.Name)
+	}
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.TEs) || e.To < 0 || e.To >= len(g.TEs) {
+			return invalid("edge %d->%d out of range", e.From, e.To)
+		}
+	}
+	hasEntry := false
+	for _, t := range g.TEs {
+		if t.Entry {
+			hasEntry = true
+		}
+		if t.Fn == nil {
+			return invalid("TE %q has no task function", t.Name)
+		}
+		if t.Access == nil {
+			continue
+		}
+		if t.Access.SE < 0 || t.Access.SE >= len(g.SEs) {
+			return invalid("TE %q accesses unknown SE %d", t.Name, t.Access.SE)
+		}
+		se := g.SEs[t.Access.SE]
+		switch se.Kind {
+		case KindPartitioned:
+			if t.Access.Mode != AccessByKey {
+				return invalid("TE %q: partitioned SE %q requires by-key access, got %v",
+					t.Name, se.Name, t.Access.Mode)
+			}
+			for _, in := range g.InEdges(t.ID) {
+				if in.Dispatch != DispatchPartitioned {
+					return invalid("TE %q: inbound edge from %q must use partitioned dispatch to reach SE %q partitions locally, got %v",
+						t.Name, g.TEs[in.From].Name, se.Name, in.Dispatch)
+				}
+			}
+		case KindPartial:
+			switch t.Access.Mode {
+			case AccessLocal:
+				// One-to-any or all-to-one inbound edges are both fine.
+			case AccessGlobal:
+				for _, in := range g.InEdges(t.ID) {
+					if in.Dispatch != DispatchOneToAll {
+						return invalid("TE %q: global access to partial SE %q requires one-to-all inbound dispatch, got %v",
+							t.Name, se.Name, in.Dispatch)
+					}
+				}
+			default:
+				return invalid("TE %q: partial SE %q cannot use %v access",
+					t.Name, se.Name, t.Access.Mode)
+			}
+		}
+	}
+	if !hasEntry {
+		return invalid("graph %q has no entry TE", g.Name)
+	}
+	for _, e := range g.Edges {
+		if e.Dispatch == DispatchAllToOne {
+			to := g.TEs[e.To]
+			if to.Access != nil && to.Access.Mode == AccessGlobal {
+				return invalid("merge TE %q cannot itself use global access", to.Name)
+			}
+		}
+	}
+	// Reachability from entries over dataflow edges.
+	reach := make([]bool, len(g.TEs))
+	var stack []int
+	for _, t := range g.TEs {
+		if t.Entry {
+			reach[t.ID] = true
+			stack = append(stack, t.ID)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.OutEdges(id) {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for _, t := range g.TEs {
+		if !reach[t.ID] {
+			return invalid("TE %q is unreachable from any entry", t.Name)
+		}
+	}
+	return nil
+}
+
+// HasCycle reports whether the dataflow contains a cycle (iterative SDG).
+func (g *Graph) HasCycle() bool {
+	return len(g.cyclicTEs()) > 0
+}
+
+// cyclicTEs returns the set of TE ids that participate in any dataflow
+// cycle, found via Tarjan-style SCC detection (iterative colouring).
+func (g *Graph) cyclicTEs() map[int]bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]int, len(g.TEs))
+	onPath := make([]int, 0, len(g.TEs))
+	inCycle := make(map[int]bool)
+
+	var visit func(int)
+	visit = func(u int) {
+		colour[u] = grey
+		onPath = append(onPath, u)
+		for _, e := range g.OutEdges(u) {
+			v := e.To
+			switch colour[v] {
+			case white:
+				visit(v)
+			case grey:
+				// Back edge: everything from v to u on the path is cyclic.
+				for i := len(onPath) - 1; i >= 0; i-- {
+					inCycle[onPath[i]] = true
+					if onPath[i] == v {
+						break
+					}
+				}
+			}
+		}
+		onPath = onPath[:len(onPath)-1]
+		colour[u] = black
+	}
+	for _, t := range g.TEs {
+		if colour[t.ID] == white {
+			visit(t.ID)
+		}
+	}
+	return inCycle
+}

@@ -1,0 +1,51 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkRouterPartitioned(b *testing.B) {
+	r := &Router{Dispatch: core.DispatchPartitioned}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Route(core.Item{Key: uint64(i)}, 8)
+	}
+}
+
+func BenchmarkRouterOneToAny(b *testing.B) {
+	r := &Router{Dispatch: core.DispatchOneToAny}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Route(core.Item{}, 8)
+	}
+}
+
+func BenchmarkDedupFresh(b *testing.B) {
+	d := NewDedup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Fresh(core.Item{Origin: uint64(i % 16), Seq: uint64(i)})
+	}
+}
+
+func BenchmarkOutputBufferAppendTrim(b *testing.B) {
+	var buf OutputBuffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Append(core.Item{Origin: 1, Seq: uint64(i)})
+		if i%1024 == 1023 {
+			buf.Trim(map[uint64]uint64{1: uint64(i - 512)})
+		}
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	g := NewGather()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := uint64(i / 4)
+		g.Add(core.Item{ReqID: req, Origin: uint64(i % 4), Parts: 4, Value: i})
+	}
+}

@@ -1,0 +1,224 @@
+// Package dataflow provides the item-level plumbing of the SDG runtime:
+//
+//   - OutputBuffer: per-instance upstream backup logs that are replayed
+//     after failures and trimmed when downstream checkpoints commit (§5);
+//   - Dedup: per-origin scalar-timestamp filters that discard duplicate
+//     items during replay ("downstream nodes detect duplicate data items
+//     based on the timestamps and discard them");
+//   - Gather: the all-to-one synchronisation barrier that assembles one
+//     partial result per upstream instance into a Collection for merge TEs
+//     (§3.2, §4.2 rule 5);
+//   - Router: the four dispatching strategies of §3.1/§4.2.
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// OutputBuffer logs the items an upstream TE instance emitted on one edge,
+// in seq order, so they can be replayed to re-feed a recovering downstream
+// node. Buffers are trimmed when every downstream checkpoint covers a
+// prefix ("upstream nodes can trim their output buffers of data items that
+// are older than all downstream checkpoints").
+type OutputBuffer struct {
+	mu    sync.Mutex
+	items []core.Item
+	bytes int64
+}
+
+// Append logs one emitted item.
+func (b *OutputBuffer) Append(it core.Item) {
+	b.mu.Lock()
+	b.items = append(b.items, it)
+	b.bytes += itemCost(it)
+	b.mu.Unlock()
+}
+
+// itemCost approximates the retained size of a buffered item.
+func itemCost(it core.Item) int64 {
+	const header = 48
+	switch v := it.Value.(type) {
+	case []byte:
+		return header + int64(len(v))
+	case string:
+		return header + int64(len(v))
+	default:
+		return header
+	}
+}
+
+// Trim drops items whose (origin, seq) is covered by the watermarks: an
+// item survives only if its origin is absent or its Seq is newer. A nil map
+// trims nothing.
+func (b *OutputBuffer) Trim(watermarks map[uint64]uint64) {
+	if len(watermarks) == 0 {
+		return
+	}
+	b.mu.Lock()
+	kept := b.items[:0]
+	var bytes int64
+	for _, it := range b.items {
+		if wm, ok := watermarks[it.Origin]; ok && it.Seq <= wm {
+			continue
+		}
+		kept = append(kept, it)
+		bytes += itemCost(it)
+	}
+	b.items = kept
+	b.bytes = bytes
+	b.mu.Unlock()
+}
+
+// Replay returns a copy of the buffered items in append order.
+func (b *OutputBuffer) Replay() []core.Item {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]core.Item, len(b.items))
+	copy(out, b.items)
+	return out
+}
+
+// Len reports the number of buffered items.
+func (b *OutputBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// SizeBytes reports the approximate retained size.
+func (b *OutputBuffer) SizeBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
+
+// Dedup filters replayed duplicates: an item is fresh only if its Seq is
+// greater than the last Seq seen from its origin. Watermarks round-trip
+// through checkpoints so a restored node resumes filtering where the
+// snapshot left off.
+type Dedup struct {
+	mu   sync.Mutex
+	last map[uint64]uint64
+}
+
+// NewDedup returns an empty filter.
+func NewDedup() *Dedup {
+	return &Dedup{last: make(map[uint64]uint64)}
+}
+
+// Fresh records and reports whether the item advances its origin's
+// timestamp. Duplicates (and reordered stale items) return false.
+func (d *Dedup) Fresh(it core.Item) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if last, ok := d.last[it.Origin]; ok && it.Seq <= last {
+		return false
+	}
+	d.last[it.Origin] = it.Seq
+	return true
+}
+
+// Watermarks snapshots the per-origin high-water marks (the "vector
+// timestamp of the last data item from each input dataflow" stored in
+// checkpoints, §5).
+func (d *Dedup) Watermarks() map[uint64]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint64]uint64, len(d.last))
+	for k, v := range d.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore resets the filter to the given watermarks.
+func (d *Dedup) Restore(w map[uint64]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last = make(map[uint64]uint64, len(w))
+	for k, v := range w {
+		d.last[k] = v
+	}
+}
+
+// Gather assembles all-to-one collections: for each request id it waits for
+// the expected number of partial results (Item.Parts), then releases them
+// as a core.Collection. Partial results from re-played duplicates of the
+// same origin overwrite rather than double-count.
+type Gather struct {
+	mu      sync.Mutex
+	pending map[uint64]map[uint64]any // reqID -> origin -> value
+}
+
+// NewGather returns an empty barrier.
+func NewGather() *Gather {
+	return &Gather{pending: make(map[uint64]map[uint64]any)}
+}
+
+// Add records one partial result. When the collection is complete it is
+// returned with done=true and the request's slot is released.
+func (g *Gather) Add(it core.Item) (coll core.Collection, done bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.pending[it.ReqID]
+	if m == nil {
+		m = make(map[uint64]any, it.Parts)
+		g.pending[it.ReqID] = m
+	}
+	m[it.Origin] = it.Value
+	if it.Parts > 0 && len(m) >= it.Parts {
+		delete(g.pending, it.ReqID)
+		coll = make(core.Collection, 0, len(m))
+		for _, v := range m {
+			coll = append(coll, v)
+		}
+		return coll, true
+	}
+	return nil, false
+}
+
+// Pending reports the number of incomplete collections (for monitoring).
+func (g *Gather) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// Router selects destination instance indices for an item according to the
+// edge's dispatch semantics. Routing agrees with state partitioning because
+// both use state.PartitionKey.
+type Router struct {
+	Dispatch core.Dispatch
+	rr       atomic.Uint64
+}
+
+// Route returns the downstream instance indices the item must go to, given
+// the current downstream instance count. The slice for one-to-all dispatch
+// covers all instances; other strategies return a single index.
+func (r *Router) Route(it core.Item, instances int) []int {
+	if instances <= 0 {
+		return nil
+	}
+	switch r.Dispatch {
+	case core.DispatchPartitioned:
+		return []int{state.PartitionKey(it.Key, instances)}
+	case core.DispatchOneToAny:
+		n := r.rr.Add(1)
+		return []int{int(n % uint64(instances))}
+	case core.DispatchOneToAll:
+		all := make([]int, instances)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	case core.DispatchAllToOne:
+		// Collections converge on a single merge instance.
+		return []int{0}
+	default:
+		return []int{0}
+	}
+}

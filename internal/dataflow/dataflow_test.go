@@ -1,0 +1,229 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+func TestOutputBufferAppendReplay(t *testing.T) {
+	var b OutputBuffer
+	for i := uint64(1); i <= 5; i++ {
+		b.Append(core.Item{Origin: 1, Seq: i, Value: []byte{byte(i)}})
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if b.SizeBytes() <= 0 {
+		t.Fatal("size should be positive")
+	}
+	got := b.Replay()
+	if len(got) != 5 || got[0].Seq != 1 || got[4].Seq != 5 {
+		t.Fatalf("replay = %+v", got)
+	}
+	// Replay is a copy.
+	got[0].Seq = 99
+	if b.Replay()[0].Seq != 1 {
+		t.Fatal("replay aliases buffer")
+	}
+}
+
+func TestOutputBufferTrim(t *testing.T) {
+	var b OutputBuffer
+	for i := uint64(1); i <= 10; i++ {
+		b.Append(core.Item{Origin: 7, Seq: i})
+	}
+	b.Trim(map[uint64]uint64{7: 6})
+	if b.Len() != 4 {
+		t.Fatalf("len after trim = %d, want 4", b.Len())
+	}
+	for _, it := range b.Replay() {
+		if it.Seq <= 6 {
+			t.Fatalf("item seq %d survived trim", it.Seq)
+		}
+	}
+	// Trimming with an unrelated origin keeps everything.
+	b.Trim(map[uint64]uint64{99: 100})
+	if b.Len() != 4 {
+		t.Fatal("unrelated trim removed items")
+	}
+	// Nil watermarks trim nothing.
+	b.Trim(nil)
+	if b.Len() != 4 {
+		t.Fatal("nil trim removed items")
+	}
+}
+
+func TestDedupFiltersDuplicates(t *testing.T) {
+	d := NewDedup()
+	if !d.Fresh(core.Item{Origin: 1, Seq: 1}) {
+		t.Fatal("first item should be fresh")
+	}
+	if !d.Fresh(core.Item{Origin: 1, Seq: 2}) {
+		t.Fatal("advancing seq should be fresh")
+	}
+	if d.Fresh(core.Item{Origin: 1, Seq: 2}) {
+		t.Fatal("duplicate should be filtered")
+	}
+	if d.Fresh(core.Item{Origin: 1, Seq: 1}) {
+		t.Fatal("stale item should be filtered")
+	}
+	if !d.Fresh(core.Item{Origin: 2, Seq: 1}) {
+		t.Fatal("different origin should be independent")
+	}
+}
+
+func TestDedupWatermarksRoundTrip(t *testing.T) {
+	d := NewDedup()
+	d.Fresh(core.Item{Origin: 1, Seq: 5})
+	d.Fresh(core.Item{Origin: 2, Seq: 9})
+	w := d.Watermarks()
+	if w[1] != 5 || w[2] != 9 {
+		t.Fatalf("watermarks = %v", w)
+	}
+	d2 := NewDedup()
+	d2.Restore(w)
+	if d2.Fresh(core.Item{Origin: 1, Seq: 5}) {
+		t.Fatal("restored filter should reject covered seq")
+	}
+	if !d2.Fresh(core.Item{Origin: 1, Seq: 6}) {
+		t.Fatal("restored filter should accept fresh seq")
+	}
+	// Mutating the snapshot does not affect the filter.
+	w[1] = 100
+	if !d.Fresh(core.Item{Origin: 1, Seq: 6}) {
+		t.Fatal("watermarks snapshot aliases filter state")
+	}
+}
+
+func TestGatherCollects(t *testing.T) {
+	g := NewGather()
+	if _, done := g.Add(core.Item{ReqID: 1, Origin: 10, Parts: 3, Value: "a"}); done {
+		t.Fatal("incomplete gather released early")
+	}
+	if _, done := g.Add(core.Item{ReqID: 1, Origin: 11, Parts: 3, Value: "b"}); done {
+		t.Fatal("incomplete gather released early")
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d", g.Pending())
+	}
+	coll, done := g.Add(core.Item{ReqID: 1, Origin: 12, Parts: 3, Value: "c"})
+	if !done || len(coll) != 3 {
+		t.Fatalf("done=%v coll=%v", done, coll)
+	}
+	seen := map[string]bool{}
+	for _, v := range coll {
+		seen[v.(string)] = true
+	}
+	if !seen["a"] || !seen["b"] || !seen["c"] {
+		t.Fatalf("collection contents = %v", coll)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("slot not released")
+	}
+}
+
+func TestGatherDuplicateOriginOverwrites(t *testing.T) {
+	g := NewGather()
+	g.Add(core.Item{ReqID: 5, Origin: 1, Parts: 2, Value: "old"})
+	// Replay duplicate from same origin must not complete the barrier.
+	if _, done := g.Add(core.Item{ReqID: 5, Origin: 1, Parts: 2, Value: "new"}); done {
+		t.Fatal("duplicate origin completed barrier")
+	}
+	coll, done := g.Add(core.Item{ReqID: 5, Origin: 2, Parts: 2, Value: "other"})
+	if !done || len(coll) != 2 {
+		t.Fatalf("done=%v coll=%v", done, coll)
+	}
+}
+
+func TestGatherInterleavedRequests(t *testing.T) {
+	g := NewGather()
+	g.Add(core.Item{ReqID: 1, Origin: 1, Parts: 2, Value: 1})
+	g.Add(core.Item{ReqID: 2, Origin: 1, Parts: 2, Value: 10})
+	c1, done1 := g.Add(core.Item{ReqID: 1, Origin: 2, Parts: 2, Value: 2})
+	c2, done2 := g.Add(core.Item{ReqID: 2, Origin: 2, Parts: 2, Value: 20})
+	if !done1 || !done2 || len(c1) != 2 || len(c2) != 2 {
+		t.Fatal("interleaved gathers broken")
+	}
+}
+
+func TestRouterPartitioned(t *testing.T) {
+	r := &Router{Dispatch: core.DispatchPartitioned}
+	for key := uint64(0); key < 100; key++ {
+		dst := r.Route(core.Item{Key: key}, 4)
+		if len(dst) != 1 {
+			t.Fatalf("partitioned route fanout = %d", len(dst))
+		}
+		if dst[0] != state.PartitionKey(key, 4) {
+			t.Fatal("router disagrees with state partitioning")
+		}
+	}
+}
+
+func TestRouterOneToAny(t *testing.T) {
+	r := &Router{Dispatch: core.DispatchOneToAny}
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		dst := r.Route(core.Item{}, 3)
+		counts[dst[0]]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("round robin uneven: instance %d got %d", i, c)
+		}
+	}
+}
+
+func TestRouterOneToAll(t *testing.T) {
+	r := &Router{Dispatch: core.DispatchOneToAll}
+	dst := r.Route(core.Item{}, 5)
+	if len(dst) != 5 {
+		t.Fatalf("broadcast fanout = %d", len(dst))
+	}
+	for i, d := range dst {
+		if d != i {
+			t.Fatal("broadcast should cover all instances in order")
+		}
+	}
+}
+
+func TestRouterAllToOneAndEdgeCases(t *testing.T) {
+	r := &Router{Dispatch: core.DispatchAllToOne}
+	if dst := r.Route(core.Item{}, 4); len(dst) != 1 || dst[0] != 0 {
+		t.Fatalf("all-to-one route = %v", dst)
+	}
+	if dst := r.Route(core.Item{}, 0); dst != nil {
+		t.Fatalf("zero instances should route nowhere, got %v", dst)
+	}
+}
+
+// Property: dedup admits exactly one item per (origin, seq) regardless of
+// duplication pattern.
+func TestQuickDedupExactlyOnce(t *testing.T) {
+	f := func(seqs []uint8) bool {
+		d := NewDedup()
+		admitted := map[uint64]bool{}
+		// Feed monotone sequence with injected duplicates.
+		var max uint64
+		for _, s := range seqs {
+			seq := uint64(s%16) + 1
+			fresh := d.Fresh(core.Item{Origin: 1, Seq: seq})
+			if fresh {
+				if seq <= max {
+					return false // admitted an item at or below watermark
+				}
+				if admitted[seq] {
+					return false // double admission
+				}
+				admitted[seq] = true
+				max = seq
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny keeps test runs short; shape assertions tolerate the noise.
+var tiny = Scale{PointDuration: 250 * time.Millisecond, Clients: 4}
+
+func TestTable1Structure(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("Table 1 rows = %d, want 15 systems", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, sys := range []string{"MapReduce", "Spark", "Naiad", "SEEP", "Piccolo", "SDG"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("table missing %q", sys)
+		}
+	}
+	// The SDG row must claim the paper's unique combination.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[1] != "SDG (this repo)" || last[9] != "async. local checkpoints" {
+		t.Errorf("SDG row = %v", last)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rows, tbl, err := Fig5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Errorf("ratio %s: zero throughput", r.Ratio)
+		}
+	}
+	// Read latency must be recorded for read-heavy points.
+	if rows[4].Latency.P50 <= 0 {
+		t.Error("no latency recorded at 5:1")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, _, err := Fig6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]map[int64]Fig6Row{}
+	for _, r := range rows {
+		if byKey[r.System] == nil {
+			byKey[r.System] = map[int64]Fig6Row{}
+		}
+		byKey[r.System][r.StateBytes] = r
+		if r.Throughput <= 0 {
+			t.Errorf("%s @%d: zero throughput", r.System, r.StateBytes)
+		}
+	}
+	small, large := int64(1<<20), int64(16<<20)
+	// SDG stays roughly flat: large-state throughput within 2x of small.
+	sdg := byKey["SDG"]
+	if sdg[large].Throughput < sdg[small].Throughput/2 {
+		t.Errorf("SDG collapsed with state: %.0f -> %.0f",
+			sdg[small].Throughput, sdg[large].Throughput)
+	}
+	// Naiad-Disk must lose much more throughput than SDG at large state.
+	nd := byKey["Naiad-Disk"]
+	sdgRatio := sdg[large].Throughput / sdg[small].Throughput
+	ndRatio := nd[large].Throughput / nd[small].Throughput
+	if ndRatio >= sdgRatio {
+		t.Errorf("Naiad-Disk ratio %.2f should degrade more than SDG %.2f", ndRatio, sdgRatio)
+	}
+	// At large state, SDG p95 latency beats Naiad-Disk's (stop-the-world).
+	if sdg[large].P95 >= nd[large].P95 {
+		t.Errorf("SDG p95 %v should beat Naiad-Disk %v at large state", sdg[large].P95, nd[large].P95)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, _, err := Fig7(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Throughput grows with nodes (allowing noise: the 8-node point must
+	// beat the 1-node point by at least 1.5x).
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Throughput < first.Throughput*1.5 {
+		t.Errorf("no scaling: %d nodes %.0f -> %d nodes %.0f",
+			first.Nodes, first.Throughput, last.Nodes, last.Throughput)
+	}
+	for _, r := range rows {
+		if r.Latency.P50 <= 0 {
+			t.Errorf("nodes=%d: no latency", r.Nodes)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, _, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sys string, win time.Duration) Fig8Row {
+		for _, r := range rows {
+			if r.System == sys && r.Window == win {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s@%v", sys, win)
+		return Fig8Row{}
+	}
+	smallest, largest := 5*time.Millisecond, 150*time.Millisecond
+	// SDG sustains every window.
+	for _, r := range rows {
+		if r.System == "SDG" && !r.Sustainable {
+			t.Errorf("SDG unsustainable at %v", r.Window)
+		}
+	}
+	// Streaming Spark collapses at the smallest window but sustains the
+	// largest.
+	if get("StreamingSpark", smallest).Sustainable {
+		t.Error("StreamingSpark should collapse at the smallest window")
+	}
+	if !get("StreamingSpark", largest).Sustainable {
+		t.Error("StreamingSpark should sustain the largest window")
+	}
+	// Naiad-HighThroughput cannot sustain the smallest window either.
+	if get("Naiad-HighThroughput", smallest).Sustainable {
+		t.Error("Naiad-HighThroughput should fail the smallest window")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows, _, err := Fig9(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdg := map[int]float64{}
+	spark := map[int]float64{}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Errorf("%s@%d: zero throughput", r.System, r.Nodes)
+		}
+		if r.System == "SDG" {
+			sdg[r.Nodes] = r.Throughput
+		} else {
+			spark[r.Nodes] = r.Throughput
+		}
+	}
+	// Both scale with workers; SDG at least matches Spark at max width.
+	if sdg[4] < sdg[1] {
+		t.Errorf("SDG did not scale: %f -> %f", sdg[1], sdg[4])
+	}
+	if spark[4] < spark[1] {
+		t.Errorf("Spark did not scale: %f -> %f", spark[1], spark[4])
+	}
+	if sdg[4] < spark[4]*0.8 {
+		t.Errorf("SDG (%f) should be at least comparable to Spark (%f)", sdg[4], spark[4])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, _, err := Fig11(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(size int64, m, n int) time.Duration {
+		for _, r := range rows {
+			if r.StateBytes == size && r.M == m && r.N == n {
+				return r.Recovery
+			}
+		}
+		t.Fatalf("missing %d %d-%d", size, m, n)
+		return 0
+	}
+	large := int64(24 << 20)
+	// 2-to-2 must beat 1-to-1 at the largest state.
+	if get(large, 2, 2) >= get(large, 1, 1) {
+		t.Errorf("2-to-2 (%v) should beat 1-to-1 (%v)", get(large, 2, 2), get(large, 1, 1))
+	}
+	// Recovery time grows with state under the slowest strategy.
+	if get(large, 1, 1) <= get(2<<20, 1, 1) {
+		t.Errorf("1-to-1 recovery should grow with state: %v vs %v",
+			get(2<<20, 1, 1), get(large, 1, 1))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, _, err := Fig12(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := map[string]map[int64]float64{}
+	worst := map[string]map[int64]time.Duration{}
+	for _, r := range rows {
+		if tput[r.Mode] == nil {
+			tput[r.Mode] = map[int64]float64{}
+			worst[r.Mode] = map[int64]time.Duration{}
+		}
+		tput[r.Mode][r.StateBytes] = r.Throughput
+		worst[r.Mode][r.StateBytes] = r.Worst
+	}
+	large := int64(16 << 20)
+	// Async beats sync on throughput and worst-case latency at large state.
+	if tput["async"][large] <= tput["sync"][large] {
+		t.Errorf("async tput %.0f should beat sync %.0f at large state",
+			tput["async"][large], tput["sync"][large])
+	}
+	if worst["async"][large] >= worst["sync"][large] {
+		t.Errorf("async worst-case %v should beat sync %v at large state",
+			worst["async"][large], worst["sync"][large])
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	freqRows, sizeRows, tbl, err := Fig13(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	// No-FT must have the lowest p95 in the frequency sweep.
+	var noFT Fig13Row
+	for _, r := range freqRows {
+		if r.Label == "No FT" {
+			noFT = r
+		}
+	}
+	for _, r := range freqRows {
+		if r.Label == "No FT" {
+			continue
+		}
+		if r.Latency.P95 < noFT.Latency.P95/4 {
+			t.Errorf("checkpointing at %s has implausibly lower p95 than No FT", r.Label)
+		}
+	}
+	if len(sizeRows) < 3 {
+		t.Fatalf("size rows = %d", len(sizeRows))
+	}
+	// Checkpointing the largest state must produce worst-case stalls far
+	// beyond the typical tail (merge locks + disk writes). The No-FT
+	// baseline's own maximum is too noisy on a shared host to compare
+	// against directly (a single scheduler hiccup dominates it), so the
+	// assertion is against the run's own distribution.
+	largest := sizeRows[len(sizeRows)-1]
+	if largest.Worst < time.Millisecond {
+		t.Errorf("largest-state worst %v should show millisecond-scale checkpoint stalls", largest.Worst)
+	}
+	if largest.Latency.P95 > 0 && largest.Worst < 2*largest.Latency.P95 {
+		t.Errorf("largest-state worst %v should clearly exceed its p95 %v",
+			largest.Worst, largest.Latency.P95)
+	}
+}
+
+func TestRunnerKnowsAllExperiments(t *testing.T) {
+	r := &Runner{Scale: tiny, Out: discard{}}
+	if err := r.Run("0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("nope"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+	if len(Known) != 10 {
+		t.Fatalf("Known = %v", Known)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestFig10Shape(t *testing.T) {
+	series, events, tbl, err := Fig10(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	// Both scaling actions must have fired on the update TE.
+	if len(events) < 2 {
+		t.Fatalf("scale events = %+v, want 2 (bottleneck + straggler mitigation)", events)
+	}
+	for _, e := range events {
+		if e.TE != "updateCoOcc" {
+			t.Errorf("scaled %q, want updateCoOcc", e.TE)
+		}
+	}
+	// The paper's staircase: throughput after the final scale-up must
+	// clearly beat the single-instance phase.
+	avg := func(points []Fig10Point, inst int) (float64, int) {
+		sum, n := 0.0, 0
+		for _, p := range points {
+			if p.Nodes == inst {
+				sum += p.Throughput
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return sum / float64(n), n
+	}
+	phase1, n1 := avg(series, 1)
+	phase3, n3 := avg(series, 3)
+	if n1 == 0 || n3 == 0 {
+		t.Fatalf("missing phases: %d one-instance samples, %d three-instance samples", n1, n3)
+	}
+	if phase3 < phase1*1.5 {
+		t.Errorf("straggler mitigation gain too small: %.0f -> %.0f updates/s", phase1, phase3)
+	}
+}

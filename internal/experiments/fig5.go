@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps/cf"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig5Row is one read/write-ratio point of the CF experiment.
+type Fig5Row struct {
+	Ratio      string // read:write
+	ReadFrac   float64
+	Throughput float64 // requests/s (reads + writes)
+	Latency    metrics.Candlestick
+}
+
+// Fig5 reproduces Fig. 5: online collaborative filtering throughput and
+// getRec latency across read/write ratios {1:5, 1:2, 1:1, 2:1, 5:1}. The
+// paper observes 10-14k requests/s, with throughput decreasing as the read
+// share grows "due to the cost of the synchronisation barrier that
+// aggregates the partial state".
+func Fig5(scale Scale) ([]Fig5Row, *Table, error) {
+	ratios := []struct {
+		name     string
+		readFrac float64
+	}{
+		{"1:5", 1.0 / 6.0},
+		{"1:2", 1.0 / 3.0},
+		{"1:1", 0.5},
+		{"2:1", 2.0 / 3.0},
+		{"5:1", 5.0 / 6.0},
+	}
+	var rows []Fig5Row
+	for _, r := range ratios {
+		app, err := cf.New(cf.Config{UserPartitions: 2, CoOccReplicas: 2})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Seed the model so reads have work to do.
+		seed := workload.NewRatingGen(42, 2000, 500)
+		for i := 0; i < 3000; i++ {
+			rt := seed.Next()
+			_ = app.AddRating(rt.User, rt.Item, rt.Rating)
+		}
+		app.Runtime().Drain(10 * time.Second)
+
+		var ops atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < scale.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				gen := workload.NewRatingGen(int64(100+c), 2000, 500)
+				rng := gen // reuse its deterministic stream for op choice
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rt := rng.Next()
+					i++
+					if float64(i%6)/6.0 < r.readFrac {
+						if _, err := app.GetRec(rt.User, 5*time.Second); err == nil {
+							ops.Add(1)
+						}
+					} else {
+						if err := app.AddRating(rt.User, rt.Item, rt.Rating); err == nil {
+							ops.Add(1)
+						}
+					}
+				}
+			}(c)
+		}
+		time.Sleep(scale.PointDuration)
+		close(stop)
+		wg.Wait()
+		app.Runtime().Drain(10 * time.Second)
+
+		row := Fig5Row{
+			Ratio:      r.name,
+			ReadFrac:   r.readFrac,
+			Throughput: float64(ops.Load()) / scale.PointDuration.Seconds(),
+			Latency:    app.Runtime().CallLatency.Candlestick(),
+		}
+		rows = append(rows, row)
+		app.Stop()
+	}
+
+	table := &Table{
+		Title:  "Fig 5: CF throughput and latency vs state read/write ratio",
+		Note:   "paper: ~10-14k req/s; throughput dips as reads (merge barrier) dominate",
+		Header: []string{"ratio(r:w)", "tput(req/s)", "lat p5(ms)", "p25", "p50", "p75", "p95"},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Ratio, f0(r.Throughput),
+			ms(r.Latency.P5), ms(r.Latency.P25), ms(r.Latency.P50), ms(r.Latency.P75), ms(r.Latency.P95),
+		})
+	}
+	return rows, table, nil
+}

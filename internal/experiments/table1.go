@@ -1,0 +1,34 @@
+package experiments
+
+// Table1 reproduces the paper's design-space taxonomy of data-parallel
+// processing frameworks (Table 1). It is static by nature: the rows
+// classify systems along the axes the paper argues SDGs uniquely combine —
+// explicit large mutable state, fine-grained updates, pipelined low-latency
+// execution, iteration, and asynchronous local checkpoints.
+func Table1() *Table {
+	return &Table{
+		Title: "Table 1: Design space of data-parallel processing frameworks",
+		Note:  "reproduced from the paper; the SDG row is what this repository implements",
+		Header: []string{
+			"Model", "System", "Programming", "State repr.", "Large state",
+			"Fine-grained", "Execution", "Low latency", "Iteration", "Failure recovery",
+		},
+		Rows: [][]string{
+			{"Stateless dataflow", "MapReduce", "map/reduce", "as data", "n/a", "no", "scheduled", "no", "no", "recompute"},
+			{"Stateless dataflow", "DryadLINQ", "functional", "as data", "n/a", "no", "scheduled", "no", "yes", "recompute"},
+			{"Stateless dataflow", "Spark", "functional", "as data", "n/a", "no", "hybrid", "no", "yes", "recompute"},
+			{"Stateless dataflow", "CIEL", "imperative", "as data", "n/a", "no", "scheduled", "no", "yes", "recompute"},
+			{"Incremental dataflow", "HaLoop", "map/reduce", "cache", "yes", "no", "scheduled", "no", "yes", "recompute"},
+			{"Incremental dataflow", "Incoop", "map/reduce", "cache", "yes", "no", "scheduled", "no", "no", "recompute"},
+			{"Incremental dataflow", "Nectar", "functional", "cache", "yes", "no", "scheduled", "no", "no", "recompute"},
+			{"Incremental dataflow", "CBP", "dataflow", "loopback", "yes", "yes", "scheduled", "no", "no", "recompute"},
+			{"Batched dataflow", "Comet", "functional", "as data", "n/a", "no", "scheduled", "yes", "no", "recompute"},
+			{"Batched dataflow", "D-Streams", "functional", "as data", "n/a", "no", "hybrid", "yes", "yes", "recompute"},
+			{"Batched dataflow", "Naiad", "dataflow", "explicit", "no", "yes", "hybrid", "yes", "yes", "sync. global checkpoints"},
+			{"Continuous dataflow", "Storm, S4", "dataflow", "as data", "n/a", "no", "pipelined", "yes", "no", "recompute"},
+			{"Continuous dataflow", "SEEP", "dataflow", "explicit", "no", "yes", "pipelined", "yes", "no", "sync. local checkpoints"},
+			{"Parallel in-memory", "Piccolo", "imperative", "explicit", "yes", "yes", "n/a", "yes", "yes", "async. global checkpoints"},
+			{"Stateful dataflow", "SDG (this repo)", "imperative", "explicit", "yes", "yes", "pipelined", "yes", "yes", "async. local checkpoints"},
+		},
+	}
+}

@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i))
+	}
+}
+
+func BenchmarkHistogramCandlestick(b *testing.B) {
+	h := NewHistogram(0)
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Candlestick()
+	}
+}
+
+func BenchmarkMeterMark(b *testing.B) {
+	m := NewMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mark(1)
+	}
+}

@@ -1,0 +1,189 @@
+// Package metrics provides the measurement primitives used by the SDG
+// runtime and the experiment harness: atomic counters, throughput meters,
+// latency histograms with candlestick percentiles (the paper reports the
+// 5th/25th/50th/75th/95th percentiles) and simple time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and reports percentiles. It keeps up to
+// a configurable number of samples using reservoir sampling so memory stays
+// bounded while long experiments run. The zero value is not usable; call
+// NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	cap     int
+	n       int64 // total observations, including evicted ones
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+	rng     uint64 // xorshift state for reservoir eviction
+}
+
+// DefaultHistogramCap bounds the number of retained samples per histogram.
+const DefaultHistogramCap = 1 << 15
+
+// NewHistogram returns a histogram retaining at most capacity samples.
+// If capacity <= 0, DefaultHistogramCap is used.
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = DefaultHistogramCap
+	}
+	return &Histogram{
+		samples: make([]time.Duration, 0, min(capacity, 1024)),
+		cap:     capacity,
+		min:     math.MaxInt64,
+		rng:     0x9e3779b97f4a7c15,
+	}
+}
+
+func (h *Histogram) next() uint64 {
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return h.rng
+}
+
+// Record adds one duration sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if d < h.min {
+		h.min = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+	} else {
+		// Reservoir sampling: replace a random slot with probability cap/n.
+		if idx := h.next() % uint64(h.n); idx < uint64(h.cap) {
+			h.samples[idx] = d
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the total number of recorded samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean reports the mean of all recorded samples (not only retained ones).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Max reports the maximum recorded sample, or 0 if none.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min reports the minimum recorded sample, or 0 if none.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) over retained
+// samples using nearest-rank on a sorted copy.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return percentileLocked(h.samples, p)
+}
+
+func percentileLocked(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Candlestick is the five-number summary the paper's plots use.
+type Candlestick struct {
+	P5, P25, P50, P75, P95 time.Duration
+}
+
+// Candlestick reports the 5th/25th/50th/75th/95th percentiles in one pass.
+func (h *Histogram) Candlestick() Candlestick {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return Candlestick{}
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		return sorted[rank-1]
+	}
+	return Candlestick{P5: at(5), P25: at(25), P50: at(50), P75: at(75), P95: at(95)}
+}
+
+// String renders the candlestick compactly for harness output.
+func (c Candlestick) String() string {
+	return fmt.Sprintf("p5=%v p25=%v p50=%v p75=%v p95=%v", c.P5, c.P25, c.P50, c.P75, c.P95)
+}
+
+// Snapshot returns a copy of the retained samples, for tests and exports.
+func (h *Histogram) Snapshot() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+	h.min = math.MaxInt64
+	h.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Meter measures throughput: events per second since Start (or the last
+// Reset). It is safe for concurrent use.
+type Meter struct {
+	count atomic.Int64
+	start atomic.Int64 // unix nanos
+}
+
+// NewMeter returns a started meter.
+func NewMeter() *Meter {
+	m := &Meter{}
+	m.start.Store(time.Now().UnixNano())
+	return m
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.count.Add(n) }
+
+// Count reports total events marked.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Rate reports events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Duration(time.Now().UnixNano() - m.start.Load())
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / elapsed.Seconds()
+}
+
+// Elapsed reports the time since the meter started.
+func (m *Meter) Elapsed() time.Duration {
+	return time.Duration(time.Now().UnixNano() - m.start.Load())
+}
+
+// Reset zeroes the count and restarts the clock.
+func (m *Meter) Reset() {
+	m.count.Store(0)
+	m.start.Store(time.Now().UnixNano())
+}
+
+// Point is one (time offset, value) sample in a TimeSeries.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// TimeSeries records timestamped values relative to a fixed origin; it backs
+// the straggler-timeline experiment (Fig. 10), which plots throughput and
+// node count over time.
+type TimeSeries struct {
+	mu     sync.Mutex
+	origin time.Time
+	points []Point
+}
+
+// NewTimeSeries returns a series whose offsets are relative to now.
+func NewTimeSeries() *TimeSeries {
+	return &TimeSeries{origin: time.Now()}
+}
+
+// Record appends a sample with the current time offset.
+func (ts *TimeSeries) Record(v float64) {
+	ts.RecordAt(time.Since(ts.origin), v)
+}
+
+// RecordAt appends a sample at an explicit offset.
+func (ts *TimeSeries) RecordAt(at time.Duration, v float64) {
+	ts.mu.Lock()
+	ts.points = append(ts.points, Point{At: at, Value: v})
+	ts.mu.Unlock()
+}
+
+// Points returns a copy of the recorded samples in insertion order.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Len reports the number of samples.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.points)
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := h.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramCandlestick(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	c := h.Candlestick()
+	want := Candlestick{
+		P5:  5 * time.Millisecond,
+		P25: 25 * time.Millisecond,
+		P50: 50 * time.Millisecond,
+		P75: 75 * time.Millisecond,
+		P95: 95 * time.Millisecond,
+	}
+	if c != want {
+		t.Errorf("candlestick = %+v, want %+v", c, want)
+	}
+	if c.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("empty stats should be 0")
+	}
+	if (h.Candlestick() != Candlestick{}) {
+		t.Error("empty candlestick should be zero")
+	}
+}
+
+func TestHistogramMeanMinMax(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(2 * time.Millisecond)
+	h.Record(4 * time.Millisecond)
+	h.Record(6 * time.Millisecond)
+	if got := h.Mean(); got != 4*time.Millisecond {
+		t.Errorf("mean = %v, want 4ms", got)
+	}
+	if got := h.Min(); got != 2*time.Millisecond {
+		t.Errorf("min = %v, want 2ms", got)
+	}
+	if got := h.Max(); got != 6*time.Millisecond {
+		t.Errorf("max = %v, want 6ms", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 10_000; i++ {
+		h.Record(time.Duration(i))
+	}
+	if got := len(h.Snapshot()); got != 64 {
+		t.Errorf("retained %d samples, want 64", got)
+	}
+	if got := h.Count(); got != 10_000 {
+		t.Errorf("count = %d, want 10000", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || len(h.Snapshot()) != 0 {
+		t.Error("reset did not clear samples")
+	}
+	h.Record(2 * time.Second)
+	if h.Min() != 2*time.Second {
+		t.Error("min not reset")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(100)
+	time.Sleep(20 * time.Millisecond)
+	r := m.Rate()
+	if r <= 0 {
+		t.Errorf("rate = %f, want > 0", r)
+	}
+	if m.Count() != 100 {
+		t.Errorf("count = %d, want 100", m.Count())
+	}
+	if m.Elapsed() <= 0 {
+		t.Error("elapsed should be positive")
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.RecordAt(time.Second, 1.0)
+	ts.RecordAt(2*time.Second, 2.0)
+	ts.Record(3.0)
+	pts := ts.Points()
+	if len(pts) != 3 || ts.Len() != 3 {
+		t.Fatalf("len = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 1.0 || pts[1].At != 2*time.Second {
+		t.Errorf("unexpected points: %+v", pts)
+	}
+}

@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// execCtx implements core.Context for one item being processed by one TE
+// instance.
+type execCtx struct {
+	r   *Runtime
+	ti  *teInstance
+	cur *core.Item
+}
+
+var _ core.Context = (*execCtx)(nil)
+
+// Store returns the SE instance colocated with this TE instance (§3.3:
+// state access is always local).
+func (c *execCtx) Store() state.Store {
+	acc := c.ti.te.def.Access
+	if acc == nil {
+		return nil
+	}
+	ss := c.r.ses[acc.SE]
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if c.ti.idx < len(ss.insts) {
+		return ss.insts[c.ti.idx].store
+	}
+	return nil
+}
+
+func (c *execCtx) emit(edge int, key uint64, value any, reqID uint64) {
+	if edge < 0 || edge >= len(c.ti.te.out) {
+		panic(fmt.Sprintf("runtime: TE %q emits on unknown edge %d", c.ti.te.def.Name, edge))
+	}
+	it := core.Item{
+		Origin: c.ti.originID(),
+		Seq:    c.ti.seqCtr.Add(1),
+		Key:    key,
+		ReqID:  reqID,
+		Parts:  c.cur.Parts, // broadcast wave size propagates to the merge
+		Value:  value,
+	}
+	c.ti.outBufs[edge].Append(it)
+	c.r.deliver(c.ti.te.out[edge], it)
+}
+
+// Emit sends a value downstream without request correlation.
+func (c *execCtx) Emit(edge int, key uint64, value any) {
+	c.emit(edge, key, value, 0)
+}
+
+// EmitReq sends a value downstream preserving the request id of the item
+// being processed, so replies and merge barriers can correlate.
+func (c *execCtx) EmitReq(edge int, key uint64, value any) {
+	c.emit(edge, key, value, c.cur.ReqID)
+}
+
+// Reply resolves the external Call that injected the current request.
+func (c *execCtx) Reply(value any) {
+	c.r.resolve(c.cur.ReqID, value)
+}
+
+// Instance reports (index, live instance count) for the executing TE.
+func (c *execCtx) Instance() (int, int) {
+	c.ti.te.mu.RLock()
+	n := len(c.ti.te.insts)
+	c.ti.te.mu.RUnlock()
+	return c.ti.idx, n
+}

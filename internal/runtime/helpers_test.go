@@ -1,0 +1,13 @@
+package runtime
+
+import (
+	"repro/internal/cluster"
+)
+
+type clusterT = cluster.Cluster
+
+// newSlowCluster builds an empty cluster whose nodes get bandwidth-limited
+// disks, so checkpoint timing tests have measurable I/O.
+func newSlowCluster(diskBW int64) *cluster.Cluster {
+	return cluster.New(0, cluster.Config{DiskWriteBW: diskBW, DiskReadBW: diskBW})
+}

@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+)
+
+// Errors returned by the external interface.
+var (
+	ErrNotEntry = errors.New("runtime: TE is not an entry point")
+	ErrTimeout  = errors.New("runtime: call timed out")
+	ErrStopped  = errors.New("runtime: runtime stopped")
+)
+
+// injectTo routes an externally created item to the entry TE's instances,
+// logging it in the source replay buffer when fault tolerance is on. Entry
+// dispatch follows the TE's state access: partitioned access uses the key,
+// anything else load-balances.
+func (r *Runtime) injectTo(ts *teState, it core.Item) {
+	if ts.srcBuf != nil {
+		ts.srcBuf.Append(it)
+	}
+	r.routeToEntry(ts, it)
+}
+
+// routeToEntry dispatches an (already logged) item to an entry instance.
+func (r *Runtime) routeToEntry(ts *teState, it core.Item) {
+	ts.mu.RLock()
+	insts := make([]*teInstance, len(ts.insts))
+	copy(insts, ts.insts)
+	ts.mu.RUnlock()
+	if len(insts) == 0 {
+		return
+	}
+	var target int
+	if ts.def.Access != nil && ts.def.Access.Mode == core.AccessByKey {
+		target = statePartition(it.Key, len(insts))
+	} else {
+		target = int(it.Seq % uint64(len(insts)))
+	}
+	dst := insts[target]
+	if dst.killed.Load() || dst.node.Failed() {
+		return
+	}
+	select {
+	case dst.queue <- it:
+	case <-dst.dead:
+	case <-r.stopped:
+	}
+}
+
+// statePartition mirrors dataflow routing so injection agrees with SE
+// partition placement.
+func statePartition(key uint64, n int) int {
+	router := dataflow.Router{Dispatch: core.DispatchPartitioned}
+	return router.Route(core.Item{Key: key}, n)[0]
+}
+
+// Inject delivers a fire-and-forget item to an entry TE.
+func (r *Runtime) Inject(teName string, key uint64, value any) error {
+	ts, err := r.te(teName)
+	if err != nil {
+		return err
+	}
+	if !ts.def.Entry {
+		return fmt.Errorf("%w: %q", ErrNotEntry, teName)
+	}
+	it := core.Item{Origin: externalOrigin, Seq: r.extSeq.Add(1), Key: key, Value: value}
+	r.injectTo(ts, it)
+	return nil
+}
+
+// Call injects a request item and waits for a Reply from the dataflow,
+// recording the round-trip latency. It is the client path for
+// request/reply workflows such as getRec in the CF application.
+func (r *Runtime) Call(teName string, key uint64, value any, timeout time.Duration) (any, error) {
+	ts, err := r.te(teName)
+	if err != nil {
+		return nil, err
+	}
+	if !ts.def.Entry {
+		return nil, fmt.Errorf("%w: %q", ErrNotEntry, teName)
+	}
+	reqID := r.reqSeq.Add(1)
+	ch := make(chan any, 1)
+	r.replyMu.Lock()
+	r.replies[reqID] = ch
+	r.replyMu.Unlock()
+	defer func() {
+		r.replyMu.Lock()
+		delete(r.replies, reqID)
+		r.replyMu.Unlock()
+	}()
+
+	start := time.Now()
+	it := core.Item{
+		Origin: externalOrigin,
+		Seq:    r.extSeq.Add(1),
+		Key:    key,
+		ReqID:  reqID,
+		Value:  value,
+	}
+	r.injectTo(ts, it)
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		r.CallLatency.Record(time.Since(start))
+		return v, nil
+	case <-timer.C:
+		return nil, ErrTimeout
+	case <-r.stopped:
+		return nil, ErrStopped
+	}
+}
+
+// resolve delivers a reply to a waiting Call; late or duplicate replies
+// (e.g. regenerated during replay) are dropped.
+func (r *Runtime) resolve(reqID uint64, value any) {
+	if reqID == 0 {
+		return
+	}
+	r.replyMu.Lock()
+	ch, ok := r.replies[reqID]
+	r.replyMu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case ch <- value:
+	default:
+	}
+}

@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+)
+
+// KillNode fails a cluster node: its TE instances stop consuming, items
+// routed to them are dropped (to be replayed after recovery), and its SE
+// instances become unreachable. This is the failure-injection entry point
+// for the recovery experiments (§6.4).
+func (r *Runtime) KillNode(nodeID int) {
+	node := r.cl.Node(nodeID)
+	node.Fail()
+	for _, ts := range r.tes {
+		ts.mu.Lock()
+		for _, ti := range ts.insts {
+			if ti.node.ID == nodeID && !ti.killed.Swap(true) {
+				close(ti.dead)
+			}
+		}
+		ts.mu.Unlock()
+	}
+}
+
+// RecoveryStats reports the phases of one recovery (Fig. 11 measures their
+// sum: "the time to restore the lost SE, re-process unprocessed data and
+// resume processing").
+type RecoveryStats struct {
+	Restore  time.Duration // m-to-n chunk fetch + state reconstruction
+	Replay   time.Duration // re-delivery of logged items
+	Total    time.Duration
+	Replayed int // items re-delivered from upstream and own buffers
+	NewNodes int
+}
+
+// Recover restores the failed instance of the named SE onto n fresh nodes
+// using the latest checkpoint, recreates the colocated TE instances,
+// replays the logged dataflows and resumes processing.
+//
+// Restoring one failed instance to n > 1 new instances (the paper's 1-to-n
+// pattern, Fig. 4) is supported when the SE had a single instance; an SE
+// with several instances recovers the failed one in place (n == 1).
+func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
+	start := time.Now()
+	ss, err := r.se(seName)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	if r.bk == nil {
+		return RecoveryStats{}, fmt.Errorf("runtime: no backup store configured")
+	}
+
+	ss.mu.Lock()
+	failedIdx := -1
+	for i, si := range ss.insts {
+		if si.node.Failed() {
+			failedIdx = i
+			break
+		}
+	}
+	if failedIdx < 0 {
+		ss.mu.Unlock()
+		return RecoveryStats{}, fmt.Errorf("runtime: SE %q has no failed instance", seName)
+	}
+	prior := len(ss.insts)
+	if n < 1 {
+		n = 1
+	}
+	if n > 1 && prior > 1 {
+		ss.mu.Unlock()
+		return RecoveryStats{}, fmt.Errorf("runtime: SE %q has %d instances; 1-to-n restore requires a single instance", seName, prior)
+	}
+	failed := ss.insts[failedIdx]
+	ss.mu.Unlock()
+
+	// Phase 1: m-to-n restore (Fig. 4 R1-R2), reconstruction in parallel.
+	restoreStart := time.Now()
+	groups, meta, err := r.bk.Restore(failed.instName(), n)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	newNodes := make([]*cluster.Node, n)
+	newInsts := make([]*seInstance, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			node := r.cl.AddNode()
+			store, err := checkpoint.RestoreInstance(meta, groups[j])
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			idx := failedIdx
+			if n > 1 {
+				idx = j
+			}
+			newNodes[j] = node
+			newInsts[j] = &seInstance{se: ss, idx: idx, node: node, store: store}
+			newInsts[j].epoch.Store(meta.Epoch)
+		}(j)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return RecoveryStats{}, e
+		}
+	}
+	restoreDur := time.Since(restoreStart)
+
+	// Swap the SE instances in.
+	ss.mu.Lock()
+	if n == 1 {
+		ss.insts[failedIdx] = newInsts[0]
+	} else {
+		ss.insts = newInsts
+	}
+	ss.mu.Unlock()
+
+	// Phase 2: recreate the colocated TE instances with restored recovery
+	// state (dedup watermarks, seq counters), then start their workers.
+	accessing := r.graph.TEsAccessing(ss.def.ID)
+	for _, teID := range accessing {
+		ts := r.tes[teID]
+		var started []*teInstance
+		ts.mu.Lock()
+		if n == 1 {
+			ti := r.newInstance(ts, failedIdx, newNodes[0])
+			restoreTE(ti, meta, teID, true)
+			ts.insts[failedIdx] = ti
+			started = append(started, ti)
+		} else {
+			insts := make([]*teInstance, n)
+			for j := 0; j < n; j++ {
+				ti := r.newInstance(ts, j, newNodes[j])
+				// The instance re-using the failed instance's index inherits
+				// its origin identity and must continue its seq numbering;
+				// fresh instances start clean.
+				restoreTE(ti, meta, teID, j == failedIdx)
+				insts[j] = ti
+			}
+			ts.insts = insts
+			started = append(started, insts...)
+		}
+		// Checkpoint watermark bookkeeping restarts for the new layout.
+		ts.ckptWM = nil
+		ts.mu.Unlock()
+		for _, ti := range started {
+			r.startWorker(ti)
+		}
+	}
+
+	// Restart the checkpoint loops for the restored instances.
+	if r.opts.Mode != checkpoint.ModeOff {
+		for _, si := range newInsts {
+			r.startCheckpointLoop(si)
+		}
+	}
+
+	// Phase 3: replay. First the failed node's own logged output (recovered
+	// from the checkpoint), then the upstream replay logs; receivers dedup.
+	replayStart := time.Now()
+	replayed := 0
+	for _, teID := range accessing {
+		ts := r.tes[teID]
+		for edgeIdx, bufs := range meta.Buffered[teID] {
+			if edgeIdx >= len(ts.out) {
+				break
+			}
+			for _, it := range bufs {
+				r.deliver(ts.out[edgeIdx], it)
+				replayed++
+			}
+		}
+		replayed += r.replayInto(ts)
+	}
+	replayDur := time.Since(replayStart)
+
+	return RecoveryStats{
+		Restore:  restoreDur,
+		Replay:   replayDur,
+		Total:    time.Since(start),
+		Replayed: replayed,
+		NewNodes: n,
+	}, nil
+}
+
+// restoreTE initialises a replacement TE instance from checkpoint metadata.
+// withIdentity restores the dedup watermarks and output seq counter (for
+// the instance that inherits the failed instance's origin); other instances
+// still restore watermarks so replayed duplicates covered by the snapshot
+// are filtered.
+func restoreTE(ti *teInstance, meta checkpoint.Meta, teID int, withIdentity bool) {
+	if wm, ok := meta.Watermarks[teID]; ok {
+		ti.dedup.Restore(wm)
+	}
+	if withIdentity {
+		if seq, ok := meta.OutSeqs[teID]; ok {
+			ti.seqCtr.Store(seq)
+		}
+		if bufs, ok := meta.Buffered[teID]; ok {
+			for edgeIdx, items := range bufs {
+				if edgeIdx >= len(ti.outBufs) {
+					break
+				}
+				for _, it := range items {
+					ti.outBufs[edgeIdx].Append(it)
+				}
+			}
+		}
+	}
+}
+
+// replayInto re-delivers every upstream replay-log item on edges feeding
+// the TE. Routing recomputes with the current instance count, so items land
+// on the right (possibly re-partitioned) instances; dedup filters items the
+// restored checkpoint already covers and items surviving instances have
+// processed.
+func (r *Runtime) replayInto(ts *teState) int {
+	replayed := 0
+	if ts.srcBuf != nil {
+		for _, it := range ts.srcBuf.Replay() {
+			r.routeToEntry(ts, it)
+			replayed++
+		}
+	}
+	for _, e := range r.graph.InEdges(ts.def.ID) {
+		from := r.tes[e.From]
+		edgeIdx := -1
+		for i, oe := range from.out {
+			if oe.def == e {
+				edgeIdx = i
+				break
+			}
+		}
+		if edgeIdx < 0 {
+			continue
+		}
+		from.mu.RLock()
+		ups := make([]*teInstance, len(from.insts))
+		copy(ups, from.insts)
+		from.mu.RUnlock()
+		for _, up := range ups {
+			if up.killed.Load() {
+				continue
+			}
+			for _, it := range up.outBufs[edgeIdx].Replay() {
+				r.deliver(from.out[edgeIdx], it)
+				replayed++
+			}
+		}
+	}
+	return replayed
+}
+
+// Drain blocks until all instance queues are empty and processing has
+// quiesced, or the timeout elapses. Experiments use it to measure full
+// recovery (including re-processing).
+func (r *Runtime) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.quiet() {
+			// Double-check after a settle delay: emissions may be in flight.
+			time.Sleep(2 * time.Millisecond)
+			if r.quiet() {
+				return true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+func (r *Runtime) quiet() bool {
+	for _, ts := range r.tes {
+		ts.mu.RLock()
+		for _, ti := range ts.insts {
+			if !ti.killed.Load() && len(ti.queue) > 0 {
+				ts.mu.RUnlock()
+				return false
+			}
+		}
+		ts.mu.RUnlock()
+	}
+	return true
+}

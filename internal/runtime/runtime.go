@@ -1,0 +1,446 @@
+// Package runtime executes stateful dataflow graphs (§3.3): it materialises
+// the whole SDG (no task scheduler), pins TE and SE instances to simulated
+// cluster nodes following the four-step allocator, pipelines items through
+// per-instance queues with backpressure, enforces the dispatching semantics
+// of §4.2, runs the checkpointing loops of §5, recovers failed nodes with
+// m-to-n restores plus upstream replay, and reacts to bottlenecks and
+// stragglers by growing TE/SE instances at runtime (§3.3, Fig. 10).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+// externalOrigin identifies items injected from outside the SDG.
+const externalOrigin = ^uint64(0)
+
+// Options configures a deployment.
+type Options struct {
+	// Cluster supplies the nodes; a fresh unbounded-disk cluster is created
+	// when nil.
+	Cluster *cluster.Cluster
+	// QueueLen bounds each instance's inbound queue (default 1024).
+	QueueLen int
+	// Partitions sets the initial instance count per SE name (default 1).
+	// TEs accessing an SE always have exactly as many instances as the SE.
+	Partitions map[string]int
+	// Checkpointing.
+	Mode     checkpoint.Mode
+	Interval time.Duration // checkpoint period (default 10s, as in §6)
+	Chunks   int           // chunks per checkpoint = backup parallelism m (default 2)
+	Backup   *checkpoint.Backup
+	// BackupNodes is the number of backup nodes to provision when Backup is
+	// nil (default 2).
+	BackupNodes int
+	// WireCheck round-trips every delivered payload through gob, verifying
+	// the location-independence restriction of §4.1 ("each object accessed
+	// in the program must support transparent serialisation"): a payload
+	// that cannot cross a real wire fails loudly instead of silently
+	// sharing memory.
+	WireCheck bool
+}
+
+func (o *Options) defaults() {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Second
+	}
+	if o.Chunks <= 0 {
+		o.Chunks = 2
+	}
+	if o.BackupNodes <= 0 {
+		o.BackupNodes = 2
+	}
+}
+
+// Runtime is a deployed SDG.
+type Runtime struct {
+	graph *core.Graph
+	opts  Options
+	cl    *cluster.Cluster
+	bk    *checkpoint.Backup
+
+	tes []*teState
+	ses []*seState
+
+	pmu     sync.Mutex
+	pauseMu map[int]*sync.RWMutex // per node: held (R) while processing
+
+	reqSeq  atomic.Uint64 // request ids for Call
+	extSeq  atomic.Uint64 // seq numbers for externally injected items
+	replyMu sync.Mutex
+	replies map[uint64]chan any
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	// Latency of Call round trips, recorded centrally for experiments.
+	CallLatency *metrics.Histogram
+}
+
+// teState tracks one task element and its live instances.
+type teState struct {
+	def      *core.TE
+	mu       sync.RWMutex
+	insts    []*teInstance
+	out      []*edgeRT
+	hasInAll bool                      // any inbound all-to-one edge => gather barrier
+	ckptWM   map[int]map[uint64]uint64 // instance idx -> last checkpointed watermarks
+	// srcBuf logs externally injected items for entry TEs so post-checkpoint
+	// inputs replay after failures; nil when fault tolerance is off.
+	srcBuf *dataflow.OutputBuffer
+}
+
+// edgeRT is a dataflow edge prepared for dispatch.
+type edgeRT struct {
+	def    *core.Edge
+	router *dataflow.Router
+	to     *teState
+}
+
+// teInstance is one pipelined worker (§3.1: TEs are materialised, not
+// scheduled).
+type teInstance struct {
+	te   *teState
+	idx  int
+	node *cluster.Node
+
+	queue   chan core.Item
+	dead    chan struct{}
+	dedup   *dataflow.Dedup
+	gather  *dataflow.Gather
+	outBufs []*dataflow.OutputBuffer
+	seqCtr  atomic.Uint64
+
+	processed atomic.Int64
+	killed    atomic.Bool
+}
+
+// originID identifies the instance as an item origin: TE id in the high
+// bits, instance index in the low bits. Replacement instances reuse the
+// identity so dedup works across recoveries.
+func (ti *teInstance) originID() uint64 {
+	return uint64(ti.te.def.ID)<<32 | uint64(ti.idx)
+}
+
+// seState tracks one state element and its live instances.
+type seState struct {
+	def   *core.SE
+	mu    sync.RWMutex
+	insts []*seInstance
+}
+
+// seInstance is one SE partition or partial replica, colocated with the
+// TE instances of the same index.
+type seInstance struct {
+	se    *seState
+	idx   int
+	node  *cluster.Node
+	store state.Store
+	epoch atomic.Uint64
+}
+
+// instName is the durable identity of an SE instance for the backup store.
+func (si *seInstance) instName() string {
+	return fmt.Sprintf("%s/%d", si.se.def.Name, si.idx)
+}
+
+// Deploy validates the graph, allocates it to nodes and starts all workers.
+func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	cl := opts.Cluster
+	if cl == nil {
+		cl = cluster.New(0, cluster.Config{})
+	}
+	r := &Runtime{
+		graph:       g,
+		opts:        opts,
+		cl:          cl,
+		replies:     make(map[uint64]chan any),
+		stopped:     make(chan struct{}),
+		pauseMu:     make(map[int]*sync.RWMutex),
+		CallLatency: metrics.NewHistogram(0),
+	}
+
+	// Backup store for checkpoints.
+	if opts.Backup != nil {
+		r.bk = opts.Backup
+	} else if opts.Mode != checkpoint.ModeOff {
+		targets := make([]*cluster.Node, opts.BackupNodes)
+		for i := range targets {
+			targets[i] = cl.AddNode()
+		}
+		r.bk = checkpoint.NewBackup(cl, targets)
+	}
+
+	// Allocation per §3.3; nodes are created on demand to honour it.
+	alloc := g.Allocate()
+	nodeOf := make(map[int]*cluster.Node) // allocation node id -> cluster node
+	getNode := func(allocID int) *cluster.Node {
+		if n, ok := nodeOf[allocID]; ok {
+			return n
+		}
+		n := cl.AddNode()
+		nodeOf[allocID] = n
+		return n
+	}
+
+	// Build SE states.
+	for _, se := range g.SEs {
+		r.ses = append(r.ses, &seState{def: se})
+	}
+	// Build TE states and edges.
+	for _, te := range g.TEs {
+		ts := &teState{def: te}
+		for _, e := range g.InEdges(te.ID) {
+			if e.Dispatch == core.DispatchAllToOne {
+				ts.hasInAll = true
+			}
+		}
+		if te.Entry && opts.Mode != checkpoint.ModeOff {
+			ts.srcBuf = &dataflow.OutputBuffer{}
+		}
+		r.tes = append(r.tes, ts)
+	}
+	for _, ts := range r.tes {
+		for _, e := range r.graph.OutEdges(ts.def.ID) {
+			ts.out = append(ts.out, &edgeRT{
+				def:    e,
+				router: &dataflow.Router{Dispatch: e.Dispatch},
+				to:     r.tes[e.To],
+			})
+		}
+	}
+
+	// Instantiate SEs with their initial partition counts, then TEs
+	// colocated with them.
+	for _, ss := range r.ses {
+		n := 1
+		if opts.Partitions != nil {
+			if p, ok := opts.Partitions[ss.def.Name]; ok && p > 0 {
+				n = p
+			}
+		}
+		base := getNode(alloc.SENode[ss.def.ID])
+		for i := 0; i < n; i++ {
+			node := base
+			if i > 0 {
+				// Additional partitions/replicas each get their own node,
+				// mirroring distributed SEs spanning nodes (§3.2).
+				node = cl.AddNode()
+			}
+			store, err := ss.def.NewStore()
+			if err != nil {
+				return nil, err
+			}
+			ss.insts = append(ss.insts, &seInstance{se: ss, idx: i, node: node, store: store})
+		}
+	}
+	for _, ts := range r.tes {
+		n := 1
+		var colocate *seState
+		if ts.def.Access != nil {
+			colocate = r.ses[ts.def.Access.SE]
+			n = len(colocate.insts)
+		}
+		for i := 0; i < n; i++ {
+			var node *cluster.Node
+			if colocate != nil {
+				node = colocate.insts[i].node
+			} else {
+				node = getNode(alloc.TENode[ts.def.ID])
+			}
+			ti := r.newInstance(ts, i, node)
+			ts.insts = append(ts.insts, ti)
+		}
+	}
+
+	// Start workers and checkpoint loops.
+	for _, ts := range r.tes {
+		for _, ti := range ts.insts {
+			r.startWorker(ti)
+		}
+	}
+	if r.opts.Mode != checkpoint.ModeOff {
+		for _, ss := range r.ses {
+			for _, si := range ss.insts {
+				r.startCheckpointLoop(si)
+			}
+		}
+	}
+	return r, nil
+}
+
+// newInstance builds (but does not start) a TE instance on a node.
+func (r *Runtime) newInstance(ts *teState, idx int, node *cluster.Node) *teInstance {
+	ti := &teInstance{
+		te:      ts,
+		idx:     idx,
+		node:    node,
+		queue:   make(chan core.Item, r.opts.QueueLen),
+		dead:    make(chan struct{}),
+		dedup:   dataflow.NewDedup(),
+		outBufs: make([]*dataflow.OutputBuffer, len(ts.out)),
+	}
+	for i := range ti.outBufs {
+		ti.outBufs[i] = &dataflow.OutputBuffer{}
+	}
+	if ts.hasInAll {
+		ti.gather = dataflow.NewGather()
+	}
+	return ti
+}
+
+// startWorker launches the pipelined processing loop of one TE instance.
+func (r *Runtime) startWorker(ti *teInstance) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		pause := r.pauseFor(ti.node)
+		for {
+			select {
+			case <-r.stopped:
+				return
+			case <-ti.dead:
+				return
+			case it := <-ti.queue:
+				// A paused node (sync checkpoint) blocks here.
+				pause.RLock()
+				r.process(ti, it)
+				pause.RUnlock()
+			}
+		}
+	}()
+}
+
+func (r *Runtime) pauseFor(node *cluster.Node) *sync.RWMutex {
+	r.pmu.Lock()
+	mu, ok := r.pauseMu[node.ID]
+	if !ok {
+		mu = &sync.RWMutex{}
+		r.pauseMu[node.ID] = mu
+	}
+	r.pmu.Unlock()
+	return mu
+}
+
+// process runs one item through the TE's function, honouring dedup and
+// all-to-one gather barriers.
+func (r *Runtime) process(ti *teInstance, it core.Item) {
+	if !ti.dedup.Fresh(it) {
+		return
+	}
+	if ti.gather != nil {
+		coll, done := ti.gather.Add(it)
+		if !done {
+			return
+		}
+		it.Value = coll
+	}
+	ti.node.Penalize()
+	ctx := &execCtx{r: r, ti: ti, cur: &it}
+	ti.te.def.Fn(ctx, it)
+	ti.processed.Add(1)
+}
+
+// deliver routes an item over an edge to the downstream instances.
+func (r *Runtime) deliver(e *edgeRT, it core.Item) {
+	e.to.mu.RLock()
+	insts := make([]*teInstance, len(e.to.insts))
+	copy(insts, e.to.insts)
+	e.to.mu.RUnlock()
+	if len(insts) == 0 {
+		return
+	}
+	if r.opts.WireCheck && it.Value != nil {
+		v, err := wireRoundTrip(it.Value)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: payload %T violates location independence: %v", it.Value, err))
+		}
+		it.Value = v
+	}
+	if e.def.Dispatch == core.DispatchOneToAll {
+		// The broadcast wave fixes the collection size for a later merge.
+		it.Parts = len(insts)
+	}
+	targets := e.router.Route(it, len(insts))
+	if e.def.Dispatch == core.DispatchOneToAny && len(insts) > 1 {
+		// "Dispatched to an arbitrary instance ... for load-balancing"
+		// (§3.1): route to the least-loaded live instance, so stragglers
+		// absorb only what they can process instead of capping the whole
+		// pipeline at n x the slowest rate.
+		best, bestLen := -1, 0
+		for i, dst := range insts {
+			if dst.killed.Load() || dst.node.Failed() {
+				continue
+			}
+			if q := len(dst.queue); best < 0 || q < bestLen {
+				best, bestLen = i, q
+			}
+		}
+		if best >= 0 {
+			targets = targets[:0]
+			targets = append(targets, best)
+		}
+	}
+	for _, t := range targets {
+		dst := insts[t]
+		if dst.killed.Load() || dst.node.Failed() {
+			// Dropped; upstream buffers replay it after recovery.
+			continue
+		}
+		select {
+		case dst.queue <- it:
+		case <-dst.dead:
+		case <-r.stopped:
+		}
+	}
+}
+
+// te looks a TE up by name.
+func (r *Runtime) te(name string) (*teState, error) {
+	for _, ts := range r.tes {
+		if ts.def.Name == name {
+			return ts, nil
+		}
+	}
+	return nil, fmt.Errorf("runtime: unknown TE %q", name)
+}
+
+// se looks an SE up by name.
+func (r *Runtime) se(name string) (*seState, error) {
+	for _, ss := range r.ses {
+		if ss.def.Name == name {
+			return ss, nil
+		}
+	}
+	return nil, fmt.Errorf("runtime: unknown SE %q", name)
+}
+
+// Cluster exposes the underlying simulated cluster.
+func (r *Runtime) Cluster() *cluster.Cluster { return r.cl }
+
+// Backup exposes the checkpoint store (nil when fault tolerance is off).
+func (r *Runtime) Backup() *checkpoint.Backup { return r.bk }
+
+// Stop terminates all workers and loops. It is idempotent.
+func (r *Runtime) Stop() {
+	r.stopOnce.Do(func() { close(r.stopped) })
+	r.wg.Wait()
+}

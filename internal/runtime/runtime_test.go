@@ -1,0 +1,652 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+func init() {
+	gob.Register([]byte{})
+}
+
+const testTimeout = 5 * time.Second
+
+// echoGraph: a single stateless entry TE that replies with its input.
+func echoGraph() *core.Graph {
+	g := core.NewGraph("echo")
+	g.AddTE("echo", func(ctx core.Context, it core.Item) {
+		ctx.Reply(it.Value)
+	}, nil, true)
+	return g
+}
+
+// kvGraph: the partitioned key/value store used across the evaluation.
+// Two entry TEs (put, get) access a partitioned KVMap by key.
+func kvGraph() *core.Graph {
+	g := core.NewGraph("kv")
+	se := g.AddSE("store", core.KindPartitioned, state.TypeKVMap, nil)
+	g.AddTE("put", func(ctx core.Context, it core.Item) {
+		kv := ctx.Store().(*state.KVMap)
+		kv.Put(it.Key, it.Value.([]byte))
+		ctx.Reply(true)
+	}, &core.Access{SE: se, Mode: core.AccessByKey}, true)
+	g.AddTE("get", func(ctx core.Context, it core.Item) {
+		kv := ctx.Store().(*state.KVMap)
+		v, ok := kv.Get(it.Key)
+		if !ok {
+			ctx.Reply(nil)
+			return
+		}
+		ctx.Reply(v)
+	}, &core.Access{SE: se, Mode: core.AccessByKey}, true)
+	return g
+}
+
+// partialGraph: partial state with local updates, global reads and a merge
+// barrier — the structural skeleton of the CF algorithm.
+//
+//	upd (entry, local acc) ──────────────────────────┐
+//	ask (entry) ──one-to-all──> read (global acc) ──all-to-one──> merge
+func partialGraph() *core.Graph {
+	g := core.NewGraph("partial")
+	se := g.AddSE("acc", core.KindPartial, state.TypeKVMap, nil)
+	g.AddTE("upd", func(ctx core.Context, it core.Item) {
+		kv := ctx.Store().(*state.KVMap)
+		var cur uint64
+		if v, ok := kv.Get(0); ok {
+			cur = binary.LittleEndian.Uint64(v)
+		}
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, cur+1)
+		kv.Put(0, buf)
+	}, &core.Access{SE: se, Mode: core.AccessLocal}, true)
+
+	ask := g.AddTE("ask", func(ctx core.Context, it core.Item) {
+		ctx.EmitReq(0, it.Key, it.Value)
+	}, nil, true)
+	read := g.AddTE("read", func(ctx core.Context, it core.Item) {
+		kv := ctx.Store().(*state.KVMap)
+		var cur uint64
+		if v, ok := kv.Get(0); ok {
+			cur = binary.LittleEndian.Uint64(v)
+		}
+		ctx.EmitReq(0, 0, cur)
+	}, &core.Access{SE: se, Mode: core.AccessGlobal}, false)
+	merge := g.AddTE("merge", func(ctx core.Context, it core.Item) {
+		coll := it.Value.(core.Collection)
+		var total uint64
+		for _, v := range coll {
+			total += v.(uint64)
+		}
+		ctx.Reply(total)
+	}, nil, false)
+
+	g.Connect(ask, read, core.DispatchOneToAll)
+	g.Connect(read, merge, core.DispatchAllToOne)
+	return g
+}
+
+func TestEchoCall(t *testing.T) {
+	r, err := Deploy(echoGraph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	got, err := r.Call("echo", 0, []byte("hi"), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.([]byte)) != "hi" {
+		t.Fatalf("echo = %q", got)
+	}
+	if r.CallLatency.Count() != 1 {
+		t.Error("call latency not recorded")
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	g := core.NewGraph("g")
+	g.AddTE("entry", func(ctx core.Context, it core.Item) {
+		ctx.Emit(0, 0, it.Value)
+	}, nil, true)
+	g.AddTE("inner", func(ctx core.Context, it core.Item) {}, nil, false)
+	g.Connect(0, 1, core.DispatchOneToAny)
+	r, err := Deploy(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Inject("missing", 0, nil); err == nil {
+		t.Error("inject to unknown TE should fail")
+	}
+	if err := r.Inject("inner", 0, nil); err == nil {
+		t.Error("inject to non-entry TE should fail")
+	}
+	if _, err := r.Call("inner", 0, nil, time.Second); err == nil {
+		t.Error("call to non-entry TE should fail")
+	}
+}
+
+func TestDeployRejectsInvalidGraph(t *testing.T) {
+	if _, err := Deploy(core.NewGraph("empty"), Options{}); err == nil {
+		t.Fatal("empty graph should not deploy")
+	}
+}
+
+func TestKVPutGet(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{Partitions: map[string]int{"store": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if got := r.StateInstances("store"); got != 4 {
+		t.Fatalf("store instances = %d", got)
+	}
+	for k := uint64(0); k < 100; k++ {
+		val := []byte(fmt.Sprintf("v%d", k))
+		if _, err := r.Call("put", k, val, testTimeout); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 100; k++ {
+		got, err := r.Call("get", k, nil, testTimeout)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if want := fmt.Sprintf("v%d", k); string(got.([]byte)) != want {
+			t.Fatalf("get %d = %q, want %q", k, got, want)
+		}
+	}
+	// Keys must land in their hash partition (state locality, §3.2).
+	total := 0
+	for i := 0; i < 4; i++ {
+		st, err := r.StateStore("store", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv := st.(*state.KVMap)
+		total += kv.NumEntries()
+		kv.ForEach(func(k uint64, _ []byte) bool {
+			if state.PartitionKey(k, 4) != i {
+				t.Errorf("key %d on wrong partition %d", k, i)
+				return false
+			}
+			return true
+		})
+	}
+	if total != 100 {
+		t.Fatalf("partitions hold %d keys, want 100", total)
+	}
+}
+
+func TestPartialGlobalMerge(t *testing.T) {
+	r, err := Deploy(partialGraph(), Options{Partitions: map[string]int{"acc": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	const updates = 90
+	for i := 0; i < updates; i++ {
+		if err := r.Inject("upd", uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain")
+	}
+	got, err := r.Call("ask", 0, nil, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates are spread one-to-any over 3 replicas; the merged global sum
+	// must equal the injected count regardless of the spread.
+	if got.(uint64) != updates {
+		t.Fatalf("merged total = %d, want %d", got, updates)
+	}
+	if r.Instances("read") != 3 {
+		t.Fatalf("read instances = %d, want 3 (colocated with partial SE)", r.Instances("read"))
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{Partitions: map[string]int{"store": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 10; k++ {
+		_, _ = r.Call("put", k, []byte{1}, testTimeout)
+	}
+	st := r.Stats()
+	if len(st.TEs) != 2 || len(st.SEs) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SEs[0].Instances != 2 || st.SEs[0].Entries != 10 {
+		t.Fatalf("SE stats = %+v", st.SEs[0])
+	}
+	if r.Processed("put") != 10 {
+		t.Fatalf("processed = %d", r.Processed("put"))
+	}
+	if r.Processed("missing") != 0 || r.Instances("missing") != 0 {
+		t.Fatal("missing TE stats should be zero")
+	}
+}
+
+func TestCheckpointAndRecover1to1(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{
+		Mode:     checkpoint.ModeAsync,
+		Interval: time.Hour, // manual checkpoints only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	for k := uint64(0); k < 50; k++ {
+		if _, err := r.Call("put", k, []byte(fmt.Sprintf("pre%d", k)), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.CheckpointNow("store", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint writes exist only in the source replay log.
+	for k := uint64(50); k < 80; k++ {
+		if _, err := r.Call("put", k, []byte(fmt.Sprintf("post%d", k)), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Find and kill the node hosting the store.
+	st := r.Stats()
+	var seNode int
+	for _, se := range st.SEs {
+		if se.Name == "store" {
+			seNode = se.Nodes[0]
+		}
+	}
+	r.KillNode(seNode)
+	if _, err := r.Call("get", 1, nil, 300*time.Millisecond); err == nil {
+		t.Fatal("call should fail while node is down")
+	}
+
+	stats, err := r.Recover("store", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total <= 0 || stats.NewNodes != 1 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain after recovery")
+	}
+	// All 80 keys must be readable: 50 from the checkpoint, 30 replayed.
+	for k := uint64(0); k < 80; k++ {
+		got, err := r.Call("get", k, nil, testTimeout)
+		if err != nil {
+			t.Fatalf("get %d after recovery: %v", k, err)
+		}
+		want := fmt.Sprintf("pre%d", k)
+		if k >= 50 {
+			want = fmt.Sprintf("post%d", k)
+		}
+		if got == nil || string(got.([]byte)) != want {
+			t.Fatalf("get %d = %v, want %q", k, got, want)
+		}
+	}
+}
+
+func TestRecover1toN(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{
+		Mode:     checkpoint.ModeAsync,
+		Interval: time.Hour,
+		Chunks:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 60; k++ {
+		if _, err := r.Call("put", k, []byte(fmt.Sprintf("v%d", k)), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.CheckpointNow("store", 0); err != nil {
+		t.Fatal(err)
+	}
+	seNode := r.Stats().SEs[0].Nodes[0]
+	r.KillNode(seNode)
+
+	stats, err := r.Recover("store", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NewNodes != 2 {
+		t.Fatalf("new nodes = %d", stats.NewNodes)
+	}
+	if got := r.StateInstances("store"); got != 2 {
+		t.Fatalf("store instances after 1-to-2 recovery = %d", got)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain")
+	}
+	for k := uint64(0); k < 60; k++ {
+		got, err := r.Call("get", k, nil, testTimeout)
+		if err != nil || got == nil {
+			t.Fatalf("get %d after 1-to-2 recovery: %v, %v", k, got, err)
+		}
+		if want := fmt.Sprintf("v%d", k); string(got.([]byte)) != want {
+			t.Fatalf("get %d = %q, want %q", k, got, want)
+		}
+	}
+	// Each new instance holds only its partition.
+	for i := 0; i < 2; i++ {
+		st, _ := r.StateStore("store", i)
+		st.(*state.KVMap).ForEach(func(k uint64, _ []byte) bool {
+			if state.PartitionKey(k, 2) != i {
+				t.Errorf("key %d on wrong instance %d", k, i)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{Mode: checkpoint.ModeAsync, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if _, err := r.Recover("missing", 1); err == nil {
+		t.Error("recover of unknown SE should fail")
+	}
+	if _, err := r.Recover("store", 1); err == nil {
+		t.Error("recover with no failed instance should fail")
+	}
+}
+
+func TestScaleUpStateless(t *testing.T) {
+	r, err := Deploy(echoGraph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.ScaleUp("echo"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Instances("echo"); got != 2 {
+		t.Fatalf("instances = %d", got)
+	}
+	// Both instances serve calls.
+	for i := 0; i < 10; i++ {
+		if _, err := r.Call("echo", 0, []byte("x"), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaleUpPartialAddsReplica(t *testing.T) {
+	r, err := Deploy(partialGraph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for i := 0; i < 20; i++ {
+		_ = r.Inject("upd", uint64(i), nil)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain")
+	}
+	if err := r.ScaleUp("upd"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.StateInstances("acc"); got != 2 {
+		t.Fatalf("acc instances = %d", got)
+	}
+	// All TEs accessing acc scaled together.
+	if r.Instances("upd") != 2 || r.Instances("read") != 2 {
+		t.Fatalf("TE instances upd=%d read=%d", r.Instances("upd"), r.Instances("read"))
+	}
+	for i := 20; i < 40; i++ {
+		_ = r.Inject("upd", uint64(i), nil)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain")
+	}
+	got, err := r.Call("ask", 0, nil, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(uint64) != 40 {
+		t.Fatalf("merged total after scale-up = %d, want 40", got)
+	}
+}
+
+func TestScaleUpPartitionedRepartitions(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{Partitions: map[string]int{"store": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 100; k++ {
+		if _, err := r.Call("put", k, []byte(fmt.Sprintf("v%d", k)), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.ScaleUp("put"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.StateInstances("store"); got != 3 {
+		t.Fatalf("store instances = %d, want 3", got)
+	}
+	// No data lost and every key routed correctly after repartition.
+	for k := uint64(0); k < 100; k++ {
+		got, err := r.Call("get", k, nil, testTimeout)
+		if err != nil || got == nil {
+			t.Fatalf("get %d after repartition: %v %v", k, got, err)
+		}
+		if want := fmt.Sprintf("v%d", k); string(got.([]byte)) != want {
+			t.Fatalf("get %d = %q", k, got)
+		}
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		st, _ := r.StateStore("store", i)
+		total += st.NumEntries()
+		st.(*state.KVMap).ForEach(func(k uint64, _ []byte) bool {
+			if state.PartitionKey(k, 3) != i {
+				t.Errorf("key %d on wrong partition after repartition", k)
+				return false
+			}
+			return true
+		})
+	}
+	if total != 100 {
+		t.Fatalf("entries after repartition = %d", total)
+	}
+}
+
+func TestAutoScaleDetectsBottleneck(t *testing.T) {
+	// A deliberately slow stateless TE with a flood of inputs must acquire
+	// a second instance.
+	g := core.NewGraph("slow")
+	g.AddTE("slow", func(ctx core.Context, it core.Item) {
+		time.Sleep(2 * time.Millisecond)
+	}, nil, true)
+	r, err := Deploy(g, Options{QueueLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	scaled := make(chan string, 4)
+	r.StartAutoScale(20*time.Millisecond, ScalePolicy{
+		QueueHighWater: 16,
+		MaxInstances:   2,
+		Cooldown:       50 * time.Millisecond,
+		OnScale:        func(te string, n int) { scaled <- te },
+	})
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Inject("slow", uint64(i), nil)
+			}
+		}
+	}()
+	select {
+	case te := <-scaled:
+		if te != "slow" {
+			t.Fatalf("scaled %q", te)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto-scaler never fired")
+	}
+	close(stop)
+	if got := r.Instances("slow"); got < 2 {
+		t.Fatalf("instances = %d", got)
+	}
+}
+
+func TestCheckpointLoopRunsPeriodically(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{
+		Mode:     checkpoint.ModeAsync,
+		Interval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 20; k++ {
+		_, _ = r.Call("put", k, []byte{byte(k)}, testTimeout)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if meta, ok := r.Backup().Latest("store/0"); ok && meta.Epoch >= 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("checkpoint loop did not commit at least two epochs")
+}
+
+func TestSyncModeCheckpointBlocksProcessing(t *testing.T) {
+	cl := clusterWithSlowDisks()
+	r, err := Deploy(kvGraph(), Options{
+		Cluster:  cl,
+		Mode:     checkpoint.ModeSync,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 3000; k++ {
+		if _, err := r.Call("put", k, make([]byte, 256), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan checkpoint.Result, 1)
+	go func() {
+		res, err := r.CheckpointNow("store", 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(5 * time.Millisecond) // let the pause take hold
+	start := time.Now()
+	if _, err := r.Call("put", 1, []byte("during"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	blocked := time.Since(start)
+	res := <-done
+	if res.LockTime < 20*time.Millisecond {
+		t.Fatalf("sync lock time = %v; disk too fast for the test", res.LockTime)
+	}
+	if blocked < 10*time.Millisecond {
+		t.Fatalf("put during sync checkpoint returned in %v; processing was not paused", blocked)
+	}
+}
+
+func TestDirtyStateKeepsAsyncNonBlocking(t *testing.T) {
+	cl := clusterWithSlowDisks()
+	r, err := Deploy(kvGraph(), Options{
+		Cluster:  cl,
+		Mode:     checkpoint.ModeAsync,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 3000; k++ {
+		if _, err := r.Call("put", k, make([]byte, 256), testTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan checkpoint.Result, 1)
+	go func() {
+		res, err := r.CheckpointNow("store", 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	if _, err := r.Call("put", 1, []byte("during"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	blocked := time.Since(start)
+	res := <-done
+	if res.Duration < 50*time.Millisecond {
+		t.Fatalf("async checkpoint took %v; disk too fast for the test", res.Duration)
+	}
+	if blocked > res.Duration/4 {
+		t.Fatalf("put blocked %v during async checkpoint (total %v)", blocked, res.Duration)
+	}
+	// The write that happened during the checkpoint survives the merge.
+	got, err := r.Call("get", 1, nil, testTimeout)
+	if err != nil || string(got.([]byte)) != "during" {
+		t.Fatalf("get during-write = %v, %v", got, err)
+	}
+}
+
+func TestOutputBufferTrimming(t *testing.T) {
+	r, err := Deploy(kvGraph(), Options{
+		Mode:     checkpoint.ModeAsync,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 50; k++ {
+		_, _ = r.Call("put", k, []byte{1}, testTimeout)
+	}
+	ts, _ := r.te("put")
+	if ts.srcBuf.Len() != 50 {
+		t.Fatalf("source log = %d items", ts.srcBuf.Len())
+	}
+	if _, err := r.CheckpointNow("store", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.srcBuf.Len(); got != 0 {
+		t.Fatalf("source log after checkpoint = %d items, want 0 (trimmed)", got)
+	}
+}
+
+func clusterWithSlowDisks() *clusterT {
+	return newSlowCluster(8 << 20) // 8 MB/s disks
+}

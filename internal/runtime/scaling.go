@@ -1,0 +1,308 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// ScaleUp adds one instance to the named TE (§3.3: "the runtime system
+// changes the number of TE instances in response to stragglers"). The
+// effect depends on the TE's state:
+//
+//   - stateless TE: a new instance starts on a fresh node;
+//   - partial SE: a new empty replica is created on a fresh node, and every
+//     TE accessing the SE gains an instance there (the paper's Fig. 10:
+//     "a second instance is added ... which also causes a new instance of
+//     the partial state in the coOcc matrix to be created");
+//   - partitioned SE: the SE is re-partitioned from k to k+1 instances —
+//     processing on the accessing TEs pauses briefly while the partitions
+//     are rebuilt, then resumes on k+1 nodes.
+func (r *Runtime) ScaleUp(teName string) error {
+	ts, err := r.te(teName)
+	if err != nil {
+		return err
+	}
+	if ts.def.Access == nil {
+		node := r.cl.AddNode()
+		ts.mu.Lock()
+		ti := r.newInstance(ts, len(ts.insts), node)
+		ts.insts = append(ts.insts, ti)
+		ts.mu.Unlock()
+		r.startWorker(ti)
+		return nil
+	}
+	ss := r.ses[ts.def.Access.SE]
+	switch ss.def.Kind {
+	case core.KindPartial:
+		return r.growPartial(ss)
+	case core.KindPartitioned:
+		return r.repartition(ss)
+	default:
+		return fmt.Errorf("runtime: unknown state kind %v", ss.def.Kind)
+	}
+}
+
+// growPartial adds one partial replica and the matching TE instances. New
+// replicas start empty and accumulate independently, consistent with
+// partial SE semantics (instances are reconciled by merge computation, not
+// kept identical).
+func (r *Runtime) growPartial(ss *seState) error {
+	node := r.cl.AddNode()
+	store, err := ss.def.NewStore()
+	if err != nil {
+		return err
+	}
+	ss.mu.Lock()
+	idx := len(ss.insts)
+	si := &seInstance{se: ss, idx: idx, node: node, store: store}
+	ss.insts = append(ss.insts, si)
+	ss.mu.Unlock()
+
+	var started []*teInstance
+	for _, teID := range r.graph.TEsAccessing(ss.def.ID) {
+		ts := r.tes[teID]
+		ts.mu.Lock()
+		ti := r.newInstance(ts, idx, node)
+		ts.insts = append(ts.insts, ti)
+		// Trim bookkeeping must now cover the new instance too.
+		ts.ckptWM = nil
+		ts.mu.Unlock()
+		started = append(started, ti)
+	}
+	for _, ti := range started {
+		r.startWorker(ti)
+	}
+	if r.opts.Mode != 0 && r.bk != nil {
+		r.startCheckpointLoop(si)
+	}
+	return nil
+}
+
+// repartition grows a partitioned SE from k to k+1 instances by draining
+// the accessing TEs, re-chunking every partition and rebuilding k+1 stores.
+// This is the expensive path; the paper's experiments scale partial state,
+// but partitioned scale-out is required for completeness (new partitioned
+// SE instances "may result" from new TE instances, §3.3).
+func (r *Runtime) repartition(ss *seState) error {
+	accessing := r.graph.TEsAccessing(ss.def.ID)
+
+	// Pause the nodes hosting the SE so no TE mutates it mid-move.
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	k := len(ss.insts)
+	var resumes []func()
+	paused := map[int]bool{}
+	for _, si := range ss.insts {
+		if paused[si.node.ID] {
+			continue
+		}
+		paused[si.node.ID] = true
+		mu := r.pauseFor(si.node)
+		mu.Lock()
+		resumes = append(resumes, mu.Unlock)
+	}
+	defer func() {
+		for _, resume := range resumes {
+			resume()
+		}
+	}()
+
+	// Collect one chunk per existing partition, split each k+1 ways and
+	// regroup — the same machinery the m-to-n restore uses.
+	groups := make([][]state.Chunk, k+1)
+	for _, si := range ss.insts {
+		chunks, err := si.store.Checkpoint(1)
+		if err != nil {
+			return err
+		}
+		parts, err := state.SplitChunk(chunks[0], k+1)
+		if err != nil {
+			return err
+		}
+		for j, p := range parts {
+			groups[j] = append(groups[j], p)
+		}
+	}
+	newInsts := make([]*seInstance, k+1)
+	for j := 0; j <= k; j++ {
+		node := r.cl.AddNode()
+		if j < k {
+			node = ss.insts[j].node // existing partitions stay home
+		}
+		store, err := ss.def.NewStore()
+		if err != nil {
+			return err
+		}
+		if err := store.Restore(groups[j]); err != nil {
+			return err
+		}
+		newInsts[j] = &seInstance{se: ss, idx: j, node: node, store: store}
+	}
+	ss.insts = newInsts
+
+	// Add the TE instances for the new partition.
+	var started []*teInstance
+	for _, teID := range accessing {
+		ts := r.tes[teID]
+		ts.mu.Lock()
+		ti := r.newInstance(ts, k, newInsts[k].node)
+		ts.insts = append(ts.insts, ti)
+		ts.ckptWM = nil
+		ts.mu.Unlock()
+		started = append(started, ti)
+	}
+	for _, ti := range started {
+		r.startWorker(ti)
+	}
+	if r.opts.Mode != 0 && r.bk != nil {
+		r.startCheckpointLoop(newInsts[k])
+	}
+	return nil
+}
+
+// ScalePolicy tunes the reactive bottleneck/straggler detector.
+type ScalePolicy struct {
+	// QueueHighWater: a TE whose summed queue length stays above this
+	// threshold is a bottleneck.
+	QueueHighWater int
+	// Cooldown between scaling actions.
+	Cooldown time.Duration
+	// MaxInstances bounds growth per TE.
+	MaxInstances int
+	// TEs restricts the controller to the named task elements; empty means
+	// all TEs are monitored.
+	TEs []string
+	// OnScale, if set, is invoked after each scaling action with the TE
+	// name and its new instance count (used by the Fig. 10 experiment to
+	// record the timeline).
+	OnScale func(te string, instances int)
+}
+
+func (p ScalePolicy) watches(te string) bool {
+	if len(p.TEs) == 0 {
+		return true
+	}
+	for _, name := range p.TEs {
+		if name == te {
+			return true
+		}
+	}
+	return false
+}
+
+// StartAutoScale launches the reactive controller: every interval it scans
+// TEs for bottlenecks (persistently full queues) and stragglers (an
+// instance whose processing rate falls far below its siblings' while items
+// keep queueing) and adds instances, mirroring §3.3's dynamic dataflow
+// approach.
+func (r *Runtime) StartAutoScale(interval time.Duration, p ScalePolicy) {
+	if p.QueueHighWater <= 0 {
+		p.QueueHighWater = r.opts.QueueLen / 2
+	}
+	if p.MaxInstances <= 0 {
+		p.MaxInstances = 16
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 4 * interval
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		lastScale := time.Time{}
+		prev := map[uint64]int64{} // instance origin -> processed count
+		for {
+			select {
+			case <-r.stopped:
+				return
+			case <-ticker.C:
+				if time.Since(lastScale) < p.Cooldown {
+					// Still observe rates during cooldown.
+					r.observeRates(prev)
+					continue
+				}
+				if te, n := r.findBottleneck(p, prev); te != "" {
+					if err := r.ScaleUp(te); err == nil {
+						lastScale = time.Now()
+						if p.OnScale != nil {
+							p.OnScale(te, n+1)
+						}
+					}
+				}
+			}
+		}
+	}()
+}
+
+func (r *Runtime) observeRates(prev map[uint64]int64) {
+	for _, ts := range r.tes {
+		ts.mu.RLock()
+		for _, ti := range ts.insts {
+			prev[ti.originID()] = ti.processed.Load()
+		}
+		ts.mu.RUnlock()
+	}
+}
+
+// findBottleneck returns the name and current instance count of a TE that
+// needs another instance: either its queues are persistently full, or one
+// of its instances lags its siblings badly (a straggler) while work queues.
+func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, int) {
+	best := ""
+	bestQueue := 0
+	bestN := 0
+	for _, ts := range r.tes {
+		if !p.watches(ts.def.Name) {
+			continue
+		}
+		ts.mu.RLock()
+		n := len(ts.insts)
+		totalQueue := 0
+		var deltas []int64
+		queued := false
+		for _, ti := range ts.insts {
+			if ti.killed.Load() {
+				continue
+			}
+			q := len(ti.queue)
+			totalQueue += q
+			if q > r.opts.QueueLen/4 {
+				queued = true
+			}
+			cur := ti.processed.Load()
+			deltas = append(deltas, cur-prev[ti.originID()])
+			prev[ti.originID()] = cur
+		}
+		ts.mu.RUnlock()
+		if n >= p.MaxInstances {
+			continue
+		}
+		// Bottleneck: aggregate backlog.
+		if totalQueue >= p.QueueHighWater && totalQueue > bestQueue {
+			best, bestQueue, bestN = ts.def.Name, totalQueue, n
+			continue
+		}
+		// Straggler: one instance far below the fastest sibling while its
+		// queue builds (Fig. 10's second event). Needs at least 2 instances
+		// to compare, or a visible backlog on a single slow instance.
+		if queued && len(deltas) >= 2 {
+			var max, min int64 = deltas[0], deltas[0]
+			for _, d := range deltas[1:] {
+				if d > max {
+					max = d
+				}
+				if d < min {
+					min = d
+				}
+			}
+			if max > 0 && min*3 < max && totalQueue > bestQueue {
+				best, bestQueue, bestN = ts.def.Name, totalQueue, n
+			}
+		}
+	}
+	return best, bestN
+}

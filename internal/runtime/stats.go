@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"sort"
+
+	"repro/internal/state"
+)
+
+// TEStats is a point-in-time view of one task element.
+type TEStats struct {
+	Name      string
+	Instances int
+	Queued    int   // summed inbound queue length
+	Processed int64 // items processed across instances
+	Nodes     []int // hosting node ids
+}
+
+// SEStats is a point-in-time view of one state element.
+type SEStats struct {
+	Name      string
+	Kind      string
+	Instances int
+	Bytes     int64 // summed across instances
+	Entries   int
+	Nodes     []int
+}
+
+// Stats reports the live topology and counters, used by the monitoring
+// loops and the experiment harness.
+type Stats struct {
+	TEs   []TEStats
+	SEs   []SEStats
+	Nodes int
+}
+
+// Stats snapshots the runtime.
+func (r *Runtime) Stats() Stats {
+	var out Stats
+	for _, ts := range r.tes {
+		ts.mu.RLock()
+		s := TEStats{Name: ts.def.Name, Instances: len(ts.insts)}
+		for _, ti := range ts.insts {
+			if ti.killed.Load() {
+				continue
+			}
+			s.Queued += len(ti.queue)
+			s.Processed += ti.processed.Load()
+			s.Nodes = append(s.Nodes, ti.node.ID)
+		}
+		ts.mu.RUnlock()
+		sort.Ints(s.Nodes)
+		out.TEs = append(out.TEs, s)
+	}
+	for _, ss := range r.ses {
+		ss.mu.RLock()
+		s := SEStats{Name: ss.def.Name, Kind: ss.def.Kind.String(), Instances: len(ss.insts)}
+		for _, si := range ss.insts {
+			s.Bytes += si.store.SizeBytes()
+			s.Entries += si.store.NumEntries()
+			s.Nodes = append(s.Nodes, si.node.ID)
+		}
+		ss.mu.RUnlock()
+		sort.Ints(s.Nodes)
+		out.SEs = append(out.SEs, s)
+	}
+	out.Nodes = r.cl.Size()
+	return out
+}
+
+// Processed reports total items processed by the named TE.
+func (r *Runtime) Processed(teName string) int64 {
+	ts, err := r.te(teName)
+	if err != nil {
+		return 0
+	}
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	var total int64
+	for _, ti := range ts.insts {
+		total += ti.processed.Load()
+	}
+	return total
+}
+
+// Instances reports the live instance count of the named TE.
+func (r *Runtime) Instances(teName string) int {
+	ts, err := r.te(teName)
+	if err != nil {
+		return 0
+	}
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return len(ts.insts)
+}
+
+// StateStore returns SE instance idx's store for white-box assertions in
+// tests and applications that read state out-of-band (e.g. wordcount
+// window snapshots).
+func (r *Runtime) StateStore(seName string, idx int) (state.Store, error) {
+	ss, err := r.se(seName)
+	if err != nil {
+		return nil, err
+	}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if idx < 0 || idx >= len(ss.insts) {
+		return nil, errOutOfRange(seName, idx, len(ss.insts))
+	}
+	return ss.insts[idx].store, nil
+}
+
+// StateInstances reports the live instance count of the named SE.
+func (r *Runtime) StateInstances(seName string) int {
+	ss, err := r.se(seName)
+	if err != nil {
+		return 0
+	}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.insts)
+}
+
+func errOutOfRange(se string, idx, n int) error {
+	return &rangeError{se: se, idx: idx, n: n}
+}
+
+type rangeError struct {
+	se  string
+	idx int
+	n   int
+}
+
+func (e *rangeError) Error() string {
+	return "runtime: SE " + e.se + " instance index out of range"
+}

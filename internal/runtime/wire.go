@@ -1,0 +1,25 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wireRoundTrip gob-encodes and decodes a payload, returning the decoded
+// copy. Used by the WireCheck option to prove that every value crossing a
+// TE boundary could cross a real network link — the paper's location
+// independence restriction (§4.1). Payload types must be gob-registered.
+func wireRoundTrip(v any) (any, error) {
+	var buf bytes.Buffer
+	// Encode through an interface wrapper so the concrete type tag rides
+	// along, exactly as the checkpoint buffer encoding does.
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	var out any
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package state
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation: dirty mode on vs off. The overlay costs one extra map on the
+// write path; the paper's design bet is that this is far cheaper than
+// blocking writes during snapshots.
+func BenchmarkKVMapPutClean(b *testing.B) {
+	m := NewKVMap()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(uint64(i%8192), val)
+	}
+}
+
+func BenchmarkKVMapPutDirty(b *testing.B) {
+	m := NewKVMap()
+	val := make([]byte, 64)
+	for i := 0; i < 8192; i++ {
+		m.Put(uint64(i), val)
+	}
+	if err := m.BeginDirty(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(uint64(i%8192), val)
+	}
+	b.StopTimer()
+	if _, err := m.MergeDirty(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkKVMapGet(b *testing.B) {
+	m := NewKVMap()
+	for i := 0; i < 8192; i++ {
+		m.Put(uint64(i), make([]byte, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i % 8192))
+	}
+}
+
+// Ablation: checkpoint chunk-count sweep. More chunks buy m-to-n restore
+// parallelism; this measures the serialisation cost of producing them.
+func BenchmarkKVMapCheckpointChunks(b *testing.B) {
+	for _, chunks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chunks=%d", chunks), func(b *testing.B) {
+			m := NewKVMap()
+			for i := 0; i < 20000; i++ {
+				m.Put(uint64(i), make([]byte, 128))
+			}
+			b.SetBytes(int64(20000 * 128))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Checkpoint(chunks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSplitChunk(b *testing.B) {
+	m := NewKVMap()
+	for i := 0; i < 20000; i++ {
+		m.Put(uint64(i), make([]byte, 128))
+	}
+	chunks, err := m.Checkpoint(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(chunks[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitChunk(chunks[0], 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVMapRestore(b *testing.B) {
+	m := NewKVMap()
+	for i := 0; i < 20000; i++ {
+		m.Put(uint64(i), make([]byte, 128))
+	}
+	chunks, err := m.Checkpoint(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(20000 * 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewKVMap()
+		if err := r.Restore(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixAdd(b *testing.B) {
+	m := NewMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(int64(i%512), int64(i%97), 1)
+	}
+}
+
+func BenchmarkMatrixMulVec(b *testing.B) {
+	m := NewMatrix()
+	for r := int64(0); r < 512; r++ {
+		for c := int64(0); c < 32; c++ {
+			m.Set(r, (r+c*7)%512, 1)
+		}
+	}
+	x := map[int64]float64{}
+	for c := int64(0); c < 512; c += 3 {
+		x[c] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x)
+	}
+}
+
+func BenchmarkVectorAddScaled(b *testing.B) {
+	v := NewVector(1024)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.AddScaled(x, 0.001)
+	}
+}

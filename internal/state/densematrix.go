@@ -1,0 +1,317 @@
+package state
+
+import "fmt"
+
+// DenseMatrix is a row-major dense float64 matrix SE. It suits models whose
+// dimensions are known up front (e.g. small co-occurrence matrices or LR
+// feature blocks) where sparse bookkeeping would dominate.
+type DenseMatrix struct {
+	dirtyCtl
+	rows, cols int
+	vals       []float64       // len rows*cols
+	ovl        map[int]float64 // flat-index overlay
+}
+
+// NewDenseMatrix returns a zeroed rows x cols matrix.
+func NewDenseMatrix(rows, cols int) *DenseMatrix {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return &DenseMatrix{
+		rows: rows,
+		cols: cols,
+		vals: make([]float64, rows*cols),
+		ovl:  make(map[int]float64),
+	}
+}
+
+// Type reports TypeDenseMatrix.
+func (m *DenseMatrix) Type() StoreType { return TypeDenseMatrix }
+
+// Dims reports (rows, cols).
+func (m *DenseMatrix) Dims() (int, int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rows, m.cols
+}
+
+func (m *DenseMatrix) flat(r, c int) (int, bool) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return 0, false
+	}
+	return r*m.cols + c, true
+}
+
+// Get reads cell (r, c); out-of-range reads return 0.
+func (m *DenseMatrix) Get(r, c int) float64 {
+	if m.dirty.Load() {
+		// Lock order must match lockMerge: mu before dmu.
+		m.mu.RLock()
+		idx, ok := m.flat(r, c)
+		m.mu.RUnlock()
+		if !ok {
+			return 0
+		}
+		m.dmu.RLock()
+		if v, hit := m.ovl[idx]; hit {
+			m.dmu.RUnlock()
+			return v
+		}
+		m.dmu.RUnlock()
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	idx, ok := m.flat(r, c)
+	if !ok {
+		return 0
+	}
+	return m.vals[idx]
+}
+
+// Set writes cell (r, c); out-of-range writes are silent no-ops.
+func (m *DenseMatrix) Set(r, c int, v float64) {
+	if m.baseWriteOrDirty() {
+		m.mu.RLock()
+		idx, ok := m.flat(r, c)
+		m.mu.RUnlock()
+		if ok {
+			m.ovl[idx] = v
+		}
+		m.dmu.Unlock()
+		return
+	}
+	if idx, ok := m.flat(r, c); ok {
+		m.vals[idx] = v
+	}
+	m.mu.Unlock()
+}
+
+// Add increments cell (r, c) by delta and returns the new value.
+func (m *DenseMatrix) Add(r, c int, delta float64) float64 {
+	v := m.Get(r, c) + delta
+	m.Set(r, c, v)
+	return v
+}
+
+// MulVec computes y = M x over the merged view. len(x) must equal cols.
+func (m *DenseMatrix) MulVec(x []float64) ([]float64, error) {
+	m.mu.RLock()
+	if len(x) != m.cols {
+		m.mu.RUnlock()
+		return nil, fmt.Errorf("state: MulVec dimension mismatch: len(x)=%d cols=%d", len(x), m.cols)
+	}
+	y := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		s := 0.0
+		row := m.vals[r*m.cols : (r+1)*m.cols]
+		for c, v := range row {
+			s += v * x[c]
+		}
+		y[r] = s
+	}
+	rows, cols := m.rows, m.cols
+	m.mu.RUnlock()
+	if m.dirty.Load() {
+		// Lock order must match lockMerge: mu before dmu.
+		m.mu.RLock()
+		m.dmu.RLock()
+		for idx, v := range m.ovl {
+			r, c := idx/cols, idx%cols
+			if r < rows && c < len(x) {
+				y[r] += (v - m.vals[idx]) * x[c]
+			}
+		}
+		m.dmu.RUnlock()
+		m.mu.RUnlock()
+	}
+	return y, nil
+}
+
+// NumEntries reports rows*cols.
+func (m *DenseMatrix) NumEntries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rows * m.cols
+}
+
+// SizeBytes reports the approximate memory footprint.
+func (m *DenseMatrix) SizeBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.dmu.RLock()
+	defer m.dmu.RUnlock()
+	return int64(len(m.vals))*8 + int64(len(m.ovl))*24
+}
+
+// BeginDirty enters dirty mode (see Store).
+func (m *DenseMatrix) BeginDirty() error { return m.beginDirty() }
+
+// DirtySize reports the number of overlay cells.
+func (m *DenseMatrix) DirtySize() int {
+	m.dmu.RLock()
+	defer m.dmu.RUnlock()
+	return len(m.ovl)
+}
+
+// MergeDirty consolidates the overlay into the base (see Store).
+func (m *DenseMatrix) MergeDirty() (int, error) {
+	unlock, err := m.lockMerge()
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	n := len(m.ovl)
+	for idx, v := range m.ovl {
+		if idx >= 0 && idx < len(m.vals) {
+			m.vals[idx] = v
+		}
+	}
+	m.ovl = make(map[int]float64)
+	return n, nil
+}
+
+// Checkpoint serialises the base into n row-hash-partitioned chunks. Each
+// chunk records the full dimensions.
+func (m *DenseMatrix) Checkpoint(n int) ([]Chunk, error) {
+	if n < 1 {
+		return nil, ErrBadSplit
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bodies := make([]*encoder, n)
+	counts := make([]uint64, n)
+	for i := range bodies {
+		bodies[i] = newEncoder(len(m.vals)*8/n + 64)
+	}
+	for r := 0; r < m.rows; r++ {
+		p := PartitionKey(uint64(r), n)
+		bodies[p].uvarint(uint64(r))
+		for c := 0; c < m.cols; c++ {
+			bodies[p].float64(m.vals[r*m.cols+c])
+		}
+		counts[p]++
+	}
+	chunks := make([]Chunk, n)
+	for i := range chunks {
+		head := newEncoder(len(bodies[i].buf) + 30)
+		head.uvarint(uint64(m.rows))
+		head.uvarint(uint64(m.cols))
+		head.uvarint(counts[i])
+		head.buf = append(head.buf, bodies[i].buf...)
+		chunks[i] = Chunk{Type: TypeDenseMatrix, Index: i, Of: n, Data: head.buf}
+	}
+	return chunks, nil
+}
+
+// Restore merges the given chunks, resizing to the recorded dimensions.
+func (m *DenseMatrix) Restore(chunks []Chunk) error {
+	for _, c := range chunks {
+		if c.Type != TypeDenseMatrix {
+			return fmt.Errorf("%w: got %v, want %v", ErrWrongChunkType, c.Type, TypeDenseMatrix)
+		}
+		d := newDecoder(c.Data)
+		rows := int(d.uvarint())
+		cols := int(d.uvarint())
+		count := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		m.mu.Lock()
+		if m.rows < rows || m.cols < cols {
+			if m.rows != 0 || m.cols != 0 {
+				m.mu.Unlock()
+				return fmt.Errorf("%w: dimension mismatch %dx%d vs %dx%d", ErrBadChunk, m.rows, m.cols, rows, cols)
+			}
+			m.rows, m.cols = rows, cols
+			m.vals = make([]float64, rows*cols)
+		}
+		m.mu.Unlock()
+		for i := uint64(0); i < count; i++ {
+			r := int(d.uvarint())
+			for c2 := 0; c2 < cols; c2++ {
+				v := d.float64()
+				if d.err != nil {
+					return d.err
+				}
+				if v != 0 {
+					m.Set(r, c2, v)
+				}
+			}
+		}
+		if d.err != nil {
+			return d.err
+		}
+	}
+	return nil
+}
+
+// Split divides the matrix into n instances of equal dimensions, each
+// holding only its row partition; the receiver is zeroed.
+func (m *DenseMatrix) Split(n int) ([]Store, error) {
+	if n < 1 {
+		return nil, ErrBadSplit
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirty.Load() {
+		return nil, ErrDirtyActive
+	}
+	out := make([]Store, n)
+	parts := make([]*DenseMatrix, n)
+	for i := range parts {
+		parts[i] = NewDenseMatrix(m.rows, m.cols)
+		out[i] = parts[i]
+	}
+	for r := 0; r < m.rows; r++ {
+		p := parts[PartitionKey(uint64(r), n)]
+		copy(p.vals[r*m.cols:(r+1)*m.cols], m.vals[r*m.cols:(r+1)*m.cols])
+	}
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	return out, nil
+}
+
+func splitDenseChunk(c Chunk, n int) ([]Chunk, error) {
+	d := newDecoder(c.Data)
+	rows := d.uvarint()
+	cols := d.uvarint()
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	bodies := make([]*encoder, n)
+	counts := make([]uint64, n)
+	for i := range bodies {
+		bodies[i] = newEncoder(len(c.Data)/n + 32)
+	}
+	for i := uint64(0); i < count; i++ {
+		r := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		p := PartitionKey(r, n)
+		bodies[p].uvarint(r)
+		for c2 := uint64(0); c2 < cols; c2++ {
+			v := d.float64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			bodies[p].float64(v)
+		}
+		counts[p]++
+	}
+	out := make([]Chunk, n)
+	for i := range out {
+		head := newEncoder(len(bodies[i].buf) + 30)
+		head.uvarint(rows)
+		head.uvarint(cols)
+		head.uvarint(counts[i])
+		head.buf = append(head.buf, bodies[i].buf...)
+		out[i] = Chunk{Type: TypeDenseMatrix, Index: i, Of: n, Data: head.buf}
+	}
+	return out, nil
+}

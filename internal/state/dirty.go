@@ -1,0 +1,77 @@
+package state
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dirtyCtl implements the locking discipline of the asynchronous
+// checkpointing protocol (§5). Two locks split the store into the immutable
+// base (serialised by the checkpointer) and the dirty overlay (absorbing
+// writes while the checkpoint is in flight):
+//
+//   - mu guards the base structure;
+//   - dmu guards the overlay;
+//   - dirty is the mode flag, flipped only while holding mu.
+//
+// Writers consult dirty *before* taking mu: in dirty mode they only ever
+// touch the overlay, so a long-running Checkpoint holding mu.RLock never
+// blocks them — that is the property Fig. 12 measures against synchronous
+// checkpointing. The subtle case is a writer that loads dirty=false just as
+// BeginDirty runs: it takes mu and re-checks the flag under the lock, and
+// since BeginDirty also holds mu exclusively, either the write lands in the
+// base before the snapshot begins or it is redirected to the overlay.
+type dirtyCtl struct {
+	mu    sync.RWMutex
+	dmu   sync.RWMutex
+	dirty atomic.Bool
+}
+
+// beginDirty flips the store into dirty mode. Holding mu exclusively
+// guarantees no base write is in flight when the flag is set.
+func (c *dirtyCtl) beginDirty() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty.Load() {
+		return ErrDirtyActive
+	}
+	c.dirty.Store(true)
+	return nil
+}
+
+// lockMerge acquires both locks for overlay consolidation and returns an
+// unlock function. The caller mutates base and overlay, then clears the
+// dirty flag before unlocking via the returned func.
+func (c *dirtyCtl) lockMerge() (unlock func(), err error) {
+	c.mu.Lock()
+	c.dmu.Lock()
+	if !c.dirty.Load() {
+		c.dmu.Unlock()
+		c.mu.Unlock()
+		return nil, ErrDirtyInactive
+	}
+	return func() {
+		c.dirty.Store(false)
+		c.dmu.Unlock()
+		c.mu.Unlock()
+	}, nil
+}
+
+// baseWriteOrDirty decides the write path. It returns true with dmu held
+// for writing when the caller must update the overlay, or false with mu
+// held for writing when the caller may update the base. The caller unlocks
+// the corresponding lock.
+func (c *dirtyCtl) baseWriteOrDirty() bool {
+	if c.dirty.Load() {
+		c.dmu.Lock()
+		return true
+	}
+	c.mu.Lock()
+	if c.dirty.Load() {
+		// BeginDirty won the race; redirect to the overlay.
+		c.mu.Unlock()
+		c.dmu.Lock()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any key set, checkpoint(n) -> restore reproduces the map
+// exactly, for any chunk count.
+func TestQuickKVMapCheckpointRoundTrip(t *testing.T) {
+	f := func(keys []uint64, vals [][]byte, nChunks uint8) bool {
+		n := int(nChunks%8) + 1
+		m := NewKVMap()
+		want := map[uint64][]byte{}
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			m.Put(k, v)
+			want[k] = v
+		}
+		chunks, err := m.Checkpoint(n)
+		if err != nil {
+			return false
+		}
+		r := NewKVMap()
+		if err := r.Restore(chunks); err != nil {
+			return false
+		}
+		if r.NumEntries() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitChunk composes with Restore: restoring the split chunks is
+// identical to restoring the original chunk.
+func TestQuickKVMapSplitChunk(t *testing.T) {
+	f := func(keys []uint64, splitN uint8) bool {
+		n := int(splitN%6) + 1
+		m := NewKVMap()
+		for _, k := range keys {
+			m.Put(k, []byte{byte(k)})
+		}
+		one, err := m.Checkpoint(1)
+		if err != nil {
+			return false
+		}
+		split, err := SplitChunk(one[0], n)
+		if err != nil {
+			return false
+		}
+		a := NewKVMap()
+		if err := a.Restore(one); err != nil {
+			return false
+		}
+		b := NewKVMap()
+		if err := b.Restore(split); err != nil {
+			return false
+		}
+		if a.NumEntries() != b.NumEntries() {
+			return false
+		}
+		equal := true
+		a.ForEach(func(k uint64, v []byte) bool {
+			got, ok := b.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dirty mode is transparent — an interleaving of writes with a
+// BeginDirty/MergeDirty cycle ends in the same logical contents as applying
+// the writes directly.
+func TestQuickKVMapDirtyTransparency(t *testing.T) {
+	type op struct {
+		Key uint64
+		Val byte
+		Del bool
+	}
+	f := func(before, during []op) bool {
+		dirty := NewKVMap()
+		plain := NewKVMap()
+		apply := func(m *KVMap, o op) {
+			if o.Del {
+				m.Delete(o.Key % 32)
+			} else {
+				m.Put(o.Key%32, []byte{o.Val})
+			}
+		}
+		for _, o := range before {
+			apply(dirty, o)
+			apply(plain, o)
+		}
+		if err := dirty.BeginDirty(); err != nil {
+			return false
+		}
+		for _, o := range during {
+			apply(dirty, o)
+			apply(plain, o)
+		}
+		if _, err := dirty.MergeDirty(); err != nil {
+			return false
+		}
+		if dirty.NumEntries() != plain.NumEntries() {
+			return false
+		}
+		equal := true
+		plain.ForEach(func(k uint64, v []byte) bool {
+			got, ok := dirty.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix split partitions are disjoint and complete.
+func TestQuickMatrixSplit(t *testing.T) {
+	f := func(cells []int16, nParts uint8) bool {
+		n := int(nParts%5) + 1
+		m := NewMatrix()
+		want := map[[2]int64]float64{}
+		for i, c := range cells {
+			r, col := int64(c/16), int64(c%16)
+			v := float64(i + 1)
+			m.Set(r, col, v)
+			want[[2]int64{r, col}] = v
+		}
+		parts, err := m.Split(n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for pi, p := range parts {
+			mm := p.(*Matrix)
+			total += mm.NumEntries()
+			for rc, v := range want {
+				got := mm.Get(rc[0], rc[1])
+				owner := PartitionKey(uint64(rc[0]), n)
+				if pi == owner && got != v {
+					return false
+				}
+				if pi != owner && got != 0 {
+					return false
+				}
+			}
+		}
+		return total == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: vector checkpoint/restore round-trips through arbitrary chunk
+// splits.
+func TestQuickVectorRoundTrip(t *testing.T) {
+	f := func(vals []float64, nChunks, splitN uint8) bool {
+		n := int(nChunks%4) + 1
+		sn := int(splitN%4) + 1
+		if len(vals) > 256 {
+			vals = vals[:256]
+		}
+		v := NewVector(len(vals))
+		for i, x := range vals {
+			v.Set(i, x)
+		}
+		chunks, err := v.Checkpoint(n)
+		if err != nil {
+			return false
+		}
+		var all []Chunk
+		for _, c := range chunks {
+			sub, err := SplitChunk(c, sn)
+			if err != nil {
+				return false
+			}
+			all = append(all, sub...)
+		}
+		r := NewVector(0)
+		if err := r.Restore(all); err != nil {
+			return false
+		}
+		if r.Len() != len(vals) {
+			return false
+		}
+		for i, x := range vals {
+			if r.Get(i) != x {
+				// NaN never compares equal; skip those inputs.
+				if x != x {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package state implements the state element (SE) data structures of the SDG
+// model (paper §3.2) together with the fault-tolerance hooks of §5:
+//
+//   - every store supports the dirty-state protocol: BeginDirty redirects
+//     updates into an overlay so a consistent snapshot can be serialised
+//     asynchronously, and MergeDirty consolidates the overlay under a short
+//     lock;
+//   - checkpoints are produced as hash-partitioned chunks, which is what
+//     enables the m-to-n parallel backup/restore pattern (Fig. 4);
+//   - partitionable stores can be split into disjoint instances so the
+//     runtime can scale partitioned SEs across nodes.
+//
+// Provided store types mirror the paper's predefined SE classes: KVMap
+// (dictionary), Matrix (indexed sparse matrix), DenseMatrix and Vector.
+package state
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StoreType identifies a concrete store implementation for checkpoint
+// restore and chunk splitting.
+type StoreType uint8
+
+// Store type identifiers. The zero value is invalid so that a forgotten
+// type field fails loudly.
+const (
+	TypeInvalid StoreType = iota
+	TypeKVMap
+	TypeMatrix
+	TypeDenseMatrix
+	TypeVector
+)
+
+// String names the store type.
+func (t StoreType) String() string {
+	switch t {
+	case TypeKVMap:
+		return "kvmap"
+	case TypeMatrix:
+		return "matrix"
+	case TypeDenseMatrix:
+		return "densematrix"
+	case TypeVector:
+		return "vector"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// Chunk is one hash-partitioned fragment of a checkpoint. A full checkpoint
+// of a store is the set of chunks {Index: 0..Of-1}. Chunks are
+// self-describing so they can be split further at restore time (m-to-n).
+type Chunk struct {
+	Type  StoreType
+	Index int
+	Of    int
+	Data  []byte
+}
+
+// Errors returned by store operations.
+var (
+	ErrDirtyActive    = errors.New("state: dirty mode already active")
+	ErrDirtyInactive  = errors.New("state: dirty mode not active")
+	ErrBadChunk       = errors.New("state: malformed checkpoint chunk")
+	ErrWrongChunkType = errors.New("state: chunk type does not match store")
+	ErrBadSplit       = errors.New("state: invalid partition count")
+)
+
+// Store is the interface every SE data structure implements. Stores are safe
+// for concurrent use by multiple task element instances on the same node.
+type Store interface {
+	// Type identifies the concrete implementation.
+	Type() StoreType
+	// SizeBytes is the approximate in-memory footprint of the contents.
+	SizeBytes() int64
+	// NumEntries is the number of logical entries (keys, cells, elements).
+	NumEntries() int
+
+	// BeginDirty switches the store into dirty mode: subsequent updates go
+	// to an overlay and the base becomes immutable, so Checkpoint can read
+	// it without blocking writers. It fails if dirty mode is already active.
+	BeginDirty() error
+	// MergeDirty consolidates the overlay into the base under a lock and
+	// leaves dirty mode. It reports the number of consolidated updates.
+	MergeDirty() (int, error)
+	// DirtySize reports the number of entries in the dirty overlay.
+	DirtySize() int
+
+	// Checkpoint serialises the consistent (base) contents into n chunks
+	// partitioned by key hash. It must be called while dirty mode is active
+	// (or on a quiescent store with n >= 1).
+	Checkpoint(n int) ([]Chunk, error)
+	// Restore merges the given chunks into the store. It accepts any subset
+	// of a checkpoint, so partial restores build up partitioned instances.
+	Restore(chunks []Chunk) error
+}
+
+// Partitionable stores can be split into disjoint instances, one per
+// partition, for distributed partitioned SEs (§3.2, Fig. 2b).
+type Partitionable interface {
+	Store
+	// Split divides the contents into n disjoint stores; the receiver is
+	// left empty afterwards.
+	Split(n int) ([]Store, error)
+}
+
+// PartitionKey maps a key to one of n partitions. It is shared by the
+// checkpoint chunker, store splitting and the dataflow dispatchers so that
+// "the dataflow partitioning strategy is compatible with the data access
+// pattern" (§3.2): routing and storage always agree.
+func PartitionKey(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix64(key) % uint64(n))
+}
+
+// mix64 is a strong 64-bit finalizer (splitmix64) so sequential keys spread
+// evenly across partitions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New constructs an empty store of the given type. DenseMatrix and Vector
+// are created with zero dimensions; Restore resizes them.
+func New(t StoreType) (Store, error) {
+	switch t {
+	case TypeKVMap:
+		return NewKVMap(), nil
+	case TypeMatrix:
+		return NewMatrix(), nil
+	case TypeDenseMatrix:
+		return NewDenseMatrix(0, 0), nil
+	case TypeVector:
+		return NewVector(0), nil
+	default:
+		return nil, fmt.Errorf("state: unknown store type %v", t)
+	}
+}
+
+// SplitChunk re-partitions one checkpoint chunk into n chunks using the
+// store-type-specific codec. Restore-time splitting is what lets one backup
+// chunk feed n recovering SE instances in parallel (Fig. 4, step R1).
+func SplitChunk(c Chunk, n int) ([]Chunk, error) {
+	if n < 1 {
+		return nil, ErrBadSplit
+	}
+	switch c.Type {
+	case TypeKVMap:
+		return splitKVChunk(c, n)
+	case TypeMatrix:
+		return splitMatrixChunk(c, n)
+	case TypeDenseMatrix:
+		return splitDenseChunk(c, n)
+	case TypeVector:
+		return splitVectorChunk(c, n)
+	default:
+		return nil, fmt.Errorf("state: cannot split chunk of type %v", c.Type)
+	}
+}

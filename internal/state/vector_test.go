@@ -1,0 +1,367 @@
+package state
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVectorBasic(t *testing.T) {
+	v := NewVector(4)
+	if v.Len() != 4 || v.NumEntries() != 4 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Set(0, 1.5)
+	v.Set(3, -2.0)
+	if v.Get(0) != 1.5 || v.Get(3) != -2.0 {
+		t.Fatal("set/get failed")
+	}
+	if v.Get(-1) != 0 || v.Get(10) != 0 {
+		t.Fatal("out-of-range get should be 0")
+	}
+	if got := v.Add(0, 0.5); got != 2.0 {
+		t.Fatalf("Add = %f", got)
+	}
+	if v.Type() != TypeVector {
+		t.Fatal("wrong type")
+	}
+}
+
+func TestVectorResize(t *testing.T) {
+	v := NewVector(2)
+	v.Set(1, 7)
+	if err := v.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 5 || v.Get(1) != 7 {
+		t.Fatal("resize lost data")
+	}
+	if err := v.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 5 {
+		t.Fatal("resize should never shrink")
+	}
+	_ = v.BeginDirty()
+	if err := v.Resize(10); err != ErrDirtyActive {
+		t.Fatalf("Resize while dirty err = %v", err)
+	}
+}
+
+func TestVectorDotAddScaled(t *testing.T) {
+	v := NewVector(3)
+	v.Set(0, 1)
+	v.Set(1, 2)
+	v.Set(2, 3)
+	if d := v.Dot([]float64{1, 1, 1}); d != 6 {
+		t.Fatalf("Dot = %f", d)
+	}
+	v.AddScaled([]float64{1, 1, 1}, 2)
+	want := []float64{3, 4, 5}
+	for i, w := range want {
+		if v.Get(i) != w {
+			t.Fatalf("AddScaled[%d] = %f, want %f", i, v.Get(i), w)
+		}
+	}
+}
+
+func TestVectorDirtyProtocol(t *testing.T) {
+	v := NewVector(3)
+	v.Set(0, 1)
+	if err := v.BeginDirty(); err != nil {
+		t.Fatal(err)
+	}
+	v.Set(0, 10)
+	v.Set(2, 30)
+	v.AddScaled([]float64{1, 1, 1}, 1) // goes through overlay path
+	if v.Get(0) != 11 || v.Get(1) != 1 || v.Get(2) != 31 {
+		t.Fatalf("dirty reads = %f %f %f", v.Get(0), v.Get(1), v.Get(2))
+	}
+	chunks, err := v.Checkpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewVector(0)
+	if err := r.Restore(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("restored len = %d", r.Len())
+	}
+	if r.Get(0) != 1 || r.Get(2) != 0 {
+		t.Fatalf("checkpoint leaked dirty state: %f %f", r.Get(0), r.Get(2))
+	}
+	if v.DirtySize() == 0 {
+		t.Fatal("expected overlay entries")
+	}
+	if _, err := v.MergeDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(0) != 11 || v.Get(2) != 31 {
+		t.Fatal("merge lost overlay")
+	}
+	snap := v.Snapshot()
+	if len(snap) != 3 || snap[0] != 11 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestVectorCheckpointRoundTrip(t *testing.T) {
+	v := NewVector(100)
+	for i := 0; i < 100; i += 3 {
+		v.Set(i, float64(i)+0.25)
+	}
+	for _, n := range []int{1, 4} {
+		chunks, err := v.Checkpoint(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewVector(0)
+		if err := r.Restore(chunks); err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != 100 {
+			t.Fatalf("len = %d", r.Len())
+		}
+		for i := 0; i < 100; i++ {
+			want := 0.0
+			if i%3 == 0 {
+				want = float64(i) + 0.25
+			}
+			if got := r.Get(i); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d elem %d = %f, want %f", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestVectorSplitAndChunkSplit(t *testing.T) {
+	v := NewVector(50)
+	for i := 0; i < 50; i++ {
+		v.Set(i, float64(i+1))
+	}
+	parts, err := v.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		owner := PartitionKey(uint64(i), 3)
+		for pi, p := range parts {
+			got := p.(*Vector).Get(i)
+			if pi == owner && got != float64(i+1) {
+				t.Fatalf("elem %d missing from owner %d", i, pi)
+			}
+			if pi != owner && got != 0 {
+				t.Fatalf("elem %d leaked into %d", i, pi)
+			}
+		}
+		if v.Get(i) != 0 {
+			t.Fatal("receiver not zeroed")
+		}
+	}
+
+	v2 := NewVector(50)
+	for i := 0; i < 50; i++ {
+		v2.Set(i, float64(i+1))
+	}
+	one, _ := v2.Checkpoint(1)
+	split, err := SplitChunk(one[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewVector(0)
+	if err := r.Restore(split); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if r.Get(i) != float64(i+1) {
+			t.Fatalf("elem %d = %f", i, r.Get(i))
+		}
+	}
+}
+
+func TestDenseMatrixBasic(t *testing.T) {
+	m := NewDenseMatrix(3, 2)
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+	m.Set(0, 0, 1)
+	m.Set(2, 1, 5)
+	if m.Get(0, 0) != 1 || m.Get(2, 1) != 5 {
+		t.Fatal("set/get failed")
+	}
+	if m.Get(5, 5) != 0 {
+		t.Fatal("out-of-range get should be 0")
+	}
+	m.Set(9, 9, 1) // silent no-op
+	if m.Add(0, 0, 2) != 3 {
+		t.Fatal("Add failed")
+	}
+	if m.NumEntries() != 6 {
+		t.Fatalf("NumEntries = %d", m.NumEntries())
+	}
+	if m.Type() != TypeDenseMatrix {
+		t.Fatal("wrong type")
+	}
+}
+
+func TestDenseMatrixMulVec(t *testing.T) {
+	m := NewDenseMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	for r := range vals {
+		for c := range vals[r] {
+			m.Set(r, c, vals[r][c])
+		}
+	}
+	y, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	// Overlay-aware MulVec.
+	_ = m.BeginDirty()
+	m.Set(0, 0, 10)
+	y2, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y2[0] != 15 {
+		t.Fatalf("dirty MulVec y[0] = %f, want 15", y2[0])
+	}
+}
+
+func TestDenseMatrixDirtyAndCheckpoint(t *testing.T) {
+	m := NewDenseMatrix(4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m.Set(r, c, float64(r*4+c))
+		}
+	}
+	_ = m.BeginDirty()
+	m.Set(0, 0, 99)
+	chunks, err := m.Checkpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := NewDenseMatrix(0, 0)
+	if err := rm.Restore(chunks); err != nil {
+		t.Fatal(err)
+	}
+	rr, cc := rm.Dims()
+	if rr != 4 || cc != 4 {
+		t.Fatalf("restored dims %dx%d", rr, cc)
+	}
+	if rm.Get(0, 0) != 0 {
+		t.Fatalf("checkpoint leaked dirty write: %f", rm.Get(0, 0))
+	}
+	if rm.Get(3, 3) != 15 {
+		t.Fatalf("restore lost cell: %f", rm.Get(3, 3))
+	}
+	if _, err := m.MergeDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(0, 0) != 99 {
+		t.Fatal("merge lost overlay")
+	}
+}
+
+func TestDenseMatrixSplitAndChunkSplit(t *testing.T) {
+	m := NewDenseMatrix(10, 2)
+	for r := 0; r < 10; r++ {
+		m.Set(r, 0, float64(r+1))
+	}
+	parts, err := m.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		owner := PartitionKey(uint64(r), 2)
+		for pi, p := range parts {
+			got := p.(*DenseMatrix).Get(r, 0)
+			if pi == owner && got != float64(r+1) {
+				t.Fatalf("row %d missing from owner", r)
+			}
+			if pi != owner && got != 0 {
+				t.Fatalf("row %d leaked", r)
+			}
+		}
+	}
+
+	m2 := NewDenseMatrix(6, 3)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 3; c++ {
+			m2.Set(r, c, float64(r*3+c+1))
+		}
+	}
+	one, _ := m2.Checkpoint(1)
+	split, err := SplitChunk(one[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := NewDenseMatrix(0, 0)
+	if err := rm.Restore(split); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 3; c++ {
+			if rm.Get(r, c) != float64(r*3+c+1) {
+				t.Fatalf("cell (%d,%d) = %f", r, c, rm.Get(r, c))
+			}
+		}
+	}
+}
+
+func TestNewByType(t *testing.T) {
+	for _, tt := range []StoreType{TypeKVMap, TypeMatrix, TypeDenseMatrix, TypeVector} {
+		s, err := New(tt)
+		if err != nil {
+			t.Fatalf("New(%v): %v", tt, err)
+		}
+		if s.Type() != tt {
+			t.Fatalf("New(%v).Type() = %v", tt, s.Type())
+		}
+		if tt.String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+	if _, err := New(TypeInvalid); err == nil {
+		t.Fatal("New(invalid) should fail")
+	}
+	if _, err := SplitChunk(Chunk{Type: TypeInvalid}, 2); err == nil {
+		t.Fatal("SplitChunk(invalid) should fail")
+	}
+	if _, err := SplitChunk(Chunk{Type: TypeKVMap}, 0); err != ErrBadSplit {
+		t.Fatal("SplitChunk n=0 should fail")
+	}
+}
+
+func TestPartitionKeyStable(t *testing.T) {
+	for k := uint64(0); k < 1000; k++ {
+		p := PartitionKey(k, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		if p2 := PartitionKey(k, 7); p2 != p {
+			t.Fatal("PartitionKey not deterministic")
+		}
+	}
+	if PartitionKey(123, 1) != 0 || PartitionKey(123, 0) != 0 {
+		t.Fatal("degenerate n should map to 0")
+	}
+	// Distribution sanity: no partition should be empty over 1000 keys.
+	counts := make([]int, 7)
+	for k := uint64(0); k < 1000; k++ {
+		counts[PartitionKey(k, 7)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package translator
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUntranslatable wraps programs that violate the restrictions of §4.1.
+var ErrUntranslatable = errors.New("translator: program cannot be translated")
+
+func untranslatable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUntranslatable, fmt.Sprintf(format, args...))
+}
+
+// accessMode classifies one state access (§4.2 step 3).
+type accessMode int
+
+const (
+	accessNone accessMode = iota
+	accessByKey
+	accessLocal
+	accessGlobal
+)
+
+func (m accessMode) String() string {
+	switch m {
+	case accessByKey:
+		return "partitioned"
+	case accessLocal:
+		return "local"
+	case accessGlobal:
+		return "global"
+	default:
+		return "none"
+	}
+}
+
+// access describes the state access of one statement.
+type access struct {
+	field  string
+	mode   accessMode
+	keyVar string // partitioned access key variable (reaching expression)
+	merge  string // merge function name for @Collection statements
+}
+
+// keyVarOf recovers the variable the key expression derives from — the
+// "reaching expression analysis" of §4.2 rule 2, restricted to expressions
+// rooted at a single variable.
+func keyVarOf(e Expr) (string, error) {
+	switch v := e.(type) {
+	case Var:
+		return v.Name, nil
+	case BinOp:
+		lv, lerr := keyVarOf(v.L)
+		rv, rerr := keyVarOf(v.R)
+		switch {
+		case lerr == nil && rerr != nil:
+			return lv, nil
+		case lerr != nil && rerr == nil:
+			return rv, nil
+		case lerr == nil && rerr == nil && lv == rv:
+			return lv, nil
+		}
+		return "", untranslatable("key expression mixes variables")
+	case Const:
+		return "", untranslatable("constant key expression has no access variable")
+	default:
+		return "", untranslatable("unsupported key expression %T", e)
+	}
+}
+
+// analyzer resolves field annotations.
+type analyzer struct {
+	fields map[string]Field
+}
+
+func newAnalyzer(p *Program) (*analyzer, error) {
+	a := &analyzer{fields: make(map[string]Field, len(p.Fields))}
+	for _, f := range p.Fields {
+		if _, dup := a.fields[f.Name]; dup {
+			return nil, untranslatable("duplicate state field %q", f.Name)
+		}
+		a.fields[f.Name] = f
+	}
+	return a, nil
+}
+
+// exprAccesses collects state accesses appearing inside an expression.
+func (a *analyzer) exprAccesses(e Expr) ([]access, error) {
+	switch v := e.(type) {
+	case Var, Const:
+		return nil, nil
+	case BinOp:
+		l, err := a.exprAccesses(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.exprAccesses(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case MergeCall:
+		return []access{{merge: v.Func}}, nil
+	case StateRead:
+		f, ok := a.fields[v.Field]
+		if !ok {
+			return nil, untranslatable("read of unknown state field %q", v.Field)
+		}
+		acc := access{field: v.Field}
+		switch {
+		case f.Ann == AnnPartitioned:
+			if v.Global {
+				return nil, untranslatable("@Global access to partitioned field %q", v.Field)
+			}
+			acc.mode = accessByKey
+			if len(v.Args) == 0 {
+				return nil, untranslatable("partitioned read of %q needs a key argument", v.Field)
+			}
+			kv, err := keyVarOf(v.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			acc.keyVar = kv
+		case v.Global:
+			acc.mode = accessGlobal
+		default:
+			acc.mode = accessLocal
+		}
+		for _, arg := range v.Args {
+			nested, err := a.exprAccesses(arg)
+			if err != nil {
+				return nil, err
+			}
+			if len(nested) > 0 {
+				return nil, untranslatable("nested state access in arguments of %s.%s", v.Field, v.Op)
+			}
+		}
+		return []access{acc}, nil
+	default:
+		return nil, untranslatable("unknown expression %T", e)
+	}
+}
+
+// stmtAccess folds a statement's state accesses into at most one access
+// (access edges form a partial function: one SE per TE, §3.1).
+func (a *analyzer) stmtAccess(s Stmt) (access, error) {
+	var accs []access
+	collect := func(e Expr) error {
+		got, err := a.exprAccesses(e)
+		if err != nil {
+			return err
+		}
+		accs = append(accs, got...)
+		return nil
+	}
+	switch v := s.(type) {
+	case Assign:
+		if err := collect(v.Expr); err != nil {
+			return access{}, err
+		}
+	case Return:
+		if err := collect(v.Expr); err != nil {
+			return access{}, err
+		}
+	case StateUpdate:
+		f, ok := a.fields[v.Field]
+		if !ok {
+			return access{}, untranslatable("update of unknown state field %q", v.Field)
+		}
+		acc := access{field: v.Field}
+		if f.Ann == AnnPartitioned {
+			acc.mode = accessByKey
+			if len(v.Args) == 0 {
+				return access{}, untranslatable("partitioned update of %q needs a key argument", v.Field)
+			}
+			kv, err := keyVarOf(v.Args[0])
+			if err != nil {
+				return access{}, err
+			}
+			acc.keyVar = kv
+		} else {
+			acc.mode = accessLocal
+		}
+		accs = append(accs, acc)
+		for _, arg := range v.Args {
+			if err := collect(arg); err != nil {
+				return access{}, err
+			}
+		}
+	case ForEach:
+		if err := collect(v.Over); err != nil {
+			return access{}, err
+		}
+		for _, inner := range v.Body {
+			in, err := a.stmtAccess(inner)
+			if err != nil {
+				return access{}, err
+			}
+			if in.mode != accessNone || in.merge != "" {
+				accs = append(accs, in)
+			}
+		}
+	case If:
+		if err := collect(v.Cond); err != nil {
+			return access{}, err
+		}
+		for _, arm := range [][]Stmt{v.Then, v.Else} {
+			for _, inner := range arm {
+				in, err := a.stmtAccess(inner)
+				if err != nil {
+					return access{}, err
+				}
+				if in.mode != accessNone || in.merge != "" {
+					accs = append(accs, in)
+				}
+			}
+		}
+	default:
+		return access{}, untranslatable("unknown statement %T", s)
+	}
+
+	// Fold: all accesses of one statement must agree on a single SE and
+	// mode; for partitioned accesses the key variable must be unique (§3.2:
+	// "TEs cannot access partitioned SEs using conflicting strategies").
+	var out access
+	for _, acc := range accs {
+		if acc.merge != "" {
+			if out.merge != "" && out.merge != acc.merge {
+				return access{}, untranslatable("statement invokes two merge functions")
+			}
+			out.merge = acc.merge
+			continue
+		}
+		if out.mode == accessNone {
+			out.field, out.mode, out.keyVar = acc.field, acc.mode, acc.keyVar
+			continue
+		}
+		if out.field != acc.field || out.mode != acc.mode || out.keyVar != acc.keyVar {
+			return access{}, untranslatable(
+				"statement accesses %s(%v key=%q) and %s(%v key=%q); one TE may access one SE one way",
+				out.field, out.mode, out.keyVar, acc.field, acc.mode, acc.keyVar)
+		}
+	}
+	return out, nil
+}
+
+// use/def analysis for live variables (§4.2 step 5).
+
+func exprUses(e Expr, into map[string]bool) {
+	switch v := e.(type) {
+	case Var:
+		into[v.Name] = true
+	case Const:
+	case BinOp:
+		exprUses(v.L, into)
+		exprUses(v.R, into)
+	case StateRead:
+		for _, a := range v.Args {
+			exprUses(a, into)
+		}
+	case MergeCall:
+		into[v.Arg.Name] = true
+	}
+}
+
+// stmtUseDef reports the variables a statement uses and defines. ForEach
+// and If define nothing for downstream purposes (their bodies may not
+// execute), which keeps liveness conservative.
+func stmtUseDef(s Stmt) (use map[string]bool, def map[string]bool) {
+	use = map[string]bool{}
+	def = map[string]bool{}
+	switch v := s.(type) {
+	case Assign:
+		exprUses(v.Expr, use)
+		def[v.Var] = true
+	case StateUpdate:
+		for _, a := range v.Args {
+			exprUses(a, use)
+		}
+	case Return:
+		exprUses(v.Expr, use)
+	case ForEach:
+		exprUses(v.Over, use)
+		inner := liveIn(v.Body, map[string]bool{})
+		for name := range inner {
+			if name != v.KeyVar && name != v.ValVar {
+				use[name] = true
+			}
+		}
+	case If:
+		exprUses(v.Cond, use)
+		for _, arm := range [][]Stmt{v.Then, v.Else} {
+			inner := liveIn(arm, map[string]bool{})
+			for name := range inner {
+				use[name] = true
+			}
+		}
+	}
+	return use, def
+}
+
+// liveIn computes the live variables at the entry of a statement sequence,
+// given the set live at its exit (standard backward dataflow).
+func liveIn(stmts []Stmt, liveOut map[string]bool) map[string]bool {
+	live := map[string]bool{}
+	for name := range liveOut {
+		live[name] = true
+	}
+	for i := len(stmts) - 1; i >= 0; i-- {
+		use, def := stmtUseDef(stmts[i])
+		for name := range def {
+			delete(live, name)
+		}
+		for name := range use {
+			live[name] = true
+		}
+	}
+	return live
+}

@@ -1,0 +1,97 @@
+package translator
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// App is a translated program deployed on the SDG runtime: the analog of a
+// java2sdg-produced job running on the paper's prototype.
+type App struct {
+	rt   *runtime.Runtime
+	plan *Plan
+	// methodEntry maps method name -> entry TE name (they coincide today,
+	// kept explicit for clarity).
+	methodEntry map[string]string
+	params      map[string][]string
+}
+
+// DeployProgram translates the program and deploys the resulting SDG.
+func DeployProgram(p *Program, opts runtime.Options) (*App, error) {
+	plan, err := Translate(p)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := runtime.Deploy(plan.Graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	app := &App{
+		rt:          rt,
+		plan:        plan,
+		methodEntry: map[string]string{},
+		params:      map[string][]string{},
+	}
+	for _, m := range p.Methods {
+		app.methodEntry[m.Name] = m.Name
+		app.params[m.Name] = m.Params
+	}
+	return app, nil
+}
+
+// bind packs positional arguments into the entry environment and derives
+// the dispatch key from the entry's partitioned-access key variable.
+func (a *App) bind(method string, args []any) (Env, uint64, error) {
+	entry, ok := a.methodEntry[method]
+	if !ok {
+		return Env{}, 0, fmt.Errorf("translator: unknown method %q", method)
+	}
+	params := a.params[method]
+	if len(args) != len(params) {
+		return Env{}, 0, fmt.Errorf("translator: method %q takes %d arguments, got %d",
+			method, len(params), len(args))
+	}
+	env := Env{Vars: make(map[string]any, len(args))}
+	for i, p := range params {
+		env.Vars[p] = args[i]
+	}
+	var key uint64
+	if kv := a.plan.EntryKey[entry]; kv != "" {
+		val, ok := env.Vars[kv]
+		if !ok {
+			return Env{}, 0, fmt.Errorf("translator: method %q key variable %q is not a parameter",
+				method, kv)
+		}
+		key = hashValue(val)
+	}
+	return env, key, nil
+}
+
+// Invoke runs a method fire-and-forget (e.g. addRating).
+func (a *App) Invoke(method string, args ...any) error {
+	env, key, err := a.bind(method, args)
+	if err != nil {
+		return err
+	}
+	return a.rt.Inject(a.methodEntry[method], key, env)
+}
+
+// Call runs a method and waits for its Return value (e.g. getRec).
+func (a *App) Call(method string, timeout time.Duration, args ...any) (any, error) {
+	env, key, err := a.bind(method, args)
+	if err != nil {
+		return nil, err
+	}
+	return a.rt.Call(a.methodEntry[method], key, env, timeout)
+}
+
+// Plan exposes the translation artefacts.
+func (a *App) Plan() *Plan { return a.plan }
+
+// Runtime exposes the underlying runtime.
+func (a *App) Runtime() *runtime.Runtime { return a.rt }
+
+// Stop shuts the deployment down.
+func (a *App) Stop() { a.rt.Stop() }

@@ -1,0 +1,56 @@
+package translator
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+func BenchmarkTranslateCF(b *testing.B) {
+	p := cfProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Translate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpretedAddRating measures the end-to-end cost of one
+// translated imperative call: IR interpretation + state access + live
+// variable dispatch. Compare with the hand-written cf app benches to see
+// the interpreter's overhead over compiled task functions.
+func BenchmarkInterpretedAddRating(b *testing.B) {
+	app, err := DeployProgram(cfProgram(), runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := app.Invoke("addRating", i%500, i%100, 1+i%5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	app.Runtime().Drain(30 * time.Second)
+}
+
+func BenchmarkInterpretedGetRec(b *testing.B) {
+	app, err := DeployProgram(cfProgram(), runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer app.Stop()
+	for i := 0; i < 200; i++ {
+		_ = app.Invoke("addRating", i%50, i%20, 1+i%5)
+	}
+	app.Runtime().Drain(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Call("getRec", 30*time.Second, i%50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package translator
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// cfGoSource is Alg. 1 written as annotated Go source — the input format
+// of the source-level front end.
+const cfGoSource = `
+package cf
+
+//sdg:state partitioned
+var userItem Matrix
+
+//sdg:state partial
+var coOcc Matrix
+
+func addRating(user, item, rating int) {
+	userItem.Set(user, item, rating)
+	userRow := userItem.Row(user)
+	for i, r := range userRow {
+		if r > 0 {
+			if i != item {
+				coOcc.Add(item, i, 1)
+				coOcc.Add(i, item, 1)
+			}
+		}
+	}
+}
+
+func getRec(user int) {
+	userRow := userItem.Row(user)
+	//sdg:partial
+	userRec := coOcc.GlobalMulvec(userRow)
+	rec := sumVectors(userRec)
+	return rec
+}
+`
+
+func sumVectorsMerge() map[string]func([]any) any {
+	return map[string]func([]any) any{
+		"sumVectors": func(parts []any) any {
+			rec := map[int64]float64{}
+			for _, p := range parts {
+				if m, ok := p.(map[int64]float64); ok {
+					for k, v := range m {
+						rec[k] += v
+					}
+				}
+			}
+			return rec
+		},
+	}
+}
+
+func TestParseGoCFMatchesIRTranslation(t *testing.T) {
+	prog, err := ParseGoProgram("cf", cfGoSource, sumVectorsMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Fields) != 2 || prog.Fields[0].Ann != AnnPartitioned || prog.Fields[1].Ann != AnnPartial {
+		t.Fatalf("fields = %+v", prog.Fields)
+	}
+	if len(prog.Methods) != 2 {
+		t.Fatalf("methods = %d", len(prog.Methods))
+	}
+	plan, err := Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical structure to the hand-built IR: Fig. 1's five TEs, two SEs.
+	if len(plan.Graph.TEs) != 5 || len(plan.Graph.SEs) != 2 {
+		t.Fatalf("TEs=%d SEs=%d", len(plan.Graph.TEs), len(plan.Graph.SEs))
+	}
+	dispatches := map[core.Dispatch]int{}
+	for _, e := range plan.Graph.Edges {
+		dispatches[e.Dispatch]++
+	}
+	if dispatches[core.DispatchOneToAny] != 1 ||
+		dispatches[core.DispatchOneToAll] != 1 ||
+		dispatches[core.DispatchAllToOne] != 1 {
+		t.Fatalf("dispatch histogram = %v", dispatches)
+	}
+	if plan.EntryKey["addRating"] != "user" || plan.EntryKey["getRec"] != "user" {
+		t.Fatalf("entry keys = %v", plan.EntryKey)
+	}
+}
+
+func TestParsedGoProgramExecutes(t *testing.T) {
+	prog, err := ParseGoProgram("cf", cfGoSource, sumVectorsMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := DeployProgram(prog, runtime.Options{
+		Partitions: map[string]int{"userItem": 2, "coOcc": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	for _, r := range [][3]int{{1, 10, 5}, {1, 20, 4}, {2, 10, 5}, {2, 30, 3}} {
+		if err := app.Invoke("addRating", r[0], r[1], r[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !app.Runtime().Drain(5 * time.Second) {
+		t.Fatal("drain")
+	}
+	got, err := app.Call("getRec", 5*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := got.(map[int64]float64)
+	if rec[30] <= 0 {
+		t.Fatalf("rec[30] = %f (rec=%v)", rec[30], rec)
+	}
+}
+
+func TestParseGoAutoPartialFromGlobal(t *testing.T) {
+	// Without the //sdg:partial comment, an assignment from a @Global read
+	// is still auto-marked partial (the front end infers the annotation).
+	src := `
+package p
+
+//sdg:state partial
+var m Matrix
+
+func f(k int) {
+	x := m.GlobalRow(k)
+	y := mergeIt(x)
+	return y
+}
+`
+	prog, err := ParseGoProgram("p", src, map[string]func([]any) any{
+		"mergeIt": func(parts []any) any { return len(parts) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(prog); err != nil {
+		t.Fatalf("auto-partial should make this translatable: %v", err)
+	}
+}
+
+func TestParseGoErrors(t *testing.T) {
+	cases := map[string]string{
+		"syntax error": `package p func {`,
+		"unknown state type": `
+package p
+//sdg:state partitioned
+var m Widget
+func f(k int) { m.Set(k, 0, 1) }`,
+		"bad state kind": `
+package p
+//sdg:state sharded
+var m Matrix
+func f(k int) { m.Set(k, 0, 1) }`,
+		"missing state kind": `
+package p
+//sdg:state
+var m Matrix
+func f(k int) { m.Set(k, 0, 1) }`,
+		"no methods": `
+package p
+//sdg:state partitioned
+var m Matrix`,
+		"unknown function": `
+package p
+//sdg:state partitioned
+var m Matrix
+func f(k int) { x := frobnicate(k); m.Set(x, 0, 1) }`,
+		"call on non-state": `
+package p
+//sdg:state partitioned
+var m Matrix
+func f(k int) { other.Set(k, 0, 1) }`,
+		"multi assign": `
+package p
+//sdg:state partitioned
+var m Matrix
+func f(k int) { a, b := k, k; m.Set(a, b, 1) }`,
+		"unsupported stmt": `
+package p
+//sdg:state partitioned
+var m Matrix
+func f(k int) { go m.Set(k, 0, 1) }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseGoProgram("p", src, nil); err == nil {
+				t.Fatalf("source should be rejected:\n%s", src)
+			}
+		})
+	}
+}
+
+func TestParseGoLiteralsAndOperators(t *testing.T) {
+	src := `
+package p
+
+//sdg:state partitioned
+var kv KVMap
+
+func f(k int) {
+	kv.Put(k, "value")
+	x := kv.Get(k)
+	ok := (x != 0.5) == true
+	if ok {
+		kv.Put(k, "updated")
+	} else {
+		kv.Delete(k)
+	}
+	return ok
+}
+`
+	prog, err := ParseGoProgram("p", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Graph.TEs) != 1 {
+		t.Fatalf("TEs = %d, want 1 (same key throughout)", len(plan.Graph.TEs))
+	}
+	app, err := DeployProgram(prog, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	got, err := app.Call("f", 5*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != true {
+		t.Fatalf("f returned %v", got)
+	}
+}

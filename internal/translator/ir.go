@@ -1,0 +1,155 @@
+// Package translator reproduces the java2sdg translation pipeline of §4:
+// annotated imperative programs are statically analysed and compiled to
+// executable stateful dataflow graphs.
+//
+// The paper's input is an annotated Java class processed through Soot
+// (Jimple IR) and Javassist (bytecode generation). This implementation
+// substitutes a small imperative IR for Jimple and an interpreter for the
+// bytecode backend; the analysis pipeline in between is reproduced
+// faithfully:
+//
+//	step 2   SE extraction from @Partitioned/@Partial field annotations
+//	step 3   state-access classification (local / partitioned / global)
+//	step 4   TE extraction: a new TE per entry point, per partitioned
+//	         access with a new key, per global access, per local access to
+//	         a new partial SE, and per @Collection merge (rules 1-5),
+//	         with access keys recovered from the key expressions
+//	step 5   live-variable analysis to determine what each dataflow edge
+//	         carries
+//	step 6-8 TE "code generation": interpreted task functions that evaluate
+//	         the assigned statements, invoke the runtime for state access
+//	         and dispatch live variables to successor TEs
+package translator
+
+import "repro/internal/state"
+
+// FieldAnn is a state field annotation (§4.1).
+type FieldAnn int
+
+const (
+	// AnnPartitioned marks a field splittable into disjoint partitions by
+	// access key (@Partitioned).
+	AnnPartitioned FieldAnn = iota
+	// AnnPartial marks a field whose instances are independent replicas
+	// (@Partial).
+	AnnPartial
+)
+
+// String names the annotation.
+func (a FieldAnn) String() string {
+	if a == AnnPartitioned {
+		return "@Partitioned"
+	}
+	return "@Partial"
+}
+
+// Field is one annotated state field of the program.
+type Field struct {
+	Name string
+	Type state.StoreType
+	Ann  FieldAnn
+	// Build optionally pre-sizes the store (e.g. a dense vector).
+	Build func() state.Store
+}
+
+// Program is the unit of translation: the paper requires "a single Java
+// class with annotations"; here it is a named set of annotated fields,
+// entry-point methods and developer-defined merge functions.
+type Program struct {
+	Name string
+	// Fields are the explicit state classes (§4.1 "Explicit state
+	// classes"); all program state must live in them.
+	Fields []Field
+	// Methods are the entry points (§4.2 rule 1: a TE per entry point).
+	Methods []*Method
+	// MergeFuncs are the application-defined merge computations invoked on
+	// @Collection values (§3.2: "Merge computation is application-specific
+	// and must be defined by the developer").
+	MergeFuncs map[string]func([]any) any
+}
+
+// Method is one entry point.
+type Method struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Stmt is an imperative statement.
+type Stmt interface{ stmt() }
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// Var reads a local variable or parameter.
+type Var struct{ Name string }
+
+// Const is a literal.
+type Const struct{ Value any }
+
+// BinOp applies a binary operator: + - * / > < >= <= == !=.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// StateRead reads from a state field: field.Op(args...). Global marks
+// @Global access to a partial field (the expression becomes multi-valued).
+type StateRead struct {
+	Field  string
+	Op     string
+	Args   []Expr
+	Global bool
+}
+
+// MergeCall invokes a named merge function on a partial (multi-valued)
+// variable — the @Collection access of §4.1.
+type MergeCall struct {
+	Func string
+	Arg  Var // must name a partial variable
+}
+
+func (Var) expr()       {}
+func (Const) expr()     {}
+func (BinOp) expr()     {}
+func (StateRead) expr() {}
+func (MergeCall) expr() {}
+
+// Assign binds a variable. Partial must be set when the right-hand side is
+// a @Global state read (the variable becomes logically multi-valued).
+type Assign struct {
+	Var     string
+	Expr    Expr
+	Partial bool
+}
+
+// StateUpdate mutates a state field: field.Op(args...).
+type StateUpdate struct {
+	Field string
+	Op    string
+	Args  []Expr
+}
+
+// ForEach iterates over a map-valued expression, binding key and value
+// variables for the body. Iteration is local to one TE.
+type ForEach struct {
+	KeyVar, ValVar string
+	Over           Expr
+	Body           []Stmt
+}
+
+// If branches on a condition; either arm may be empty.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Return produces the method result: translated to a Reply to the caller.
+type Return struct{ Expr Expr }
+
+func (Assign) stmt()      {}
+func (StateUpdate) stmt() {}
+func (ForEach) stmt()     {}
+func (If) stmt()          {}
+func (Return) stmt()      {}

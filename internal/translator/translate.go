@@ -1,0 +1,325 @@
+package translator
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PlannedTE describes one generated task element.
+type PlannedTE struct {
+	Name   string
+	Method string
+	Entry  bool
+	Field  string // accessed SE ("" for stateless)
+	Mode   string // access mode
+	KeyVar string // partitioned access key variable
+	Stmts  []Stmt
+	LiveIn []string // variables live at TE entry
+}
+
+// PlannedEdge describes one generated dataflow edge.
+type PlannedEdge struct {
+	From, To string
+	Dispatch core.Dispatch
+	KeyVar   string
+	Carries  []string
+}
+
+// Plan is the translation result: the executable graph plus the analysis
+// artefacts for inspection (and the per-entry key parameter needed to
+// inject requests).
+type Plan struct {
+	Graph *core.Graph
+	TEs   []PlannedTE
+	Edges []PlannedEdge
+	// EntryKey maps entry TE name -> parameter variable used as dispatch
+	// key ("" when the entry is not partitioned).
+	EntryKey map[string]string
+}
+
+// block is a run of statements sharing one state access.
+type block struct {
+	acc    access
+	stmts  []Stmt
+	merge  string // merge function if this is a @Collection block
+	entry  bool
+	method string
+	index  int
+}
+
+// Translate compiles an annotated program to an SDG (§4.2).
+func Translate(p *Program) (*Plan, error) {
+	a, err := newAnalyzer(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Methods) == 0 {
+		return nil, untranslatable("program has no entry methods")
+	}
+
+	g := core.NewGraph(p.Name)
+	seID := map[string]int{}
+	for _, f := range p.Fields {
+		kind := core.KindPartitioned
+		if f.Ann == AnnPartial {
+			kind = core.KindPartial
+		}
+		seID[f.Name] = g.AddSE(f.Name, kind, f.Type, f.Build)
+	}
+
+	plan := &Plan{Graph: g, EntryKey: map[string]string{}}
+
+	for _, m := range p.Methods {
+		blocks, err := splitMethod(a, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := validatePartialVars(a, m); err != nil {
+			return nil, err
+		}
+
+		// Live variables at each block's entry (step 5), computed backwards.
+		liveAt := make([]map[string]bool, len(blocks)+1)
+		liveAt[len(blocks)] = map[string]bool{}
+		for i := len(blocks) - 1; i >= 0; i-- {
+			liveAt[i] = liveIn(blocks[i].stmts, liveAt[i+1])
+		}
+
+		// Materialise TEs.
+		teIDs := make([]int, len(blocks))
+		for i, b := range blocks {
+			name := m.Name
+			if i > 0 {
+				name = fmt.Sprintf("%s/%d", m.Name, i)
+				if b.acc.field != "" {
+					name = fmt.Sprintf("%s/%d[%s]", m.Name, i, b.acc.field)
+				} else if b.merge != "" {
+					name = fmt.Sprintf("%s/%d[merge:%s]", m.Name, i, b.merge)
+				}
+			}
+			var accEdge *core.Access
+			switch b.acc.mode {
+			case accessByKey:
+				accEdge = &core.Access{SE: seID[b.acc.field], Mode: core.AccessByKey}
+			case accessLocal:
+				accEdge = &core.Access{SE: seID[b.acc.field], Mode: core.AccessLocal}
+			case accessGlobal:
+				accEdge = &core.Access{SE: seID[b.acc.field], Mode: core.AccessGlobal}
+			}
+			var liveOut []string
+			if i+1 < len(blocks) {
+				for v := range liveAt[i+1] {
+					liveOut = append(liveOut, v)
+				}
+			}
+			fn := makeTaskFunc(p, a, b, i < len(blocks)-1, liveKeyVar(blocks, i+1), liveOut)
+			teIDs[i] = g.AddTE(name, fn, accEdge, i == 0)
+
+			var liveList []string
+			for v := range liveAt[i] {
+				liveList = append(liveList, v)
+			}
+			plan.TEs = append(plan.TEs, PlannedTE{
+				Name: name, Method: m.Name, Entry: i == 0,
+				Field: b.acc.field, Mode: b.acc.mode.String(), KeyVar: b.acc.keyVar,
+				Stmts: b.stmts, LiveIn: liveList,
+			})
+			if i == 0 {
+				plan.EntryKey[name] = b.acc.keyVar
+			}
+		}
+
+		// Dataflow edges with dispatch semantics (rules 2-5).
+		for i := 0; i+1 < len(blocks); i++ {
+			up, down := blocks[i], blocks[i+1]
+			var d core.Dispatch
+			switch {
+			case down.merge != "":
+				d = core.DispatchAllToOne // rule 5
+			case down.acc.mode == accessGlobal:
+				d = core.DispatchOneToAll // rule 3
+			case down.acc.mode == accessByKey:
+				if up.acc.mode == accessGlobal {
+					return nil, untranslatable(
+						"method %q: partitioned access after @Global requires a @Collection merge in between", m.Name)
+				}
+				d = core.DispatchPartitioned // rule 2
+			case down.acc.mode == accessLocal:
+				if up.acc.mode == accessGlobal {
+					return nil, untranslatable(
+						"method %q: local access after @Global requires a @Collection merge in between", m.Name)
+				}
+				d = core.DispatchOneToAny // rule 4
+			default:
+				d = core.DispatchOneToAny
+			}
+			g.Connect(teIDs[i], teIDs[i+1], d)
+
+			var carries []string
+			for v := range liveAt[i+1] {
+				carries = append(carries, v)
+			}
+			plan.Edges = append(plan.Edges, PlannedEdge{
+				From:     g.TEs[teIDs[i]].Name,
+				To:       g.TEs[teIDs[i+1]].Name,
+				Dispatch: d,
+				KeyVar:   down.acc.keyVar,
+				Carries:  carries,
+			})
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("translator: generated graph invalid: %w", err)
+	}
+	return plan, nil
+}
+
+// liveKeyVar reports the dispatch key variable of block i (the downstream
+// block of an edge), or "".
+func liveKeyVar(blocks []*block, i int) string {
+	if i < len(blocks) {
+		return blocks[i].acc.keyVar
+	}
+	return ""
+}
+
+// splitMethod partitions a method body into blocks, one per TE (rules 1-5
+// of §4.2 step 4): a new block starts whenever a statement's state access
+// differs from the current block's — a different SE, a different access key
+// on the same SE, a switch to global access, or a @Collection merge.
+func splitMethod(a *analyzer, m *Method) ([]*block, error) {
+	cur := &block{method: m.Name, entry: true}
+	var blocks []*block
+	flush := func() {
+		if len(cur.stmts) > 0 || cur.entry {
+			blocks = append(blocks, cur)
+		}
+		cur = &block{method: m.Name, index: len(blocks)}
+	}
+	for _, s := range m.Body {
+		acc, err := a.stmtAccess(s)
+		if err != nil {
+			return nil, fmt.Errorf("method %q: %w", m.Name, err)
+		}
+		switch {
+		case acc.merge != "":
+			// Rule 5: @Collection expressions synchronise into a merge TE.
+			flush()
+			cur.merge = acc.merge
+			cur.stmts = append(cur.stmts, s)
+		case acc.mode == accessNone:
+			// Stateless statements ride with the current block.
+			cur.stmts = append(cur.stmts, s)
+		case cur.merge != "":
+			// Leaving a merge block: state access starts a new TE.
+			flush()
+			cur.acc = acc
+			cur.stmts = append(cur.stmts, s)
+		case cur.acc.mode == accessNone:
+			// First state access of the block adopts it.
+			cur.acc = acc
+			cur.stmts = append(cur.stmts, s)
+		case cur.acc.field == acc.field && cur.acc.mode == acc.mode && cur.acc.keyVar == acc.keyVar:
+			cur.stmts = append(cur.stmts, s)
+		default:
+			// Rules 2-4: access change starts a new TE.
+			flush()
+			cur.acc = acc
+			cur.stmts = append(cur.stmts, s)
+		}
+	}
+	if len(cur.stmts) > 0 || len(blocks) == 0 {
+		blocks = append(blocks, cur)
+	}
+	return blocks, nil
+}
+
+// validatePartialVars enforces the annotation discipline of §4.1: a
+// variable assigned from a @Global read must be marked Partial, and partial
+// variables may only be consumed by @Collection merges.
+func validatePartialVars(a *analyzer, m *Method) error {
+	partial := map[string]bool{}
+	var walk func(stmts []Stmt) error
+	checkUses := func(e Expr, allowMerge bool) error {
+		uses := map[string]bool{}
+		switch v := e.(type) {
+		case MergeCall:
+			if allowMerge {
+				return nil
+			}
+			uses[v.Arg.Name] = true
+		default:
+			exprUses(e, uses)
+		}
+		for name := range uses {
+			if partial[name] {
+				return untranslatable(
+					"method %q: partial variable %q used outside a @Collection merge", m.Name, name)
+			}
+		}
+		return nil
+	}
+	walk = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch v := s.(type) {
+			case Assign:
+				global := containsGlobalRead(v.Expr)
+				if global && !v.Partial {
+					return untranslatable(
+						"method %q: variable %q assigned from @Global access must be @Partial", m.Name, v.Var)
+				}
+				if _, isMerge := v.Expr.(MergeCall); isMerge {
+					// The merge result is single-valued again.
+					partial[v.Var] = false
+					continue
+				}
+				if err := checkUses(v.Expr, false); err != nil {
+					return err
+				}
+				partial[v.Var] = global
+			case StateUpdate:
+				for _, arg := range v.Args {
+					if err := checkUses(arg, false); err != nil {
+						return err
+					}
+				}
+			case Return:
+				if err := checkUses(v.Expr, true); err != nil {
+					return err
+				}
+			case ForEach:
+				if err := checkUses(v.Over, false); err != nil {
+					return err
+				}
+				if err := walk(v.Body); err != nil {
+					return err
+				}
+			case If:
+				if err := checkUses(v.Cond, false); err != nil {
+					return err
+				}
+				if err := walk(v.Then); err != nil {
+					return err
+				}
+				if err := walk(v.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(m.Body)
+}
+
+func containsGlobalRead(e Expr) bool {
+	switch v := e.(type) {
+	case StateRead:
+		return v.Global
+	case BinOp:
+		return containsGlobalRead(v.L) || containsGlobalRead(v.R)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,245 @@
+// Package workload generates the synthetic inputs used by the experiments:
+// Netflix-like movie ratings for collaborative filtering, Zipf-distributed
+// keys for the key/value store, natural-language-like text for streaming
+// wordcount, and labelled feature vectors for logistic regression.
+//
+// All generators are deterministic given a seed so experiments are
+// repeatable. They substitute for the paper's proprietary datasets (the
+// Netflix prize data and a Wikipedia dump) while preserving the access
+// patterns that drive performance: skewed key popularity and random
+// co-occurrence access.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rating is one user-item rating event, the input of the CF application
+// (Alg. 1 addRating).
+type Rating struct {
+	User   int
+	Item   int
+	Rating int // 1..5
+}
+
+// RatingGen produces ratings with Zipf-skewed users and items, mimicking the
+// head-heavy popularity distribution of the Netflix dataset.
+type RatingGen struct {
+	rng   *rand.Rand
+	users *rand.Zipf
+	items *rand.Zipf
+	NUser int
+	NItem int
+}
+
+// NewRatingGen returns a generator over nUsers x nItems with the given seed.
+func NewRatingGen(seed int64, nUsers, nItems int) *RatingGen {
+	if nUsers < 1 {
+		nUsers = 1
+	}
+	if nItems < 1 {
+		nItems = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &RatingGen{
+		rng:   rng,
+		users: rand.NewZipf(rng, 1.2, 1.0, uint64(nUsers-1)),
+		items: rand.NewZipf(rng, 1.2, 1.0, uint64(nItems-1)),
+		NUser: nUsers,
+		NItem: nItems,
+	}
+}
+
+// Next produces the next rating.
+func (g *RatingGen) Next() Rating {
+	return Rating{
+		User:   int(g.users.Uint64()),
+		Item:   int(g.items.Uint64()),
+		Rating: 1 + g.rng.Intn(5),
+	}
+}
+
+// Batch produces n ratings.
+func (g *RatingGen) Batch(n int) []Rating {
+	out := make([]Rating, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// KVOp is one key/value store request.
+type KVOp struct {
+	Read  bool
+	Key   uint64
+	Value []byte
+}
+
+// KVGen produces key/value operations over a fixed key space with a
+// configurable read fraction and value size. Keys are uniform by default so
+// that state grows evenly across partitions (matching the paper's KV
+// benchmark, which sweeps aggregate state size).
+type KVGen struct {
+	rng       *rand.Rand
+	keys      uint64
+	readFrac  float64
+	valueSize int
+	zipf      *rand.Zipf // optional skew
+}
+
+// NewKVGen returns a KV op generator over keySpace keys; readFrac in [0,1]
+// selects the fraction of reads; valueSize is the write payload size.
+func NewKVGen(seed int64, keySpace uint64, readFrac float64, valueSize int) *KVGen {
+	if keySpace == 0 {
+		keySpace = 1
+	}
+	if valueSize <= 0 {
+		valueSize = 64
+	}
+	return &KVGen{
+		rng:       rand.New(rand.NewSource(seed)),
+		keys:      keySpace,
+		readFrac:  readFrac,
+		valueSize: valueSize,
+	}
+}
+
+// Skewed switches key selection to a Zipf distribution with exponent s>1.
+func (g *KVGen) Skewed(s float64) *KVGen {
+	g.zipf = rand.NewZipf(g.rng, s, 1.0, g.keys-1)
+	return g
+}
+
+// Next produces the next operation. Write payloads are reused internally by
+// value; callers must not retain them across calls if they mutate.
+func (g *KVGen) Next() KVOp {
+	var key uint64
+	if g.zipf != nil {
+		key = g.zipf.Uint64()
+	} else {
+		key = uint64(g.rng.Int63n(int64(g.keys)))
+	}
+	if g.rng.Float64() < g.readFrac {
+		return KVOp{Read: true, Key: key}
+	}
+	val := make([]byte, g.valueSize)
+	for i := range val {
+		val[i] = byte(g.rng.Intn(256))
+	}
+	return KVOp{Key: key, Value: val}
+}
+
+// Batch produces n operations.
+func (g *KVGen) Batch(n int) []KVOp {
+	out := make([]KVOp, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// TextGen produces streams of words drawn from a Zipf-distributed synthetic
+// vocabulary, mimicking natural-language word frequencies for the streaming
+// wordcount experiment.
+type TextGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	vocab []string
+}
+
+// NewTextGen returns a generator with vocabSize distinct words.
+func NewTextGen(seed int64, vocabSize int) *TextGen {
+	if vocabSize < 1 {
+		vocabSize = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, vocabSize)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%05d", i)
+	}
+	return &TextGen{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, 1.1, 1.0, uint64(vocabSize-1)),
+		vocab: vocab,
+	}
+}
+
+// Word produces the next word.
+func (g *TextGen) Word() string {
+	return g.vocab[g.zipf.Uint64()]
+}
+
+// Line produces a line of n words.
+func (g *TextGen) Line(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Word()
+	}
+	return out
+}
+
+// VocabSize reports the number of distinct words.
+func (g *TextGen) VocabSize() int { return len(g.vocab) }
+
+// Point is one labelled example for logistic regression: Label in {-1,+1}.
+type Point struct {
+	X []float64
+	Y float64
+}
+
+// PointGen produces linearly separable-ish labelled points: a hidden weight
+// vector defines the label with some noise, so LR converges and throughput
+// is dominated by the dot products, as in the paper's 100 GB dataset.
+type PointGen struct {
+	rng    *rand.Rand
+	hidden []float64
+	dim    int
+	noise  float64
+}
+
+// NewPointGen returns a generator of dim-dimensional points.
+func NewPointGen(seed int64, dim int, noise float64) *PointGen {
+	if dim < 1 {
+		dim = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hidden := make([]float64, dim)
+	for i := range hidden {
+		hidden[i] = rng.NormFloat64()
+	}
+	return &PointGen{rng: rng, hidden: hidden, dim: dim, noise: noise}
+}
+
+// Next produces one labelled point.
+func (g *PointGen) Next() Point {
+	x := make([]float64, g.dim)
+	dot := 0.0
+	for i := range x {
+		x[i] = g.rng.NormFloat64()
+		dot += x[i] * g.hidden[i]
+	}
+	y := 1.0
+	if dot+g.noise*g.rng.NormFloat64() < 0 {
+		y = -1.0
+	}
+	return Point{X: x, Y: y}
+}
+
+// Batch produces n points.
+func (g *PointGen) Batch(n int) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Dim reports the dimensionality of generated points.
+func (g *PointGen) Dim() int { return g.dim }
+
+// Sigmoid is the logistic function, shared by LR implementations.
+func Sigmoid(z float64) float64 {
+	return 1.0 / (1.0 + math.Exp(-z))
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRatingGenDeterministic(t *testing.T) {
+	a := NewRatingGen(42, 1000, 500).Batch(100)
+	b := NewRatingGen(42, 1000, 500).Batch(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRatingGenRanges(t *testing.T) {
+	g := NewRatingGen(1, 100, 50)
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.User < 0 || r.User >= 100 {
+			t.Fatalf("user %d out of range", r.User)
+		}
+		if r.Item < 0 || r.Item >= 50 {
+			t.Fatalf("item %d out of range", r.Item)
+		}
+		if r.Rating < 1 || r.Rating > 5 {
+			t.Fatalf("rating %d out of range", r.Rating)
+		}
+	}
+}
+
+func TestRatingGenSkew(t *testing.T) {
+	g := NewRatingGen(7, 10000, 10000)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next().User]++
+	}
+	// Zipf: user 0 should be far more popular than the median user.
+	if counts[0] < 100 {
+		t.Errorf("head user only %d hits; want strong skew", counts[0])
+	}
+}
+
+func TestKVGenReadFraction(t *testing.T) {
+	g := NewKVGen(3, 1000, 0.5, 16)
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Read {
+			reads++
+			if op.Value != nil {
+				t.Fatal("read op carries a value")
+			}
+		} else if len(op.Value) != 16 {
+			t.Fatalf("write value size %d, want 16", len(op.Value))
+		}
+		if op.Key >= 1000 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+	frac := float64(reads) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("read fraction %f, want ~0.5", frac)
+	}
+}
+
+func TestKVGenSkewed(t *testing.T) {
+	g := NewKVGen(3, 1000, 0, 8).Skewed(1.5)
+	counts := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		counts[g.Next().Key]++
+	}
+	if counts[0] < 500 {
+		t.Errorf("head key only %d hits under zipf(1.5); want skew", counts[0])
+	}
+}
+
+func TestKVGenDefaults(t *testing.T) {
+	g := NewKVGen(1, 0, 0, 0)
+	op := g.Next()
+	if op.Key != 0 {
+		t.Errorf("keyspace 0 should clamp to 1, got key %d", op.Key)
+	}
+	if len(op.Value) != 64 {
+		t.Errorf("default value size = %d, want 64", len(op.Value))
+	}
+}
+
+func TestTextGen(t *testing.T) {
+	g := NewTextGen(11, 100)
+	if g.VocabSize() != 100 {
+		t.Fatalf("vocab = %d, want 100", g.VocabSize())
+	}
+	line := g.Line(50)
+	if len(line) != 50 {
+		t.Fatalf("line len = %d", len(line))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[g.Word()] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct words in 5000 draws", len(seen))
+	}
+}
+
+func TestPointGenLabelsLearnable(t *testing.T) {
+	g := NewPointGen(5, 10, 0.01)
+	if g.Dim() != 10 {
+		t.Fatalf("dim = %d", g.Dim())
+	}
+	pts := g.Batch(2000)
+	// Run a few epochs of SGD; accuracy should beat random guessing by a lot.
+	w := make([]float64, 10)
+	lr := 0.1
+	for epoch := 0; epoch < 5; epoch++ {
+		for _, p := range pts {
+			dot := 0.0
+			for i := range w {
+				dot += w[i] * p.X[i]
+			}
+			grad := (Sigmoid(p.Y*dot) - 1) * p.Y
+			for i := range w {
+				w[i] -= lr * grad * p.X[i]
+			}
+		}
+	}
+	correct := 0
+	for _, p := range pts {
+		dot := 0.0
+		for i := range w {
+			dot += w[i] * p.X[i]
+		}
+		if (dot >= 0 && p.Y > 0) || (dot < 0 && p.Y < 0) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(pts))
+	if acc < 0.85 {
+		t.Errorf("LR accuracy %f, want >= 0.85 (data should be learnable)", acc)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %f", s)
+	}
+	if s := Sigmoid(100); s < 0.999 {
+		t.Errorf("sigmoid(100) = %f", s)
+	}
+	if s := Sigmoid(-100); s > 0.001 {
+		t.Errorf("sigmoid(-100) = %f", s)
+	}
+}
