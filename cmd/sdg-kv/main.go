@@ -40,6 +40,7 @@ func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
 		partitions = flag.Int("partitions", 2, "store partitions")
+		shards     = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
 		ftInterval = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
 		demo       = flag.Bool("demo", false, "run a scripted demo client and exit")
 	)
@@ -55,6 +56,7 @@ func main() {
 		Runtime: runtime.Options{
 			Mode:     mode,
 			Interval: *ftInterval,
+			KVShards: *shards,
 		},
 	})
 	if err != nil {

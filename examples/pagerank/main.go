@@ -53,7 +53,7 @@ func main() {
 
 	spread := b.Task("spread", func(ctx sdg.Context, it sdg.Item) {
 		msg := it.Value.(contribMsg)
-		kv := ctx.Store().(*sdg.KVMap)
+		kv := ctx.Store().(sdg.KV)
 		cur := 0.0
 		if v, ok := kv.Get(it.Key); ok {
 			cur = math.Float64frombits(binary.LittleEndian.Uint64(v))
@@ -72,7 +72,7 @@ func main() {
 	}, sdg.TaskOptions{Entry: true, ByKeyState: sdg.Ref(ranks)})
 
 	lookup := b.Task("lookup", func(ctx sdg.Context, it sdg.Item) {
-		kv := ctx.Store().(*sdg.KVMap)
+		kv := ctx.Store().(sdg.KV)
 		if v, ok := kv.Get(it.Key); ok {
 			ctx.Reply(math.Float64frombits(binary.LittleEndian.Uint64(v)))
 			return

@@ -31,7 +31,7 @@ func main() {
 	}, sdg.TaskOptions{Entry: true})
 
 	count := b.Task("count", func(ctx sdg.Context, it sdg.Item) {
-		kv := ctx.Store().(*sdg.KVMap)
+		kv := ctx.Store().(sdg.KV)
 		var n uint64
 		if v, ok := kv.Get(it.Key); ok {
 			n = uint64(v[0]) | uint64(v[1])<<8
@@ -41,7 +41,7 @@ func main() {
 	}, sdg.TaskOptions{ByKeyState: sdg.Ref(counts)})
 
 	_ = b.Task("lookup", func(ctx sdg.Context, it sdg.Item) {
-		kv := ctx.Store().(*sdg.KVMap)
+		kv := ctx.Store().(sdg.KV)
 		var n uint64
 		if v, ok := kv.Get(it.Key); ok {
 			n = uint64(v[0]) | uint64(v[1])<<8

@@ -23,12 +23,12 @@ func Graph() *core.Graph {
 	g := core.NewGraph("kv")
 	store := g.AddSE("store", core.KindPartitioned, state.TypeKVMap, nil)
 	g.AddTE("put", func(ctx core.Context, it core.Item) {
-		kvm := ctx.Store().(*state.KVMap)
+		kvm := ctx.Store().(state.KV)
 		kvm.Put(it.Key, it.Value.([]byte))
 		ctx.Reply(true)
 	}, &core.Access{SE: store, Mode: core.AccessByKey}, true)
 	g.AddTE("get", func(ctx core.Context, it core.Item) {
-		kvm := ctx.Store().(*state.KVMap)
+		kvm := ctx.Store().(state.KV)
 		if v, ok := kvm.Get(it.Key); ok {
 			ctx.Reply(v)
 			return
@@ -36,7 +36,7 @@ func Graph() *core.Graph {
 		ctx.Reply(nil)
 	}, &core.Access{SE: store, Mode: core.AccessByKey}, true)
 	g.AddTE("delete", func(ctx core.Context, it core.Item) {
-		kvm := ctx.Store().(*state.KVMap)
+		kvm := ctx.Store().(state.KV)
 		ctx.Reply(kvm.Delete(it.Key))
 	}, &core.Access{SE: store, Mode: core.AccessByKey}, true)
 	return g

@@ -67,7 +67,7 @@ func Graph(window time.Duration) *core.Graph {
 
 	count := g.AddTE("count", func(ctx core.Context, it core.Item) {
 		msg := it.Value.(WordMsg)
-		kvm := ctx.Store().(*state.KVMap)
+		kvm := ctx.Store().(state.KV)
 		// Window rotation: a newer window flushes and clears this partition.
 		const winKey = ^uint64(0) // sentinel slot holding the current window
 		curWin := uint64(0)
@@ -207,7 +207,7 @@ func (w *WC) Counts(word string) uint64 {
 		if err != nil {
 			continue
 		}
-		if v, ok := st.(*state.KVMap).Get(slot); ok && len(v) == 8 {
+		if v, ok := st.(state.KV).Get(slot); ok && len(v) == 8 {
 			total += leUint64(v)
 		}
 	}

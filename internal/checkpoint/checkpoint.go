@@ -4,11 +4,13 @@
 // parallel backup/restore protocol of Fig. 4.
 //
 // A checkpoint of one SE instance consists of hash-partitioned chunks
-// (produced by the state package), the instance's output buffers, and the
-// vector of input watermarks at snapshot time. Chunks are streamed to m
-// backup nodes round-robin and written to their simulated disks; at restore
-// time each backup chunk is split n ways so n recovering instances rebuild
-// in parallel.
+// (produced by the state package — shard-parallel when the SE is backed by
+// a ShardedKVMap), the instance's output buffers, and the vector of input
+// watermarks at snapshot time. Chunks are streamed to m backup nodes
+// round-robin and written to their simulated disks; at restore time each
+// backup chunk is split n ways so n recovering instances rebuild in
+// parallel. Dictionary chunks use one wire format regardless of backend,
+// so sharded and single-lock checkpoints restore into either store.
 package checkpoint
 
 import (

@@ -217,8 +217,12 @@ func TestAsyncCheckpointAllowsWritesDuringSnapshot(t *testing.T) {
 func TestAsyncCheckpointLockTimeSmall(t *testing.T) {
 	// With a slow disk, async checkpoint duration is dominated by I/O but
 	// lock time stays tiny because only the merge locks the store.
+	// The payload is sized so the modelled I/O dominates by a wide margin:
+	// the lock-time assertion below compares against Duration/4, and on a
+	// loaded 1-core CI box a single scheduler hiccup inside the merge
+	// window can cost several ms, so Duration must be well above 40ms.
 	_, b := newBackupEnv(t, 1, 2<<20) // 2 MB/s
-	kv := populatedKV(3000)           // ~100 KB of payload
+	kv := populatedKV(12000)          // ~160 KB of payload -> ~80ms of I/O
 	res, err := Async(kv, Meta{SE: "kv/0", Epoch: 1}, 2, b)
 	if err != nil {
 		t.Fatal(err)
@@ -343,5 +347,85 @@ func TestMToNRecoveryTimeShape(t *testing.T) {
 	t22 := measure(2, 2)
 	if t22 >= t11 {
 		t.Errorf("2-to-2 recovery (%v) should beat 1-to-1 (%v)", t22, t11)
+	}
+}
+
+// TestAsyncShardedCrossRestore runs the full §5 async protocol over the
+// lock-striped store — dirty cut, shard-parallel serialisation with writes
+// landing in the overlay, backup, merge — and then restores the checkpoint
+// through the m-to-n path into the single-lock store, proving the two
+// dictionary backends are interchangeable across the whole substrate.
+func TestAsyncShardedCrossRestore(t *testing.T) {
+	_, b := newBackupEnv(t, 2, 0)
+	kv := state.NewShardedKVMap(8)
+	for i := uint64(0); i < 500; i++ {
+		kv.Put(i, []byte(fmt.Sprintf("value-%d", i)))
+	}
+	res, err := Async(kv, Meta{SE: "kv/0", Epoch: 1}, 4, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta.StoreType != state.TypeShardedKVMap {
+		t.Fatalf("meta store type = %v", res.Meta.StoreType)
+	}
+	// Post-checkpoint mutations must not appear in the restored snapshot.
+	kv.Put(1000, []byte("late"))
+
+	for _, n := range []int{1, 3} {
+		groups, meta, err := b.Restore("kv/0", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for j, g := range groups {
+			r := state.NewKVMap()
+			if err := r.Restore(g); err != nil {
+				t.Fatal(err)
+			}
+			total += r.NumEntries()
+			r.ForEach(func(k uint64, _ []byte) bool {
+				if state.PartitionKey(k, n) != j {
+					t.Errorf("key %d restored to wrong instance %d/%d", k, j, n)
+					return false
+				}
+				return true
+			})
+			if _, ok := r.Get(1000); ok {
+				t.Error("post-checkpoint write leaked into the snapshot")
+			}
+		}
+		if total != 500 {
+			t.Fatalf("n=%d restored %d entries, want 500", n, total)
+		}
+		// RestoreInstance rebuilds via meta.StoreType: a sharded store.
+		st, err := RestoreInstance(meta, groups[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Type() != state.TypeShardedKVMap {
+			t.Fatalf("RestoreInstance type = %v", st.Type())
+		}
+	}
+
+	// And the reverse direction: a single-lock checkpoint restores into the
+	// sharded store.
+	plain := populatedKV(300)
+	chunks, err := plain.Checkpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Save(Meta{SE: "kv/1", Epoch: 1, StoreType: state.TypeKVMap}, chunks); err != nil {
+		t.Fatal(err)
+	}
+	groups, _, err := b.Restore("kv/1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := state.NewShardedKVMap(4)
+	if err := sh.Restore(groups[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.NumEntries(); got != 300 {
+		t.Fatalf("sharded restore entries = %d, want 300", got)
 	}
 }

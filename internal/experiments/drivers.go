@@ -24,7 +24,7 @@ func preloadKV(app *kv.KV, targetBytes int64, valueSize int) uint64 {
 		if err != nil {
 			break
 		}
-		st.(*state.KVMap).Put(key, make([]byte, valueSize))
+		st.(state.KV).Put(key, make([]byte, valueSize))
 		key++
 	}
 	return key

@@ -95,7 +95,10 @@ func Fig10(scale Scale) ([]Fig10Point, []Fig10Event, *Table, error) {
 	var series []Fig10Point
 	last := app.Runtime().Processed("updateCoOcc")
 	for t := time.Duration(0); t < total; t += bucket {
-		if t >= total/4 && scaleCount == 0 && len(series) > 0 && app.Runtime().Instances("updateCoOcc") == 1 {
+		mu.Lock()
+		sc := scaleCount
+		mu.Unlock()
+		if t >= total/4 && sc == 0 && len(series) > 0 && app.Runtime().Instances("updateCoOcc") == 1 {
 			app.Runtime().StartAutoScale(20*time.Millisecond, runtime.ScalePolicy{
 				QueueHighWater: 64,
 				MaxInstances:   3,

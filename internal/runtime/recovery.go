@@ -93,9 +93,17 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 		go func(j int) {
 			defer wg.Done()
 			node := r.cl.AddNode()
-			store, err := checkpoint.RestoreInstance(meta, groups[j])
+			// Rebuild with the deployment's configured backend rather than
+			// meta.StoreType: dictionary chunks are format-compatible across
+			// the single-lock and sharded backends, so a checkpoint written
+			// by one restores into the other.
+			store, err := r.newStore(ss.def)
 			if err != nil {
-				errs[j] = err
+				errs[j] = fmt.Errorf("runtime: rebuild store for %q: %w", meta.SE, err)
+				return
+			}
+			if err := store.Restore(groups[j]); err != nil {
+				errs[j] = fmt.Errorf("runtime: reconcile chunks for %q: %w", meta.SE, err)
 				return
 			}
 			idx := failedIdx

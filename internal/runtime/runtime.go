@@ -42,6 +42,12 @@ type Options struct {
 	// BackupNodes is the number of backup nodes to provision when Backup is
 	// nil (default 2).
 	BackupNodes int
+	// KVShards selects the lock-striped sharded backend for dictionary SEs:
+	// when > 0, every KVMap SE without a custom builder is backed by a
+	// ShardedKVMap with this many shards (rounded up to a power of two).
+	// 0 keeps the single-lock KVMap; < 0 uses a GOMAXPROCS-derived shard
+	// count. Checkpoint chunks are format-compatible either way.
+	KVShards int
 	// WireCheck round-trips every delivered payload through gob, verifying
 	// the location-independence restriction of §4.1 ("each object accessed
 	// in the program must support transparent serialisation"): a payload
@@ -245,7 +251,7 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 				// mirroring distributed SEs spanning nodes (§3.2).
 				node = cl.AddNode()
 			}
-			store, err := ss.def.NewStore()
+			store, err := r.newStore(ss.def)
 			if err != nil {
 				return nil, err
 			}
@@ -285,6 +291,21 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		}
 	}
 	return r, nil
+}
+
+// newStore instantiates the backing store for an SE, honouring the KVShards
+// backend selection. Custom builders always win; they encode app-specific
+// pre-sizing the option must not override.
+func (r *Runtime) newStore(def *core.SE) (state.Store, error) {
+	if r.opts.KVShards != 0 && def.Build == nil &&
+		(def.Type == state.TypeKVMap || def.Type == state.TypeShardedKVMap) {
+		n := r.opts.KVShards
+		if n < 0 {
+			n = 0 // GOMAXPROCS-derived default
+		}
+		return state.NewShardedKVMap(n), nil
+	}
+	return def.NewStore()
 }
 
 // newInstance builds (but does not start) a TE instance on a node.

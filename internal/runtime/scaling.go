@@ -51,7 +51,7 @@ func (r *Runtime) ScaleUp(teName string) error {
 // kept identical).
 func (r *Runtime) growPartial(ss *seState) error {
 	node := r.cl.AddNode()
-	store, err := ss.def.NewStore()
+	store, err := r.newStore(ss.def)
 	if err != nil {
 		return err
 	}
@@ -132,7 +132,7 @@ func (r *Runtime) repartition(ss *seState) error {
 		if j < k {
 			node = ss.insts[j].node // existing partitions stay home
 		}
-		store, err := ss.def.NewStore()
+		store, err := r.newStore(ss.def)
 		if err != nil {
 			return err
 		}

@@ -21,6 +21,11 @@ import (
 // BeginDirty runs: it takes mu and re-checks the flag under the lock, and
 // since BeginDirty also holds mu exclusively, either the write lands in the
 // base before the snapshot begins or it is redirected to the overlay.
+//
+// The single-lock KVMap embeds one dirtyCtl for the whole store; the
+// lock-striped ShardedKVMap embeds one per shard and flips all flags under
+// an ordered sweep of every shard's mu (see ShardedKVMap.BeginDirty), which
+// preserves the same atomic-cut invariant store-wide.
 type dirtyCtl struct {
 	mu    sync.RWMutex
 	dmu   sync.RWMutex

@@ -83,6 +83,7 @@ func (m *KVMap) Get(key uint64) ([]byte, bool) {
 func (m *KVMap) Delete(key uint64) bool {
 	if m.baseWriteOrDirty() {
 		_, inOvl := m.ovl[key]
+		_, wasDead := m.tomb[key]
 		if inOvl {
 			m.size.Add(-(int64(len(m.ovl[key])) + kvEntryOverhead + 8))
 			delete(m.ovl, key)
@@ -92,6 +93,15 @@ func (m *KVMap) Delete(key uint64) bool {
 		if inOvl {
 			return true
 		}
+		if wasDead {
+			// Already logically deleted; the base copy is a stale snapshot.
+			return false
+		}
+		// Known benign race: a MergeDirty landing between the dmu release
+		// above and this base probe consumes the tombstone and removes the
+		// key, so a logically-present key can be reported absent. Closing
+		// it would need dmu held across the base read, inverting the
+		// mu-before-dmu lock order; the return value is advisory only.
 		m.mu.RLock()
 		_, inBase := m.base[key]
 		m.mu.RUnlock()
@@ -251,34 +261,40 @@ func (m *KVMap) Split(n int) ([]Store, error) {
 // otherwise the base is dropped wholesale. Windowed applications use it to
 // rotate state between windows.
 func (m *KVMap) Clear() {
-	if m.dirty.Load() {
-		// Lock order: mu before dmu.
-		m.mu.RLock()
-		keys := make([]uint64, 0, len(m.base))
-		for k := range m.base {
-			keys = append(keys, k)
+	for {
+		if m.dirty.Load() {
+			// Lock order: mu before dmu. Both locks are held together so
+			// the dirty flag cannot flip mid-clear (BeginDirty needs mu
+			// exclusively, MergeDirty needs both): a flip after the keys
+			// were collected would plant stale tombstones that delete
+			// live data at the next checkpoint.
+			m.mu.RLock()
+			if !m.dirty.Load() {
+				m.mu.RUnlock()
+				continue // MergeDirty won the race; take the base path
+			}
+			m.dmu.Lock()
+			for _, v := range m.ovl {
+				m.size.Add(-(int64(len(v)) + kvEntryOverhead + 8))
+			}
+			m.ovl = make(map[uint64][]byte)
+			for k := range m.base {
+				m.tomb[k] = struct{}{}
+			}
+			m.dmu.Unlock()
+			m.mu.RUnlock()
+			return
 		}
-		m.mu.RUnlock()
-		m.dmu.Lock()
-		for _, v := range m.ovl {
-			m.size.Add(-(int64(len(v)) + kvEntryOverhead + 8))
+		m.mu.Lock()
+		if m.dirty.Load() {
+			m.mu.Unlock()
+			continue // lost the race with BeginDirty; take the overlay path
 		}
-		m.ovl = make(map[uint64][]byte)
-		for _, k := range keys {
-			m.tomb[k] = struct{}{}
-		}
-		m.dmu.Unlock()
-		return
-	}
-	m.mu.Lock()
-	if m.dirty.Load() {
+		m.base = make(map[uint64][]byte)
+		m.size.Store(0)
 		m.mu.Unlock()
-		m.Clear() // lost the race with BeginDirty; take the overlay path
 		return
 	}
-	m.base = make(map[uint64][]byte)
-	m.size.Store(0)
-	m.mu.Unlock()
 }
 
 // ForEach visits live entries (base view only when dirty). Iteration stops

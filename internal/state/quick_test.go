@@ -7,88 +7,99 @@ import (
 )
 
 // Property: for any key set, checkpoint(n) -> restore reproduces the map
-// exactly, for any chunk count.
+// exactly, for any chunk count — for every (source, destination) pairing of
+// the dictionary backends.
 func TestQuickKVMapCheckpointRoundTrip(t *testing.T) {
-	f := func(keys []uint64, vals [][]byte, nChunks uint8) bool {
-		n := int(nChunks%8) + 1
-		m := NewKVMap()
-		want := map[uint64][]byte{}
-		for i, k := range keys {
-			var v []byte
-			if i < len(vals) {
-				v = vals[i]
-			}
-			if v == nil {
-				v = []byte{}
-			}
-			m.Put(k, v)
-			want[k] = v
+	for _, src := range kvImpls {
+		for _, dst := range kvImpls {
+			t.Run(src.name+"-to-"+dst.name, func(t *testing.T) {
+				f := func(keys []uint64, vals [][]byte, nChunks uint8) bool {
+					n := int(nChunks%8) + 1
+					m := src.new()
+					want := map[uint64][]byte{}
+					for i, k := range keys {
+						var v []byte
+						if i < len(vals) {
+							v = vals[i]
+						}
+						if v == nil {
+							v = []byte{}
+						}
+						m.Put(k, v)
+						want[k] = v
+					}
+					chunks, err := m.Checkpoint(n)
+					if err != nil {
+						return false
+					}
+					r := dst.new()
+					if err := r.Restore(chunks); err != nil {
+						return false
+					}
+					if r.NumEntries() != len(want) {
+						return false
+					}
+					for k, v := range want {
+						got, ok := r.Get(k)
+						if !ok || !bytes.Equal(got, v) {
+							return false
+						}
+					}
+					return true
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+					t.Error(err)
+				}
+			})
 		}
-		chunks, err := m.Checkpoint(n)
-		if err != nil {
-			return false
-		}
-		r := NewKVMap()
-		if err := r.Restore(chunks); err != nil {
-			return false
-		}
-		if r.NumEntries() != len(want) {
-			return false
-		}
-		for k, v := range want {
-			got, ok := r.Get(k)
-			if !ok || !bytes.Equal(got, v) {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Error(err)
 	}
 }
 
 // Property: SplitChunk composes with Restore: restoring the split chunks is
 // identical to restoring the original chunk.
 func TestQuickKVMapSplitChunk(t *testing.T) {
-	f := func(keys []uint64, splitN uint8) bool {
-		n := int(splitN%6) + 1
-		m := NewKVMap()
-		for _, k := range keys {
-			m.Put(k, []byte{byte(k)})
-		}
-		one, err := m.Checkpoint(1)
-		if err != nil {
-			return false
-		}
-		split, err := SplitChunk(one[0], n)
-		if err != nil {
-			return false
-		}
-		a := NewKVMap()
-		if err := a.Restore(one); err != nil {
-			return false
-		}
-		b := NewKVMap()
-		if err := b.Restore(split); err != nil {
-			return false
-		}
-		if a.NumEntries() != b.NumEntries() {
-			return false
-		}
-		equal := true
-		a.ForEach(func(k uint64, v []byte) bool {
-			got, ok := b.Get(k)
-			if !ok || !bytes.Equal(got, v) {
-				equal = false
-				return false
+	for _, impl := range kvImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			f := func(keys []uint64, splitN uint8) bool {
+				n := int(splitN%6) + 1
+				m := impl.new()
+				for _, k := range keys {
+					m.Put(k, []byte{byte(k)})
+				}
+				one, err := m.Checkpoint(1)
+				if err != nil {
+					return false
+				}
+				split, err := SplitChunk(one[0], n)
+				if err != nil {
+					return false
+				}
+				a := impl.new()
+				if err := a.Restore(one); err != nil {
+					return false
+				}
+				b := impl.new()
+				if err := b.Restore(split); err != nil {
+					return false
+				}
+				if a.NumEntries() != b.NumEntries() {
+					return false
+				}
+				equal := true
+				a.ForEach(func(k uint64, v []byte) bool {
+					got, ok := b.Get(k)
+					if !ok || !bytes.Equal(got, v) {
+						equal = false
+						return false
+					}
+					return true
+				})
+				return equal
 			}
-			return true
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
 		})
-		return equal
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Error(err)
 	}
 }
 
@@ -101,46 +112,50 @@ func TestQuickKVMapDirtyTransparency(t *testing.T) {
 		Val byte
 		Del bool
 	}
-	f := func(before, during []op) bool {
-		dirty := NewKVMap()
-		plain := NewKVMap()
-		apply := func(m *KVMap, o op) {
-			if o.Del {
-				m.Delete(o.Key % 32)
-			} else {
-				m.Put(o.Key%32, []byte{o.Val})
+	for _, impl := range kvImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			f := func(before, during []op) bool {
+				dirty := impl.new()
+				plain := impl.new()
+				apply := func(m KV, o op) {
+					if o.Del {
+						m.Delete(o.Key % 32)
+					} else {
+						m.Put(o.Key%32, []byte{o.Val})
+					}
+				}
+				for _, o := range before {
+					apply(dirty, o)
+					apply(plain, o)
+				}
+				if err := dirty.BeginDirty(); err != nil {
+					return false
+				}
+				for _, o := range during {
+					apply(dirty, o)
+					apply(plain, o)
+				}
+				if _, err := dirty.MergeDirty(); err != nil {
+					return false
+				}
+				if dirty.NumEntries() != plain.NumEntries() {
+					return false
+				}
+				equal := true
+				plain.ForEach(func(k uint64, v []byte) bool {
+					got, ok := dirty.Get(k)
+					if !ok || !bytes.Equal(got, v) {
+						equal = false
+						return false
+					}
+					return true
+				})
+				return equal
 			}
-		}
-		for _, o := range before {
-			apply(dirty, o)
-			apply(plain, o)
-		}
-		if err := dirty.BeginDirty(); err != nil {
-			return false
-		}
-		for _, o := range during {
-			apply(dirty, o)
-			apply(plain, o)
-		}
-		if _, err := dirty.MergeDirty(); err != nil {
-			return false
-		}
-		if dirty.NumEntries() != plain.NumEntries() {
-			return false
-		}
-		equal := true
-		plain.ForEach(func(k uint64, v []byte) bool {
-			got, ok := dirty.Get(k)
-			if !ok || !bytes.Equal(got, v) {
-				equal = false
-				return false
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
 			}
-			return true
 		})
-		return equal
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Error(err)
 	}
 }
 

@@ -31,6 +31,7 @@ const (
 	TypeMatrix
 	TypeDenseMatrix
 	TypeVector
+	TypeShardedKVMap
 )
 
 // String names the store type.
@@ -44,6 +45,8 @@ func (t StoreType) String() string {
 		return "densematrix"
 	case TypeVector:
 		return "vector"
+	case TypeShardedKVMap:
+		return "sharded-kvmap"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(t))
 	}
@@ -106,6 +109,25 @@ type Partitionable interface {
 	Split(n int) ([]Store, error)
 }
 
+// KV is the dictionary interface shared by the single-lock KVMap and the
+// lock-striped ShardedKVMap. Task functions access dictionary SEs through
+// it so deployments can swap backends without touching application code.
+type KV interface {
+	Store
+	// Put stores value under key. The value is retained by reference;
+	// callers must not mutate it afterwards.
+	Put(key uint64, value []byte)
+	// Get returns the value for key.
+	Get(key uint64) ([]byte, bool)
+	// Delete removes key, reporting whether it was (logically) present.
+	Delete(key uint64) bool
+	// Clear removes all entries.
+	Clear()
+	// ForEach visits live entries (base view only when dirty). Iteration
+	// stops when fn returns false.
+	ForEach(fn func(key uint64, value []byte) bool)
+}
+
 // PartitionKey maps a key to one of n partitions. It is shared by the
 // checkpoint chunker, store splitting and the dataflow dispatchers so that
 // "the dataflow partitioning strategy is compatible with the data access
@@ -138,6 +160,8 @@ func New(t StoreType) (Store, error) {
 		return NewDenseMatrix(0, 0), nil
 	case TypeVector:
 		return NewVector(0), nil
+	case TypeShardedKVMap:
+		return NewShardedKVMap(0), nil
 	default:
 		return nil, fmt.Errorf("state: unknown store type %v", t)
 	}
@@ -151,7 +175,9 @@ func SplitChunk(c Chunk, n int) ([]Chunk, error) {
 		return nil, ErrBadSplit
 	}
 	switch c.Type {
-	case TypeKVMap:
+	case TypeKVMap, TypeShardedKVMap:
+		// Both dictionary backends emit the same TypeKVMap chunk format;
+		// the sharded case is accepted defensively.
 		return splitKVChunk(c, n)
 	case TypeMatrix:
 		return splitMatrixChunk(c, n)

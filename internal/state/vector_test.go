@@ -318,7 +318,7 @@ func TestDenseMatrixSplitAndChunkSplit(t *testing.T) {
 }
 
 func TestNewByType(t *testing.T) {
-	for _, tt := range []StoreType{TypeKVMap, TypeMatrix, TypeDenseMatrix, TypeVector} {
+	for _, tt := range []StoreType{TypeKVMap, TypeMatrix, TypeDenseMatrix, TypeVector, TypeShardedKVMap} {
 		s, err := New(tt)
 		if err != nil {
 			t.Fatalf("New(%v): %v", tt, err)

@@ -61,10 +61,11 @@ type StoreType = state.StoreType
 
 // Store type constants.
 const (
-	StoreKVMap       = state.TypeKVMap
-	StoreMatrix      = state.TypeMatrix
-	StoreDenseMatrix = state.TypeDenseMatrix
-	StoreVector      = state.TypeVector
+	StoreKVMap        = state.TypeKVMap
+	StoreMatrix       = state.TypeMatrix
+	StoreDenseMatrix  = state.TypeDenseMatrix
+	StoreVector       = state.TypeVector
+	StoreShardedKVMap = state.TypeShardedKVMap
 )
 
 // Concrete state element types, for use inside task functions via
@@ -72,6 +73,12 @@ const (
 type (
 	// KVMap is a dictionary store.
 	KVMap = state.KVMap
+	// ShardedKVMap is the lock-striped dictionary store.
+	ShardedKVMap = state.ShardedKVMap
+	// KV is the dictionary interface satisfied by both KVMap and
+	// ShardedKVMap; task functions should assert to it so deployments can
+	// swap backends via Options.KVShards.
+	KV = state.KV
 	// Matrix is an indexed sparse matrix store.
 	Matrix = state.Matrix
 	// DenseMatrix is a dense row-major matrix store.
@@ -187,6 +194,10 @@ type Options struct {
 	DiskBandwidth int64
 	// BackupNodes provisions this many checkpoint target nodes (default 2).
 	BackupNodes int
+	// KVShards backs dictionary SEs with the lock-striped sharded store:
+	// > 0 sets the shard count (rounded up to a power of two), < 0 selects
+	// a GOMAXPROCS-derived default, 0 keeps the single-lock KVMap.
+	KVShards int
 }
 
 // System is a deployed SDG.
@@ -208,6 +219,7 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 		Interval:    opts.Interval,
 		Chunks:      opts.Chunks,
 		BackupNodes: opts.BackupNodes,
+		KVShards:    opts.KVShards,
 	})
 	if err != nil {
 		return nil, err
