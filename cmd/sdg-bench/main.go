@@ -21,12 +21,25 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "experiment to run (0 and 5-13); empty = all")
-		full  = flag.Bool("full", false, "use longer measurement points")
-		list  = flag.Bool("list", false, "list experiment identifiers")
-		point = flag.Duration("point", 0, "override measurement duration per point")
+		fig      = flag.String("fig", "", "experiment to run (0 and 5-13); empty = all")
+		full     = flag.Bool("full", false, "use longer measurement points")
+		list     = flag.Bool("list", false, "list experiment identifiers")
+		point    = flag.Duration("point", 0, "override measurement duration per point")
+		ckpt     = flag.Bool("ckpt-bench", false, "measure full vs delta checkpoint cost and exit")
+		ckptOut  = flag.String("ckpt-out", "BENCH_checkpoint.json", "JSON output path for -ckpt-bench (empty = stdout table only)")
+		ckptKeys = flag.Int("ckpt-keys", 100_000, "store size in keys for -ckpt-bench")
 	)
 	flag.Parse()
+
+	if *ckpt {
+		err := experiments.WriteCheckpointBench(os.Stdout,
+			experiments.CheckpointBenchConfig{Keys: *ckptKeys}, *ckptOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("experiments (paper identifiers):")

@@ -38,11 +38,14 @@ const (
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-		partitions = flag.Int("partitions", 2, "store partitions")
-		shards     = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
-		ftInterval = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
-		demo       = flag.Bool("demo", false, "run a scripted demo client and exit")
+		listen       = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		partitions   = flag.Int("partitions", 2, "store partitions")
+		shards       = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
+		ftInterval   = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
+		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
+		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
+		compactRatio = flag.Float64("compact-ratio", 0, "force a full base once delta bytes exceed this fraction of base bytes (0 = default 0.5)")
+		demo         = flag.Bool("demo", false, "run a scripted demo client and exit")
 	)
 	flag.Parse()
 
@@ -54,9 +57,12 @@ func main() {
 	store, err := kv.New(kv.Config{
 		Partitions: *partitions,
 		Runtime: runtime.Options{
-			Mode:     mode,
-			Interval: *ftInterval,
-			KVShards: *shards,
+			Mode:             mode,
+			Interval:         *ftInterval,
+			KVShards:         *shards,
+			DeltaCheckpoints: *delta,
+			CompactEvery:     *compactEvery,
+			CompactRatio:     *compactRatio,
 		},
 	})
 	if err != nil {
@@ -73,8 +79,8 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("sdg-kv: serving %d-partition store on %s (checkpointing: %v)\n",
-		*partitions, srv.Addr(), mode)
+	fmt.Printf("sdg-kv: serving %d-partition store on %s (checkpointing: %v, delta: %v)\n",
+		*partitions, srv.Addr(), mode, *delta && mode == checkpoint.ModeAsync)
 
 	if *demo {
 		if err := runDemo(srv.Addr()); err != nil {

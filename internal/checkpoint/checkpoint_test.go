@@ -55,18 +55,18 @@ func TestSaveRestoreRoundTrip(t *testing.T) {
 	}
 
 	for _, n := range []int{1, 2, 3} {
-		groups, meta2, err := b.Restore("kv/0", n)
+		sets, meta2, err := b.Restore("kv/0", n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(groups) != n {
-			t.Fatalf("restore groups = %d, want %d", len(groups), n)
+		if len(sets) != n {
+			t.Fatalf("restore sets = %d, want %d", len(sets), n)
 		}
 		if meta2.Watermarks[3][42] != 7 {
 			t.Fatal("watermarks lost")
 		}
 		total := 0
-		for j, g := range groups {
+		for j, g := range sets {
 			st, err := RestoreInstance(meta2, g)
 			if err != nil {
 				t.Fatal(err)
@@ -201,11 +201,11 @@ func TestAsyncCheckpointAllowsWritesDuringSnapshot(t *testing.T) {
 	}
 	// And the checkpoint is consistent: every value is either the original
 	// or absent from dirty interference (no torn entries).
-	groups, meta, err := b.Restore("kv/0", 1)
+	sets, meta, err := b.Restore("kv/0", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := RestoreInstance(meta, groups[0])
+	st, err := RestoreInstance(meta, sets[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,13 +278,19 @@ func TestSaveWithNoTargets(t *testing.T) {
 }
 
 func TestChunkCodecRoundTrip(t *testing.T) {
-	c := state.Chunk{Type: state.TypeMatrix, Index: 3, Of: 9, Data: []byte{1, 2, 3}}
-	got, err := decodeChunk(encodeChunk(c))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Type != c.Type || got.Index != 3 || got.Of != 9 || string(got.Data) != string(c.Data) {
-		t.Fatalf("round trip = %+v", got)
+	for _, c := range []state.Chunk{
+		{Type: state.TypeMatrix, Index: 3, Of: 9, Data: []byte{1, 2, 3}},
+		{Type: state.TypeKVMap, Index: 1, Of: 4, Delta: true, Data: []byte{7}},
+	} {
+		hdr := chunkHeader(c)
+		got, err := decodeChunk(append(hdr[:], c.Data...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != c.Type || got.Index != c.Index || got.Of != c.Of ||
+			got.Delta != c.Delta || string(got.Data) != string(c.Data) {
+			t.Fatalf("round trip = %+v, want %+v", got, c)
+		}
 	}
 	if _, err := decodeChunk([]byte{1}); err == nil {
 		t.Fatal("short payload should fail")
@@ -326,14 +332,14 @@ func TestMToNRecoveryTimeShape(t *testing.T) {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		groups, meta, err := b.Restore("kv/0", n)
+		sets, meta, err := b.Restore("kv/0", n)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var wg sync.WaitGroup
-		for _, g := range groups {
+		for _, g := range sets {
 			wg.Add(1)
-			go func(g []state.Chunk) {
+			go func(g RestoreSet) {
 				defer wg.Done()
 				if _, err := RestoreInstance(meta, g); err != nil {
 					t.Error(err)
@@ -372,14 +378,14 @@ func TestAsyncShardedCrossRestore(t *testing.T) {
 	kv.Put(1000, []byte("late"))
 
 	for _, n := range []int{1, 3} {
-		groups, meta, err := b.Restore("kv/0", n)
+		sets, meta, err := b.Restore("kv/0", n)
 		if err != nil {
 			t.Fatal(err)
 		}
 		total := 0
-		for j, g := range groups {
+		for j, g := range sets {
 			r := state.NewKVMap()
-			if err := r.Restore(g); err != nil {
+			if err := r.Restore(g.Base); err != nil {
 				t.Fatal(err)
 			}
 			total += r.NumEntries()
@@ -398,7 +404,7 @@ func TestAsyncShardedCrossRestore(t *testing.T) {
 			t.Fatalf("n=%d restored %d entries, want 500", n, total)
 		}
 		// RestoreInstance rebuilds via meta.StoreType: a sharded store.
-		st, err := RestoreInstance(meta, groups[0])
+		st, err := RestoreInstance(meta, sets[0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -417,12 +423,12 @@ func TestAsyncShardedCrossRestore(t *testing.T) {
 	if _, err := b.Save(Meta{SE: "kv/1", Epoch: 1, StoreType: state.TypeKVMap}, chunks); err != nil {
 		t.Fatal(err)
 	}
-	groups, _, err := b.Restore("kv/1", 1)
+	sets2, _, err := b.Restore("kv/1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sh := state.NewShardedKVMap(4)
-	if err := sh.Restore(groups[0]); err != nil {
+	if err := sh.Restore(sets2[0].Base); err != nil {
 		t.Fatal(err)
 	}
 	if got := sh.NumEntries(); got != 300 {

@@ -7,6 +7,14 @@ import (
 	"repro/internal/state"
 )
 
+// tracked returns the store's delta tracker when changed-key tracking is
+// live, so the full-checkpoint procedures can cut/commit it and keep the
+// tracker bounded even on epochs that serialise the whole base.
+func tracked(st state.Store) (state.DeltaStore, bool) {
+	ds, ok := st.(state.DeltaStore)
+	return ds, ok && ds.DeltaTracking()
+}
+
 // Async executes the five-step asynchronous checkpoint of §5 on one SE
 // instance:
 //
@@ -19,6 +27,10 @@ import (
 // Only step 5 blocks writers, and its cost is proportional to the update
 // rate during the checkpoint, not to the state size — the property Fig. 12
 // and Fig. 13 measure.
+//
+// When the store tracks changed keys, the full snapshot also cuts the
+// tracker (committing on success, aborting on failure), so a compaction
+// epoch resets the delta chain exactly at this snapshot's cut point.
 func Async(st state.Store, meta Meta, nChunks int, b *Backup) (Result, error) {
 	start := time.Now()
 	if err := st.BeginDirty(); err != nil {
@@ -32,10 +44,18 @@ func Async(st state.Store, meta Meta, nChunks int, b *Backup) (Result, error) {
 		_, _ = st.MergeDirty()
 		return Result{}, fmt.Errorf("checkpoint: serialise: %w", err)
 	}
+	ds, isTracked := tracked(st)
+	if isTracked {
+		ds.CutDelta()
+	}
 	meta.StoreType = st.Type()
+	meta.Delta = false
 	bytes, err := b.Save(meta, chunks)
 	if err != nil {
 		_, _ = st.MergeDirty()
+		if isTracked {
+			ds.AbortDelta()
+		}
 		return Result{}, err
 	}
 	lockStart := time.Now()
@@ -44,9 +64,60 @@ func Async(st state.Store, meta Meta, nChunks int, b *Backup) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("checkpoint: merge dirty: %w", err)
 	}
+	if isTracked {
+		ds.CommitDelta()
+	}
 	return Result{
 		Meta:         meta,
 		Bytes:        bytes,
+		StateBytes:   st.SizeBytes(),
+		Duration:     time.Since(start),
+		LockTime:     lockDur,
+		MergedDirty:  merged,
+		SnapshotTime: snapDur,
+	}, nil
+}
+
+// AsyncDelta executes the asynchronous protocol but serialises only the
+// keys changed since the last committed epoch cut: BeginDirty freezes the
+// base, DeltaCheckpoint encodes the changed keys (updates + tombstones)
+// and opens a pending cut, the delta is appended to the backup chain, and
+// MergeDirty retains the window's overlay for the next epoch before the
+// cut commits. On any failure the cut is aborted, folding the keys back
+// into the tracker so no change is ever dropped from the chain.
+func AsyncDelta(st state.DeltaStore, meta Meta, nChunks int, b *Backup) (Result, error) {
+	start := time.Now()
+	if err := st.BeginDirty(); err != nil {
+		return Result{}, fmt.Errorf("checkpoint: begin dirty: %w", err)
+	}
+	snapStart := time.Now()
+	chunks, err := st.DeltaCheckpoint(nChunks)
+	snapDur := time.Since(snapStart)
+	if err != nil {
+		_, _ = st.MergeDirty()
+		st.AbortDelta()
+		return Result{}, fmt.Errorf("checkpoint: serialise delta: %w", err)
+	}
+	meta.StoreType = st.Type()
+	meta.Delta = true
+	bytes, err := b.Save(meta, chunks)
+	if err != nil {
+		_, _ = st.MergeDirty()
+		st.AbortDelta()
+		return Result{}, err
+	}
+	lockStart := time.Now()
+	merged, err := st.MergeDirty()
+	lockDur := time.Since(lockStart)
+	if err != nil {
+		st.AbortDelta()
+		return Result{}, fmt.Errorf("checkpoint: merge dirty: %w", err)
+	}
+	st.CommitDelta()
+	return Result{
+		Meta:         meta,
+		Bytes:        bytes,
+		StateBytes:   st.SizeBytes(),
 		Duration:     time.Since(start),
 		LockTime:     lockDur,
 		MergedDirty:  merged,
@@ -58,7 +129,8 @@ func Async(st state.Store, meta Meta, nChunks int, b *Backup) (Result, error) {
 // processing that touches the SE; its returned resume function is called
 // after the snapshot is persisted. The entire serialisation and backup time
 // counts as lock time, which is why synchronous checkpointing collapses
-// with large state (Fig. 12).
+// with large state (Fig. 12). A live delta tracker is cut and committed
+// like Async's, so mixing modes never leaks tracked keys.
 func Sync(st state.Store, meta Meta, nChunks int, b *Backup, pause func() (resume func())) (Result, error) {
 	start := time.Now()
 	resume := pause()
@@ -70,31 +142,64 @@ func Sync(st state.Store, meta Meta, nChunks int, b *Backup, pause func() (resum
 		resume()
 		return Result{}, fmt.Errorf("checkpoint: serialise: %w", err)
 	}
+	ds, isTracked := tracked(st)
+	if isTracked {
+		ds.CutDelta()
+	}
 	meta.StoreType = st.Type()
+	meta.Delta = false
 	bytes, err := b.Save(meta, chunks)
 	lockDur := time.Since(lockStart)
 	resume()
 	if err != nil {
+		if isTracked {
+			ds.AbortDelta()
+		}
 		return Result{}, err
+	}
+	if isTracked {
+		ds.CommitDelta()
 	}
 	return Result{
 		Meta:         meta,
 		Bytes:        bytes,
+		StateBytes:   st.SizeBytes(),
 		Duration:     time.Since(start),
 		LockTime:     lockDur,
 		SnapshotTime: snapDur,
 	}, nil
 }
 
-// RestoreInstance rebuilds one recovering SE instance from its chunk group
-// (Fig. 4 step R2: "the new SE instances reconcile the chunks").
-func RestoreInstance(meta Meta, group []state.Chunk) (state.Store, error) {
+// RestoreInstance rebuilds one recovering SE instance from its restore set
+// (Fig. 4 step R2: "the new SE instances reconcile the chunks"): the base
+// group restores first, then each delta epoch replays in chain order.
+func RestoreInstance(meta Meta, set RestoreSet) (state.Store, error) {
 	st, err := state.New(meta.StoreType)
 	if err != nil {
 		return nil, err
 	}
-	if err := st.Restore(group); err != nil {
+	if err := st.Restore(set.Base); err != nil {
 		return nil, fmt.Errorf("checkpoint: reconcile chunks for %q: %w", meta.SE, err)
 	}
+	if err := ApplyDeltas(st, set.Deltas); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", meta.SE, err)
+	}
 	return st, nil
+}
+
+// ApplyDeltas replays delta epochs in chain order onto a restored base.
+func ApplyDeltas(st state.Store, deltas [][]state.Chunk) error {
+	for _, epoch := range deltas {
+		if len(epoch) == 0 {
+			continue
+		}
+		ds, ok := st.(state.DeltaStore)
+		if !ok {
+			return fmt.Errorf("checkpoint: store type %v cannot apply delta epochs", st.Type())
+		}
+		if err := ds.ApplyDelta(epoch); err != nil {
+			return fmt.Errorf("checkpoint: replay delta epoch: %w", err)
+		}
+	}
+	return nil
 }

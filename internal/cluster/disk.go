@@ -47,12 +47,26 @@ func (d *Disk) simulate(size int64, bw int64) {
 // Write stores data under name, blocking for the simulated transfer time.
 // The data is copied.
 func (d *Disk) Write(name string, data []byte) {
-	d.simulate(int64(len(data)), d.writeBW)
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	d.WriteParts(name, data)
+}
+
+// WriteParts stores the concatenation of parts under name. Callers with a
+// small header and a large payload (the checkpoint chunk writer) avoid
+// assembling a contiguous header+data slice first: each part is copied once
+// directly into the disk's own buffer.
+func (d *Disk) WriteParts(name string, parts ...[]byte) {
+	var size int64
+	for _, p := range parts {
+		size += int64(len(p))
+	}
+	d.simulate(size, d.writeBW)
+	cp := make([]byte, 0, size)
+	for _, p := range parts {
+		cp = append(cp, p...)
+	}
 	d.mu.Lock()
 	d.objects[name] = cp
-	d.bytesWritten += int64(len(data))
+	d.bytesWritten += size
 	d.mu.Unlock()
 }
 

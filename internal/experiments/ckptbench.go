@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/state"
+)
+
+// CheckpointBenchConfig sizes the full-vs-delta checkpoint measurement.
+type CheckpointBenchConfig struct {
+	Keys       int     // store size in keys (default 100k)
+	ValueBytes int     // payload bytes per value (default 64)
+	Churn      float64 // fraction of keys overwritten per epoch (default 0.01)
+	Epochs     int     // measured delta epochs per backend (default 5)
+	Chunks     int     // chunks per checkpoint (default 4)
+}
+
+func (c CheckpointBenchConfig) withDefaults() CheckpointBenchConfig {
+	if c.Keys <= 0 {
+		c.Keys = 100_000
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.Churn <= 0 {
+		c.Churn = 0.01
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.Chunks <= 0 {
+		c.Chunks = 4
+	}
+	return c
+}
+
+// CheckpointBenchResult records the failure-free-overhead comparison for
+// one backend. Per the repo's measurement policy, it reports bytes and
+// lock-hold time — quantities that are deterministic or meaningful on a
+// single-core box — rather than wall-clock speedup ratios.
+type CheckpointBenchResult struct {
+	Backend            string  `json:"backend"`
+	Keys               int     `json:"keys"`
+	ValueBytes         int     `json:"value_bytes"`
+	ChurnPerEpoch      float64 `json:"churn_per_epoch"`
+	Epochs             int     `json:"epochs"`
+	FullBytesPerEpoch  int64   `json:"full_bytes_per_epoch"`
+	DeltaBytesPerEpoch int64   `json:"delta_bytes_per_epoch"`
+	BytesRatio         float64 `json:"full_to_delta_bytes_ratio"`
+	FullNsPerEpoch     int64   `json:"full_ns_per_epoch"`
+	DeltaNsPerEpoch    int64   `json:"delta_ns_per_epoch"`
+	FullLockNs         int64   `json:"full_lock_ns_per_epoch"`
+	DeltaLockNs        int64   `json:"delta_lock_ns_per_epoch"`
+	FullAllocsPerOp    uint64  `json:"full_allocs_per_epoch"`
+	DeltaAllocsPerOp   uint64  `json:"delta_allocs_per_epoch"`
+}
+
+// allocsAround runs fn and returns the heap allocations it performed, so
+// the recorded allocs cover only the checkpoint path, not the churn
+// workload around it.
+func allocsAround(fn func() error) (uint64, error) {
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	err := fn()
+	goruntime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, err
+}
+
+// RunCheckpointBench measures full vs delta checkpoint cost per epoch on a
+// synthetic dictionary SE for one backend ("kvmap" or "sharded-kvmap").
+func RunCheckpointBench(cfg CheckpointBenchConfig, backend string) (CheckpointBenchResult, error) {
+	cfg = cfg.withDefaults()
+	newStore := func() state.DeltaStore {
+		if backend == "sharded-kvmap" {
+			return state.NewShardedKVMap(0)
+		}
+		return state.NewKVMap()
+	}
+	newBackup := func() *checkpoint.Backup {
+		cl := cluster.New(2, cluster.Config{})
+		return checkpoint.NewBackup(cl, []*cluster.Node{cl.Node(0), cl.Node(1)})
+	}
+	value := make([]byte, cfg.ValueBytes)
+	fill := func(st state.DeltaStore) {
+		kv := st.(state.KV)
+		for i := 0; i < cfg.Keys; i++ {
+			kv.Put(uint64(i), value)
+		}
+	}
+	churn := func(st state.DeltaStore, epoch int) {
+		kv := st.(state.KV)
+		n := int(float64(cfg.Keys) * cfg.Churn)
+		for i := 0; i < n; i++ {
+			// Deterministic churn set, distinct per epoch.
+			kv.Put(uint64((epoch*7919+i*13)%cfg.Keys), value)
+		}
+	}
+
+	res := CheckpointBenchResult{
+		Backend:       backend,
+		Keys:          cfg.Keys,
+		ValueBytes:    cfg.ValueBytes,
+		ChurnPerEpoch: cfg.Churn,
+		Epochs:        cfg.Epochs,
+	}
+
+	// Full-checkpoint baseline: every epoch serialises the whole base.
+	{
+		st := newStore()
+		st.EnableDeltaTracking()
+		fill(st)
+		bk := newBackup()
+		epoch := uint64(1)
+		if _, err := checkpoint.Async(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk); err != nil {
+			return res, err
+		}
+		var bytes int64
+		var dur, lock time.Duration
+		var allocs uint64
+		for e := 0; e < cfg.Epochs; e++ {
+			churn(st, e)
+			epoch++
+			var r checkpoint.Result
+			a, err := allocsAround(func() (err error) {
+				r, err = checkpoint.Async(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk)
+				return err
+			})
+			if err != nil {
+				return res, err
+			}
+			bytes += r.Bytes
+			dur += r.Duration
+			lock += r.LockTime
+			allocs += a
+		}
+		res.FullBytesPerEpoch = bytes / int64(cfg.Epochs)
+		res.FullNsPerEpoch = dur.Nanoseconds() / int64(cfg.Epochs)
+		res.FullLockNs = lock.Nanoseconds() / int64(cfg.Epochs)
+		res.FullAllocsPerOp = allocs / uint64(cfg.Epochs)
+	}
+
+	// Delta chain: base once, then one delta per epoch.
+	{
+		st := newStore()
+		st.EnableDeltaTracking()
+		fill(st)
+		bk := newBackup()
+		epoch := uint64(1)
+		if _, err := checkpoint.Async(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk); err != nil {
+			return res, err
+		}
+		var bytes int64
+		var dur, lock time.Duration
+		var allocs uint64
+		for e := 0; e < cfg.Epochs; e++ {
+			churn(st, e)
+			epoch++
+			var r checkpoint.Result
+			a, err := allocsAround(func() (err error) {
+				r, err = checkpoint.AsyncDelta(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk)
+				return err
+			})
+			if err != nil {
+				return res, err
+			}
+			bytes += r.Bytes
+			dur += r.Duration
+			lock += r.LockTime
+			allocs += a
+		}
+		res.DeltaBytesPerEpoch = bytes / int64(cfg.Epochs)
+		res.DeltaNsPerEpoch = dur.Nanoseconds() / int64(cfg.Epochs)
+		res.DeltaLockNs = lock.Nanoseconds() / int64(cfg.Epochs)
+		res.DeltaAllocsPerOp = allocs / uint64(cfg.Epochs)
+	}
+
+	if res.DeltaBytesPerEpoch > 0 {
+		res.BytesRatio = float64(res.FullBytesPerEpoch) / float64(res.DeltaBytesPerEpoch)
+	}
+	return res, nil
+}
+
+// WriteCheckpointBench runs the checkpoint benchmark for both dictionary
+// backends, prints a summary table, and (when outPath is non-empty) writes
+// the structured results as JSON so CI records the perf trajectory.
+func WriteCheckpointBench(w io.Writer, cfg CheckpointBenchConfig, outPath string) error {
+	var results []CheckpointBenchResult
+	for _, backend := range []string{"kvmap", "sharded-kvmap"} {
+		r, err := RunCheckpointBench(cfg, backend)
+		if err != nil {
+			return fmt.Errorf("checkpoint bench (%s): %w", backend, err)
+		}
+		results = append(results, r)
+	}
+	tbl := &Table{
+		Title: "checkpoint bytes/epoch: full vs delta",
+		Note: fmt.Sprintf("%d keys x %d B, %.1f%% churn/epoch, %d epochs",
+			results[0].Keys, results[0].ValueBytes, results[0].ChurnPerEpoch*100, results[0].Epochs),
+		Header: []string{"backend", "full B/epoch", "delta B/epoch", "ratio", "full lock", "delta lock"},
+	}
+	for _, r := range results {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Backend,
+			fmt.Sprintf("%d", r.FullBytesPerEpoch),
+			fmt.Sprintf("%d", r.DeltaBytesPerEpoch),
+			fmt.Sprintf("%.1fx", r.BytesRatio),
+			time.Duration(r.FullLockNs).String(),
+			time.Duration(r.DeltaLockNs).String(),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

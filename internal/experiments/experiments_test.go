@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -401,5 +404,39 @@ func TestFig10Shape(t *testing.T) {
 	}
 	if phase3 < phase1*1.5 {
 		t.Errorf("straggler mitigation gain too small: %.0f -> %.0f updates/s", phase1, phase3)
+	}
+}
+
+func TestCheckpointBenchSmoke(t *testing.T) {
+	// Tiny config: this guards the CI perf-record path (table + JSON), not
+	// the numbers; the acceptance-scale ratio lives in internal/checkpoint.
+	out := filepath.Join(t.TempDir(), "BENCH_checkpoint.json")
+	cfg := CheckpointBenchConfig{Keys: 2000, Epochs: 2}
+	var buf strings.Builder
+	if err := WriteCheckpointBench(&buf, cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []CheckpointBenchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d backends, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.DeltaBytesPerEpoch <= 0 || r.FullBytesPerEpoch <= r.DeltaBytesPerEpoch {
+			t.Fatalf("%s: full=%d delta=%d", r.Backend, r.FullBytesPerEpoch, r.DeltaBytesPerEpoch)
+		}
+		// Even at smoke scale, 1% churn must save well over 10x.
+		if r.BytesRatio < 10 {
+			t.Fatalf("%s: bytes ratio %.1f < 10", r.Backend, r.BytesRatio)
+		}
+	}
+	if !strings.Contains(buf.String(), "full vs delta") {
+		t.Fatal("summary table missing")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/state"
 )
 
 // startCheckpointLoop periodically checkpoints one SE instance (§6 uses a
@@ -81,14 +82,39 @@ func (r *Runtime) CheckpointNow(seName string, idx int) (checkpoint.Result, erro
 		}
 		res, err = checkpoint.Sync(si.store, meta, r.opts.Chunks, r.bk, pause)
 	default:
-		res, err = checkpoint.Async(si.store, meta, r.opts.Chunks, r.bk)
+		if ds, ok := r.deltaEligible(si); ok {
+			res, err = checkpoint.AsyncDelta(ds, meta, r.opts.Chunks, r.bk)
+		} else {
+			res, err = checkpoint.Async(si.store, meta, r.opts.Chunks, r.bk)
+		}
 	}
 	if err != nil {
 		return res, err
 	}
+	// The committed epoch anchors the chain to this instance's tracker;
+	// later epochs may now be incremental.
+	si.chained.Store(true)
 	r.recordCheckpointWM(si, meta.Watermarks)
 	r.trimUpstream(si)
 	return res, nil
+}
+
+// deltaEligible decides whether the next async epoch of the instance may be
+// incremental: delta checkpoints are enabled, the store tracks changed
+// keys, this instance has already committed an epoch (so the backup chain
+// is anchored to its tracker), and no compaction trigger has fired.
+func (r *Runtime) deltaEligible(si *seInstance) (state.DeltaStore, bool) {
+	if !r.opts.DeltaCheckpoints || !si.chained.Load() {
+		return nil, false
+	}
+	ds, ok := si.store.(state.DeltaStore)
+	if !ok || !ds.DeltaTracking() {
+		return nil, false
+	}
+	if !r.bk.ShouldDelta(si.instName(), r.deltaPolicy()) {
+		return nil, false
+	}
+	return ds, true
 }
 
 // buildMeta assembles the checkpoint metadata for an SE instance: the

@@ -79,8 +79,10 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 	ss.mu.Unlock()
 
 	// Phase 1: m-to-n restore (Fig. 4 R1-R2), reconstruction in parallel.
+	// Each recovering instance restores its base group, then replays its
+	// delta groups in epoch-chain order.
 	restoreStart := time.Now()
-	groups, meta, err := r.bk.Restore(failed.instName(), n)
+	sets, meta, err := r.bk.Restore(failed.instName(), n)
 	if err != nil {
 		return RecoveryStats{}, err
 	}
@@ -102,8 +104,12 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 				errs[j] = fmt.Errorf("runtime: rebuild store for %q: %w", meta.SE, err)
 				return
 			}
-			if err := store.Restore(groups[j]); err != nil {
+			if err := store.Restore(sets[j].Base); err != nil {
 				errs[j] = fmt.Errorf("runtime: reconcile chunks for %q: %w", meta.SE, err)
+				return
+			}
+			if err := checkpoint.ApplyDeltas(store, sets[j].Deltas); err != nil {
+				errs[j] = fmt.Errorf("runtime: %q: %w", meta.SE, err)
 				return
 			}
 			idx := failedIdx

@@ -39,6 +39,19 @@ type Options struct {
 	Interval time.Duration // checkpoint period (default 10s, as in §6)
 	Chunks   int           // chunks per checkpoint = backup parallelism m (default 2)
 	Backup   *checkpoint.Backup
+	// DeltaCheckpoints enables incremental epochs for dictionary SEs: after
+	// an instance's first full checkpoint, subsequent epochs serialise only
+	// the keys changed since the previous epoch (plus tombstones) until a
+	// compaction trigger forces a fresh base. Stores that cannot track
+	// changed keys keep taking full checkpoints.
+	DeltaCheckpoints bool
+	// CompactEvery forces a new base checkpoint after this many consecutive
+	// delta epochs (default 8).
+	CompactEvery int
+	// CompactRatio forces a new base once the chain's cumulative delta
+	// bytes exceed this fraction of the base checkpoint's bytes
+	// (default 0.5).
+	CompactRatio float64
 	// BackupNodes is the number of backup nodes to provision when Backup is
 	// nil (default 2).
 	BackupNodes int
@@ -157,6 +170,12 @@ type seInstance struct {
 	node  *cluster.Node
 	store state.Store
 	epoch atomic.Uint64
+	// chained is set once this instance has committed a checkpoint of its
+	// own, anchoring the backup chain to this store's tracker. Fresh and
+	// recovered instances start false, so their first epoch is always a
+	// full base — a delta appended to a chain the live store never cut
+	// against would restore the wrong state.
+	chained atomic.Bool
 }
 
 // instName is the durable identity of an SE instance for the backup store.
@@ -297,15 +316,36 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 // backend selection. Custom builders always win; they encode app-specific
 // pre-sizing the option must not override.
 func (r *Runtime) newStore(def *core.SE) (state.Store, error) {
+	var st state.Store
+	var err error
 	if r.opts.KVShards != 0 && def.Build == nil &&
 		(def.Type == state.TypeKVMap || def.Type == state.TypeShardedKVMap) {
 		n := r.opts.KVShards
 		if n < 0 {
 			n = 0 // GOMAXPROCS-derived default
 		}
-		return state.NewShardedKVMap(n), nil
+		st = state.NewShardedKVMap(n)
+	} else if st, err = def.NewStore(); err != nil {
+		return nil, err
 	}
-	return def.NewStore()
+	// Only track changed keys when a checkpoint loop will actually cut the
+	// tracker: with checkpointing off the set would grow without bound.
+	if r.opts.DeltaCheckpoints && r.opts.Mode != checkpoint.ModeOff {
+		if ds, ok := st.(state.DeltaStore); ok {
+			ds.EnableDeltaTracking()
+		}
+	}
+	return st, nil
+}
+
+// deltaPolicy folds the delta-checkpoint options into the checkpoint
+// package's policy.
+func (r *Runtime) deltaPolicy() checkpoint.Policy {
+	return checkpoint.Policy{
+		Delta:        r.opts.DeltaCheckpoints,
+		CompactEvery: r.opts.CompactEvery,
+		CompactRatio: r.opts.CompactRatio,
+	}
 }
 
 // newInstance builds (but does not start) a TE instance on a node.

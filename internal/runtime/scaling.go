@@ -140,6 +140,14 @@ func (r *Runtime) repartition(ss *seState) error {
 			return err
 		}
 		newInsts[j] = &seInstance{se: ss, idx: j, node: node, store: store}
+		if j < k {
+			// The rebuilt instance inherits its predecessor's epoch counter
+			// so epochs stay monotonic per instance name in the backup
+			// manifest (a reset counter could reuse an epoch number still
+			// referenced by the superseded chain). chained stays false: the
+			// repartitioned store must anchor a fresh base first.
+			newInsts[j].epoch.Store(ss.insts[j].epoch.Load())
+		}
 	}
 	ss.insts = newInsts
 

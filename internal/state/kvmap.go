@@ -14,10 +14,11 @@ const kvEntryOverhead = 48
 // key/value store application used throughout the paper's evaluation.
 type KVMap struct {
 	dirtyCtl
-	base map[uint64][]byte
-	ovl  map[uint64][]byte   // dirty overlay; nil values are not allowed
-	tomb map[uint64]struct{} // keys deleted while dirty
-	size atomic.Int64        // approximate bytes; atomic because both lock domains update it
+	base  map[uint64][]byte
+	ovl   map[uint64][]byte   // dirty overlay; nil values are not allowed
+	tomb  map[uint64]struct{} // keys deleted while dirty
+	size  atomic.Int64        // approximate bytes; atomic because both lock domains update it
+	delta deltaTrack          // changed-key tracker for incremental checkpoints
 }
 
 // NewKVMap returns an empty dictionary store.
@@ -54,6 +55,7 @@ func (m *KVMap) Put(key uint64, value []byte) {
 	}
 	m.base[key] = value
 	m.size.Add(int64(len(value)))
+	m.delta.record(key)
 	m.mu.Unlock()
 }
 
@@ -111,6 +113,7 @@ func (m *KVMap) Delete(key uint64) bool {
 	if ok {
 		m.size.Add(-(int64(len(old)) + kvEntryOverhead + 8))
 		delete(m.base, key)
+		m.delta.record(key)
 	}
 	m.mu.Unlock()
 	return ok
@@ -157,6 +160,9 @@ func (m *KVMap) MergeDirty() (int, error) {
 	}
 	defer unlock()
 	n := len(m.ovl) + len(m.tomb)
+	// Retain the merged overlay: the window's updates and tombstones belong
+	// to the next delta epoch.
+	m.delta.noteMerge(m.ovl, m.tomb)
 	for k, v := range m.ovl {
 		if old, ok := m.base[k]; ok {
 			// Both copies were counted while dirty; drop the stale one.
@@ -215,6 +221,9 @@ func (m *KVMap) Restore(chunks []Chunk) error {
 		if c.Type != TypeKVMap {
 			return fmt.Errorf("%w: got %v, want %v", ErrWrongChunkType, c.Type, TypeKVMap)
 		}
+		if c.Delta {
+			return ErrDeltaChunk
+		}
 		d := newDecoder(c.Data)
 		count := d.uvarint()
 		for i := uint64(0); i < count; i++ {
@@ -251,6 +260,7 @@ func (m *KVMap) Split(n int) ([]Store, error) {
 	for k, v := range m.base {
 		parts[PartitionKey(k, n)].Put(k, v)
 	}
+	m.delta.noteBase(m.base) // moved-out keys need tombstones in the next delta
 	m.base = make(map[uint64][]byte)
 	m.size.Store(0)
 	return out, nil
@@ -290,6 +300,7 @@ func (m *KVMap) Clear() {
 			m.mu.Unlock()
 			continue // lost the race with BeginDirty; take the overlay path
 		}
+		m.delta.noteBase(m.base) // wiped keys need tombstones in the next delta
 		m.base = make(map[uint64][]byte)
 		m.size.Store(0)
 		m.mu.Unlock()

@@ -57,9 +57,10 @@ type ShardedKVMap struct {
 // store-level bookkeeping.
 type kvShard struct {
 	dirtyCtl
-	base map[uint64][]byte
-	ovl  map[uint64][]byte
-	tomb map[uint64]struct{}
+	base  map[uint64][]byte
+	ovl   map[uint64][]byte
+	tomb  map[uint64]struct{}
+	delta deltaTrack // changed-key tracker for incremental checkpoints
 }
 
 func newKVShard() *kvShard {
@@ -131,6 +132,7 @@ func (m *ShardedKVMap) Put(key uint64, value []byte) {
 	}
 	s.base[key] = value
 	m.size.Add(int64(len(value)))
+	s.delta.record(key)
 	s.mu.Unlock()
 }
 
@@ -186,6 +188,7 @@ func (m *ShardedKVMap) Delete(key uint64) bool {
 	if ok {
 		m.size.Add(-(int64(len(old)) + kvEntryOverhead + 8))
 		delete(s.base, key)
+		s.delta.record(key)
 	}
 	s.mu.Unlock()
 	return ok
@@ -271,6 +274,8 @@ func (m *ShardedKVMap) MergeDirty() (int, error) {
 		}
 		defer unlock()
 		total.Add(int64(len(s.ovl) + len(s.tomb)))
+		// Retain the merged overlay for the next delta epoch.
+		s.delta.noteMerge(s.ovl, s.tomb)
 		for k, v := range s.ovl {
 			if old, ok := s.base[k]; ok {
 				// Both copies were counted while dirty; drop the stale one.
@@ -359,6 +364,10 @@ func (m *ShardedKVMap) Restore(chunks []Chunk) error {
 				errs[i] = fmt.Errorf("%w: got %v, want %v", ErrWrongChunkType, c.Type, TypeKVMap)
 				return
 			}
+			if c.Delta {
+				errs[i] = ErrDeltaChunk
+				return
+			}
 			d := newDecoder(c.Data)
 			count := d.uvarint()
 			for j := uint64(0); j < count && d.err == nil; j++ {
@@ -413,6 +422,7 @@ func (m *ShardedKVMap) Split(n int) ([]Store, error) {
 		for k, v := range s.base {
 			parts[PartitionKey(k, n)].Put(k, v)
 		}
+		s.delta.noteBase(s.base) // moved-out keys need tombstones in the next delta
 		s.base = make(map[uint64][]byte)
 		return nil
 	})
@@ -458,6 +468,7 @@ func (m *ShardedKVMap) Clear() {
 			for _, v := range s.base {
 				m.size.Add(-(int64(len(v)) + kvEntryOverhead + 8))
 			}
+			s.delta.noteBase(s.base) // wiped keys need tombstones in the next delta
 			s.base = make(map[uint64][]byte)
 			s.mu.Unlock()
 			return nil

@@ -55,10 +55,15 @@ func (t StoreType) String() string {
 // Chunk is one hash-partitioned fragment of a checkpoint. A full checkpoint
 // of a store is the set of chunks {Index: 0..Of-1}. Chunks are
 // self-describing so they can be split further at restore time (m-to-n).
+// Delta marks an incremental chunk: its body carries only the entries
+// changed since the previous epoch plus tombstones for deleted keys (see
+// delta.go for the wire format); it is applied with ApplyDelta on top of a
+// restored base instead of Restore.
 type Chunk struct {
 	Type  StoreType
 	Index int
 	Of    int
+	Delta bool
 	Data  []byte
 }
 
@@ -69,6 +74,9 @@ var (
 	ErrBadChunk       = errors.New("state: malformed checkpoint chunk")
 	ErrWrongChunkType = errors.New("state: chunk type does not match store")
 	ErrBadSplit       = errors.New("state: invalid partition count")
+	ErrDeltaInactive  = errors.New("state: delta tracking not enabled")
+	ErrNotDelta       = errors.New("state: chunk is not a delta chunk")
+	ErrDeltaChunk     = errors.New("state: delta chunk passed to full restore")
 )
 
 // Store is the interface every SE data structure implements. Stores are safe
@@ -107,6 +115,39 @@ type Partitionable interface {
 	// Split divides the contents into n disjoint stores; the receiver is
 	// left empty afterwards.
 	Split(n int) ([]Store, error)
+}
+
+// DeltaStore is implemented by stores that support incremental (delta)
+// checkpoints: they track the keys changed since the last committed epoch
+// cut and serialise only those. The cut follows a two-phase commit so an
+// aborted backup loses nothing (see delta.go): DeltaCheckpoint or CutDelta
+// opens a pending cut between BeginDirty and MergeDirty, and exactly one of
+// CommitDelta / AbortDelta closes it once the epoch's save succeeded or
+// failed.
+type DeltaStore interface {
+	Store
+	// EnableDeltaTracking starts recording changed keys. The first
+	// checkpoint after enabling must be a full one.
+	EnableDeltaTracking()
+	// DeltaTracking reports whether tracking is on.
+	DeltaTracking() bool
+	// DeltaSize reports the number of keys changed since the last cut.
+	DeltaSize() int
+	// DeltaCheckpoint serialises the changed keys into n hash-partitioned
+	// delta chunks and opens a pending cut. Same consistency contract as
+	// Checkpoint: call while dirty mode is active or on a quiescent store.
+	DeltaCheckpoint(n int) ([]Chunk, error)
+	// ApplyDelta replays delta chunks (puts + tombstone deletes) onto the
+	// store. Chunks of different epochs must be applied in epoch order.
+	ApplyDelta(chunks []Chunk) error
+	// CutDelta opens a pending cut without serialising — the cut point of a
+	// full checkpoint taken while tracking is on.
+	CutDelta()
+	// CommitDelta closes the pending cut after a durable save.
+	CommitDelta()
+	// AbortDelta folds the pending cut back into the live tracker after a
+	// failed save.
+	AbortDelta()
 }
 
 // KV is the dictionary interface shared by the single-lock KVMap and the
@@ -174,10 +215,16 @@ func SplitChunk(c Chunk, n int) ([]Chunk, error) {
 	if n < 1 {
 		return nil, ErrBadSplit
 	}
+	if c.Delta && c.Type != TypeKVMap && c.Type != TypeShardedKVMap {
+		return nil, fmt.Errorf("%w: delta chunks exist only for dictionary stores, got %v", ErrBadChunk, c.Type)
+	}
 	switch c.Type {
 	case TypeKVMap, TypeShardedKVMap:
 		// Both dictionary backends emit the same TypeKVMap chunk format;
 		// the sharded case is accepted defensively.
+		if c.Delta {
+			return splitKVDeltaChunk(c, n)
+		}
 		return splitKVChunk(c, n)
 	case TypeMatrix:
 		return splitMatrixChunk(c, n)

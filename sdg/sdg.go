@@ -188,6 +188,17 @@ type Options struct {
 	Mode     CheckpointMode
 	Interval time.Duration // checkpoint period (default 10s, as in the paper)
 	Chunks   int           // checkpoint chunks = backup parallelism m (default 2)
+	// DeltaCheckpoints enables incremental epochs for dictionary SEs:
+	// after an instance's first full checkpoint, later epochs serialise
+	// only the keys changed since the previous epoch (plus tombstones),
+	// cutting failure-free checkpoint bytes by the churn ratio.
+	DeltaCheckpoints bool
+	// CompactEvery forces a fresh base checkpoint after this many
+	// consecutive delta epochs (default 8).
+	CompactEvery int
+	// CompactRatio forces a fresh base once cumulative delta bytes exceed
+	// this fraction of the base checkpoint's bytes (default 0.5).
+	CompactRatio float64
 	// QueueLen bounds per-instance queues (default 1024).
 	QueueLen int
 	// DiskBandwidth models checkpoint disk speed in bytes/s (0 = infinite).
@@ -212,14 +223,17 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 		DiskReadBW:  opts.DiskBandwidth,
 	})
 	rt, err := runtime.Deploy(b.g, runtime.Options{
-		Cluster:     cl,
-		QueueLen:    opts.QueueLen,
-		Partitions:  opts.Partitions,
-		Mode:        opts.Mode,
-		Interval:    opts.Interval,
-		Chunks:      opts.Chunks,
-		BackupNodes: opts.BackupNodes,
-		KVShards:    opts.KVShards,
+		Cluster:          cl,
+		QueueLen:         opts.QueueLen,
+		Partitions:       opts.Partitions,
+		Mode:             opts.Mode,
+		Interval:         opts.Interval,
+		Chunks:           opts.Chunks,
+		BackupNodes:      opts.BackupNodes,
+		KVShards:         opts.KVShards,
+		DeltaCheckpoints: opts.DeltaCheckpoints,
+		CompactEvery:     opts.CompactEvery,
+		CompactRatio:     opts.CompactRatio,
 	})
 	if err != nil {
 		return nil, err
