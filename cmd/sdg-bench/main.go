@@ -21,19 +21,32 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "experiment to run (0 and 5-13); empty = all")
-		full     = flag.Bool("full", false, "use longer measurement points")
-		list     = flag.Bool("list", false, "list experiment identifiers")
-		point    = flag.Duration("point", 0, "override measurement duration per point")
-		ckpt     = flag.Bool("ckpt-bench", false, "measure full vs delta checkpoint cost and exit")
-		ckptOut  = flag.String("ckpt-out", "BENCH_checkpoint.json", "JSON output path for -ckpt-bench (empty = stdout table only)")
-		ckptKeys = flag.Int("ckpt-keys", 100_000, "store size in keys for -ckpt-bench")
+		fig       = flag.String("fig", "", "experiment to run (0 and 5-13); empty = all")
+		full      = flag.Bool("full", false, "use longer measurement points")
+		list      = flag.Bool("list", false, "list experiment identifiers")
+		point     = flag.Duration("point", 0, "override measurement duration per point")
+		ckpt      = flag.Bool("ckpt-bench", false, "measure full vs delta checkpoint cost and exit")
+		ckptOut   = flag.String("ckpt-out", "BENCH_checkpoint.json", "JSON output path for -ckpt-bench (empty = stdout table only)")
+		ckptKeys  = flag.Int("ckpt-keys", 100_000, "store size in keys for -ckpt-bench")
+		pipe      = flag.Bool("pipe-bench", false, "measure dataflow hot-path cost across micro-batch sizes and exit")
+		pipeOut   = flag.String("pipe-out", "BENCH_throughput.json", "JSON output path for -pipe-bench (empty = stdout table only)")
+		pipeItems = flag.Int("pipe-items", 20_000, "injected items per batch size for -pipe-bench")
 	)
 	flag.Parse()
 
 	if *ckpt {
 		err := experiments.WriteCheckpointBench(os.Stdout,
 			experiments.CheckpointBenchConfig{Keys: *ckptKeys}, *ckptOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *pipe {
+		err := experiments.WritePipeBench(os.Stdout,
+			experiments.PipeBenchConfig{Items: *pipeItems}, *pipeOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)

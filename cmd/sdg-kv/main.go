@@ -41,6 +41,7 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
 		partitions   = flag.Int("partitions", 2, "store partitions")
 		shards       = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
+		batch        = flag.Int("batch", 1, "micro-batch target for the item hot path (1 = per-item dispatch)")
 		ftInterval   = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
 		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
 		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
@@ -60,6 +61,7 @@ func main() {
 			Mode:             mode,
 			Interval:         *ftInterval,
 			KVShards:         *shards,
+			BatchSize:        *batch,
 			DeltaCheckpoints: *delta,
 			CompactEvery:     *compactEvery,
 			CompactRatio:     *compactRatio,

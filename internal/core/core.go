@@ -128,7 +128,13 @@ type Context interface {
 	// correlation id of the item being processed.
 	EmitReq(edge int, key uint64, value any)
 	// Reply delivers a value to the external caller that injected the
-	// request (used by sink TEs such as merge).
+	// request (used by sink TEs such as merge). Request/reply contract: a
+	// request path contains at most one all-to-one gather stage, and Reply
+	// fires at (or downstream of) that merge — the runtime treats a
+	// request-correlated partial with no waiting caller as belonging to a
+	// completed or abandoned request and will not open a new gather wave
+	// for it, so replying upstream of a gather on the same request would
+	// lose late waves.
 	Reply(value any)
 	// Instance reports this TE instance's index and the current number of
 	// instances of the TE.

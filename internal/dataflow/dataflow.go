@@ -38,16 +38,45 @@ func (b *OutputBuffer) Append(it core.Item) {
 	b.mu.Unlock()
 }
 
+// AppendBatch logs a micro-batch of emitted items under one lock
+// acquisition; the batch hot path uses it so logging cost amortises over
+// the batch instead of paying a mutex round trip per item.
+func (b *OutputBuffer) AppendBatch(items []core.Item) {
+	if len(items) == 0 {
+		return
+	}
+	b.mu.Lock()
+	for _, it := range items {
+		b.items = append(b.items, it)
+		b.bytes += itemCost(it)
+	}
+	b.mu.Unlock()
+}
+
 // itemCost approximates the retained size of a buffered item.
 func itemCost(it core.Item) int64 {
-	const header = 48
-	switch v := it.Value.(type) {
+	const header = 48 // Item struct: 5 words + interface header
+	return header + valueCost(it.Value)
+}
+
+// valueCost approximates the retained payload size of an item value,
+// descending into gathered collections so a buffered merge input accounts
+// for the partial results it carries, not just the slice header.
+func valueCost(v any) int64 {
+	switch v := v.(type) {
 	case []byte:
-		return header + int64(len(v))
+		return int64(len(v))
 	case string:
-		return header + int64(len(v))
+		return int64(len(v))
+	case core.Collection:
+		const sliceHeader, ifaceHeader = 24, 16
+		total := int64(sliceHeader)
+		for _, e := range v {
+			total += ifaceHeader + valueCost(e)
+		}
+		return total
 	default:
-		return header
+		return 0
 	}
 }
 
@@ -122,6 +151,24 @@ func (d *Dedup) Fresh(it core.Item) bool {
 	return true
 }
 
+// FreshBatch filters a micro-batch under one lock acquisition: fresh items
+// are recorded and appended to keep (caller-owned scratch, typically reused
+// across batches), in input order. Within a batch, later items from the
+// same origin must still advance the timestamp, exactly as if Fresh had
+// been called per item.
+func (d *Dedup) FreshBatch(items []core.Item, keep []core.Item) []core.Item {
+	d.mu.Lock()
+	for _, it := range items {
+		if last, ok := d.last[it.Origin]; ok && it.Seq <= last {
+			continue
+		}
+		d.last[it.Origin] = it.Seq
+		keep = append(keep, it)
+	}
+	d.mu.Unlock()
+	return keep
+}
+
 // Watermarks snapshots the per-origin high-water marks (the "vector
 // timestamp of the last data item from each input dataflow" stored in
 // checkpoints, §5).
@@ -162,10 +209,35 @@ func NewGather() *Gather {
 // Add records one partial result. When the collection is complete it is
 // returned with done=true and the request's slot is released.
 func (g *Gather) Add(it core.Item) (coll core.Collection, done bool) {
+	return g.fill(it, true)
+}
+
+// Refill records a partial result that the dedup filter flagged as a
+// duplicate. Duplicates only fill holes in waves that are still pending —
+// the case where the original delivery was lost with a failed instance and
+// a recovered upstream re-emits it under an already-seen timestamp. A wave
+// that already completed is never recreated, so replayed duplicates cannot
+// re-invoke the merge computation. Fire-and-forget waves (request id 0)
+// are excluded: every such wave shares pending key 0, so a stale duplicate
+// from an earlier wave could otherwise complete the current wave with a
+// previous generation's value and permanently shift wave alignment —
+// those duplicates are simply dropped, as they were pre-batching.
+func (g *Gather) Refill(it core.Item) (coll core.Collection, done bool) {
+	if it.ReqID == 0 {
+		return nil, false
+	}
+	return g.fill(it, false)
+}
+
+// fill is the shared wave bookkeeping behind Add and Refill.
+func (g *Gather) fill(it core.Item, mayCreate bool) (coll core.Collection, done bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	m := g.pending[it.ReqID]
 	if m == nil {
+		if !mayCreate {
+			return nil, false
+		}
 		m = make(map[uint64]any, it.Parts)
 		g.pending[it.ReqID] = m
 	}
@@ -179,6 +251,23 @@ func (g *Gather) Add(it core.Item) (coll core.Collection, done bool) {
 		return coll, true
 	}
 	return nil, false
+}
+
+// Evict drops every pending wave whose request id matches drop, returning
+// the number of waves evicted. Recovery uses it to release waves that can
+// never complete, e.g. request/reply waves whose external caller has
+// already given up — without eviction such waves leak in pending forever.
+func (g *Gather) Evict(drop func(reqID uint64) bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for req := range g.pending {
+		if drop(req) {
+			delete(g.pending, req)
+			n++
+		}
+	}
+	return n
 }
 
 // Pending reports the number of incomplete collections (for monitoring).
@@ -221,4 +310,34 @@ func (r *Router) Route(it core.Item, instances int) []int {
 	default:
 		return []int{0}
 	}
+}
+
+// RouteBatch routes a micro-batch for the per-item single-target dispatch
+// strategies, appending one destination index per item into dst (a
+// caller-owned scratch buffer, typically reused across batches) and
+// returning it. Unlike Route it performs no allocation when dst has
+// capacity. DispatchOneToAll (every live instance gets the batch) and
+// DispatchOneToAny (the whole batch goes to the least-loaded live
+// instance, not per-item round robin) have no per-item target and are
+// handled by the delivery layer; routing them here would silently diverge
+// from those semantics, so both panic.
+func (r *Router) RouteBatch(items []core.Item, instances int, dst []int) []int {
+	if instances <= 0 {
+		return dst
+	}
+	switch r.Dispatch {
+	case core.DispatchPartitioned:
+		for i := range items {
+			dst = append(dst, state.PartitionKey(items[i].Key, instances))
+		}
+	case core.DispatchOneToAll:
+		panic("dataflow: RouteBatch does not support one-to-all; use the broadcast path")
+	case core.DispatchOneToAny:
+		panic("dataflow: RouteBatch does not support one-to-any; use the least-loaded delivery path")
+	default: // DispatchAllToOne and unknown: converge on instance 0.
+		for range items {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
 }

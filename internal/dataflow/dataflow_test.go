@@ -227,3 +227,189 @@ func TestQuickDedupExactlyOnce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOutputBufferAppendBatch(t *testing.T) {
+	var a, b OutputBuffer
+	items := []core.Item{
+		{Origin: 1, Seq: 1, Value: []byte("aa")},
+		{Origin: 1, Seq: 2, Value: "bbb"},
+		{Origin: 2, Seq: 1},
+	}
+	for _, it := range items {
+		a.Append(it)
+	}
+	b.AppendBatch(items)
+	b.AppendBatch(nil)
+	if a.Len() != b.Len() || a.SizeBytes() != b.SizeBytes() {
+		t.Fatalf("batch append diverges: len %d/%d bytes %d/%d",
+			a.Len(), b.Len(), a.SizeBytes(), b.SizeBytes())
+	}
+	ra, rb := a.Replay(), b.Replay()
+	for i := range ra {
+		if ra[i].Origin != rb[i].Origin || ra[i].Seq != rb[i].Seq {
+			t.Fatalf("item %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestItemCostCountsCollections(t *testing.T) {
+	var plain, gathered OutputBuffer
+	plain.Append(core.Item{Origin: 1, Seq: 1})
+	payload := core.Collection{make([]byte, 100), make([]byte, 150), "tail"}
+	gathered.Append(core.Item{Origin: 1, Seq: 1, Value: payload})
+	// The gathered item must account for the partial results it carries,
+	// not just the item header (the old accounting undercounted every
+	// merge input at 48 bytes).
+	if gathered.SizeBytes() < plain.SizeBytes()+254 {
+		t.Fatalf("collection cost = %d, header-only = %d; nested payloads not counted",
+			gathered.SizeBytes(), plain.SizeBytes())
+	}
+	// Trim-path recomputation agrees with append-path accounting.
+	gathered.Append(core.Item{Origin: 2, Seq: 1, Value: payload})
+	want := gathered.SizeBytes() / 2
+	gathered.Trim(map[uint64]uint64{1: 5})
+	if gathered.SizeBytes() != want {
+		t.Fatalf("post-trim size = %d, want %d", gathered.SizeBytes(), want)
+	}
+}
+
+func TestDedupFreshBatchMatchesFresh(t *testing.T) {
+	items := []core.Item{
+		{Origin: 1, Seq: 1},
+		{Origin: 1, Seq: 1}, // duplicate within the batch
+		{Origin: 2, Seq: 5},
+		{Origin: 1, Seq: 2},
+		{Origin: 2, Seq: 4}, // stale
+		{Origin: 3, Seq: 1},
+	}
+	seq := NewDedup()
+	var wantKept []core.Item
+	for _, it := range items {
+		if seq.Fresh(it) {
+			wantKept = append(wantKept, it)
+		}
+	}
+	batch := NewDedup()
+	kept := batch.FreshBatch(items, nil)
+	if len(kept) != len(wantKept) {
+		t.Fatalf("kept %d items, want %d", len(kept), len(wantKept))
+	}
+	for i := range kept {
+		if kept[i] != wantKept[i] {
+			t.Fatalf("kept[%d] = %+v, want %+v", i, kept[i], wantKept[i])
+		}
+	}
+	sw, bw := seq.Watermarks(), batch.Watermarks()
+	if len(sw) != len(bw) {
+		t.Fatalf("watermark origins %d vs %d", len(sw), len(bw))
+	}
+	for o, s := range sw {
+		if bw[o] != s {
+			t.Fatalf("origin %d watermark %d vs %d", o, s, bw[o])
+		}
+	}
+	// Scratch reuse: a second batch appends into the same backing array.
+	kept2 := batch.FreshBatch([]core.Item{{Origin: 3, Seq: 2}}, kept[:0])
+	if len(kept2) != 1 || kept2[0].Seq != 2 {
+		t.Fatalf("scratch reuse broken: %+v", kept2)
+	}
+}
+
+func TestGatherRefillCompletesPendingWaveOnly(t *testing.T) {
+	g := NewGather()
+	// A wave missing one partial: the original from origin 2 was lost with
+	// a failed instance.
+	g.Add(core.Item{ReqID: 9, Origin: 1, Parts: 2, Value: "a"})
+	// A replayed duplicate from a surviving origin only overwrites.
+	if _, done := g.Refill(core.Item{ReqID: 9, Origin: 1, Parts: 2, Value: "a2"}); done {
+		t.Fatal("refill of existing slot completed the wave")
+	}
+	// The recovered instance re-emits origin 2's partial under an
+	// already-seen timestamp; the refill must complete the wave.
+	coll, done := g.Refill(core.Item{ReqID: 9, Origin: 2, Parts: 2, Value: "b"})
+	if !done || len(coll) != 2 {
+		t.Fatalf("refill did not complete: done=%v coll=%v", done, coll)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("completed wave not released")
+	}
+	// A duplicate arriving after completion must not recreate the wave —
+	// that would re-invoke the merge computation.
+	if _, done := g.Refill(core.Item{ReqID: 9, Origin: 1, Parts: 2, Value: "late"}); done {
+		t.Fatal("refill recreated a completed wave")
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("refill leaked a wave: pending = %d", g.Pending())
+	}
+	// Fire-and-forget waves share pending key 0; a stale duplicate from an
+	// earlier wave must never complete the current one.
+	g.Add(core.Item{ReqID: 0, Origin: 1, Parts: 2, Value: "new-wave"})
+	if _, done := g.Refill(core.Item{ReqID: 0, Origin: 2, Parts: 2, Value: "old-wave"}); done {
+		t.Fatal("refill completed a fire-and-forget wave with a stale value")
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("fire-and-forget wave disturbed: pending = %d", g.Pending())
+	}
+}
+
+func TestGatherEvict(t *testing.T) {
+	g := NewGather()
+	g.Add(core.Item{ReqID: 1, Origin: 1, Parts: 2, Value: "a"})
+	g.Add(core.Item{ReqID: 2, Origin: 1, Parts: 2, Value: "b"})
+	g.Add(core.Item{ReqID: 3, Origin: 1, Parts: 2, Value: "c"})
+	if n := g.Evict(func(req uint64) bool { return req != 2 }); n != 2 {
+		t.Fatalf("evicted %d waves, want 2", n)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", g.Pending())
+	}
+	// The surviving wave still completes.
+	if _, done := g.Add(core.Item{ReqID: 2, Origin: 2, Parts: 2, Value: "b2"}); !done {
+		t.Fatal("surviving wave cannot complete")
+	}
+}
+
+func TestRouteBatchMatchesRoute(t *testing.T) {
+	items := make([]core.Item, 50)
+	for i := range items {
+		items[i] = core.Item{Key: uint64(i * 131)}
+	}
+	for _, d := range []core.Dispatch{core.DispatchPartitioned, core.DispatchAllToOne} {
+		one := &Router{Dispatch: d}
+		bat := &Router{Dispatch: d}
+		targets := bat.RouteBatch(items, 4, nil)
+		if len(targets) != len(items) {
+			t.Fatalf("%v: %d targets for %d items", d, len(targets), len(items))
+		}
+		for i, it := range items {
+			if want := one.Route(it, 4)[0]; targets[i] != want {
+				t.Fatalf("%v item %d: batch target %d, route target %d", d, i, targets[i], want)
+			}
+		}
+	}
+	// Scratch is reused without allocation once sized.
+	part := &Router{Dispatch: core.DispatchPartitioned}
+	scratch := make([]int, 0, len(items))
+	allocs := testing.AllocsPerRun(20, func() {
+		scratch = part.RouteBatch(items, 4, scratch[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("RouteBatch allocated %.1f times with sized scratch", allocs)
+	}
+	// Zero instances route nowhere.
+	if got := part.RouteBatch(items, 0, nil); len(got) != 0 {
+		t.Fatalf("no-instance routing returned %v", got)
+	}
+	// The strategies the delivery layer owns (broadcast, least-loaded)
+	// must refuse per-item routing rather than silently diverge.
+	for _, d := range []core.Dispatch{core.DispatchOneToAll, core.DispatchOneToAny} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RouteBatch(%v) should panic", d)
+				}
+			}()
+			(&Router{Dispatch: d}).RouteBatch(items, 4, nil)
+		}()
+	}
+}

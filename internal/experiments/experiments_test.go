@@ -440,3 +440,39 @@ func TestCheckpointBenchSmoke(t *testing.T) {
 		t.Fatal("summary table missing")
 	}
 }
+
+func TestPipeBenchSmoke(t *testing.T) {
+	// Tiny config: guards the CI perf-record path (table + JSON) and the
+	// alloc trajectory's shape; the hard allocation bound lives in
+	// internal/runtime's AllocsPerRun guards.
+	out := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	cfg := PipeBenchConfig{Items: 400, BatchSizes: []int{1, 64}}
+	var buf strings.Builder
+	if err := WritePipeBench(&buf, cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []PipeBenchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d batch sizes, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Delivered <= 0 || r.ItemsPerSec <= 0 {
+			t.Fatalf("batch=%d: empty measurement %+v", r.BatchSize, r)
+		}
+	}
+	// Batching must cut allocations per item, even at smoke scale.
+	if results[1].AllocsPerItem >= results[0].AllocsPerItem {
+		t.Fatalf("allocs/item did not drop: batch=1 %.3f, batch=64 %.3f",
+			results[0].AllocsPerItem, results[1].AllocsPerItem)
+	}
+	if !strings.Contains(buf.String(), "micro-batch sweep") {
+		t.Fatal("summary table missing")
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/state"
+)
+
+// PipeBenchConfig sizes the batched-pipeline throughput measurement: a
+// stateless fan-out entry TE feeding a partitioned dictionary sink over a
+// partitioned dataflow edge, swept across micro-batch sizes.
+type PipeBenchConfig struct {
+	Items      int   // externally injected items per batch size (default 20k)
+	FanOut     int   // downstream emissions per injected item (default 16)
+	ValueBytes int   // payload bytes per emitted value (default 16)
+	Partitions int   // sink SE partitions (default 4)
+	BatchSizes []int // sweep (default 1, 4, 16, 64, 256)
+}
+
+func (c PipeBenchConfig) withDefaults() PipeBenchConfig {
+	if c.Items <= 0 {
+		c.Items = 20_000
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = 16
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 16
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = []int{1, 4, 16, 64, 256}
+	}
+	return c
+}
+
+// PipeBenchResult records the hot-path cost for one micro-batch size.
+// AllocsPerItem is the headline number — it is deterministic on any
+// machine, unlike wall-clock throughput, which is reported for context
+// only (per the repo's single-core measurement policy).
+type PipeBenchResult struct {
+	BatchSize     int     `json:"batch_size"`
+	Injected      int     `json:"injected_items"`
+	Delivered     int64   `json:"delivered_items"`
+	ItemsPerSec   float64 `json:"items_per_sec"`
+	NsPerItem     int64   `json:"ns_per_item"`
+	AllocsPerItem float64 `json:"allocs_per_item"`
+	BatchP50      int64   `json:"batch_size_p50"`
+	BatchMean     float64 `json:"batch_size_mean"`
+}
+
+// pipeBenchGraph builds the measured pipeline: src fans each injected item
+// out FanOut ways on a partitioned edge; sink writes each into a
+// partitioned KVMap. The interesting cost is the internal edge — routing,
+// grouping, enqueueing and processing — which dominates the injection
+// overhead by the fan-out factor.
+func pipeBenchGraph(fanOut, valueBytes int) *core.Graph {
+	// Box the shared payload once: converting a []byte to `any` per Emit
+	// would put an allocation back on the measured path.
+	var value any = make([]byte, valueBytes)
+	g := core.NewGraph("pipe-bench")
+	se := g.AddSE("sink-store", core.KindPartitioned, state.TypeKVMap, nil)
+	src := g.AddTE("src", func(ctx core.Context, it core.Item) {
+		// Keys cycle through a bounded space so the sink map reaches a
+		// steady state and the measurement isolates pipeline cost rather
+		// than dictionary growth.
+		const keySpace = 1 << 12
+		base := it.Key * uint64(fanOut)
+		for f := 0; f < fanOut; f++ {
+			ctx.Emit(0, (base+uint64(f))%keySpace, value)
+		}
+	}, nil, true)
+	sink := g.AddTE("sink", func(ctx core.Context, it core.Item) {
+		ctx.Store().(state.KV).Put(it.Key, it.Value.([]byte))
+	}, &core.Access{SE: se, Mode: core.AccessByKey}, false)
+	g.Connect(src, sink, core.DispatchPartitioned)
+	return g
+}
+
+// RunPipeBench measures the dataflow hot path at one micro-batch size.
+func RunPipeBench(cfg PipeBenchConfig, batchSize int) (PipeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	rt, err := runtime.Deploy(pipeBenchGraph(cfg.FanOut, cfg.ValueBytes), runtime.Options{
+		Partitions: map[string]int{"sink-store": cfg.Partitions},
+		BatchSize:  batchSize,
+		QueueLen:   4096,
+	})
+	if err != nil {
+		return PipeBenchResult{}, err
+	}
+	defer rt.Stop()
+
+	// Warm the pipeline so snapshot caches and scratch buffers are sized
+	// before measurement starts.
+	for k := uint64(0); k < 64; k++ {
+		if err := rt.Inject("src", k, nil); err != nil {
+			return PipeBenchResult{}, err
+		}
+	}
+	if !rt.Drain(30 * time.Second) {
+		return PipeBenchResult{}, fmt.Errorf("pipe bench: warm-up did not drain")
+	}
+	rt.BatchSizes.Reset()
+	warmed := rt.Processed("sink")
+
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	for k := uint64(0); k < uint64(cfg.Items); k++ {
+		if err := rt.Inject("src", k, nil); err != nil {
+			return PipeBenchResult{}, err
+		}
+	}
+	if !rt.Drain(120 * time.Second) {
+		return PipeBenchResult{}, fmt.Errorf("pipe bench: batch=%d did not drain", batchSize)
+	}
+	elapsed := time.Since(start)
+	goruntime.ReadMemStats(&after)
+
+	delivered := rt.Processed("sink") - warmed
+	if delivered <= 0 {
+		return PipeBenchResult{}, fmt.Errorf("pipe bench: nothing delivered at batch=%d", batchSize)
+	}
+	// In per-item mode the runtime skips batch-size recording (every batch
+	// has size 1 by construction), so report the definitional value.
+	p50, mean := int64(1), 1.0
+	if batchSize > 1 {
+		p50, mean = rt.BatchSizes.Percentile(50), rt.BatchSizes.Mean()
+	}
+	allocs := after.Mallocs - before.Mallocs
+	return PipeBenchResult{
+		BatchSize:     batchSize,
+		Injected:      cfg.Items,
+		Delivered:     delivered,
+		ItemsPerSec:   float64(delivered) / elapsed.Seconds(),
+		NsPerItem:     elapsed.Nanoseconds() / delivered,
+		AllocsPerItem: float64(allocs) / float64(delivered),
+		BatchP50:      p50,
+		BatchMean:     mean,
+	}, nil
+}
+
+// WritePipeBench sweeps the configured micro-batch sizes, prints a summary
+// table, and (when outPath is non-empty) writes the structured results as
+// JSON so CI records the hot-path perf trajectory alongside the checkpoint
+// record.
+func WritePipeBench(w io.Writer, cfg PipeBenchConfig, outPath string) error {
+	cfg = cfg.withDefaults()
+	var results []PipeBenchResult
+	for _, b := range cfg.BatchSizes {
+		r, err := RunPipeBench(cfg, b)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	tbl := &Table{
+		Title: "pipeline hot path: micro-batch sweep",
+		Note: fmt.Sprintf("%d injected x %d fan-out, %d partitions, %d B values",
+			cfg.Items, cfg.FanOut, cfg.Partitions, cfg.ValueBytes),
+		Header: []string{"batch", "items/s", "ns/item", "allocs/item", "batch p50"},
+	}
+	for _, r := range results {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", r.BatchSize),
+			fmt.Sprintf("%.0f", r.ItemsPerSec),
+			fmt.Sprintf("%d", r.NsPerItem),
+			fmt.Sprintf("%.3f", r.AllocsPerItem),
+			fmt.Sprintf("%d", r.BatchP50),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Distribution records dimensionless int64 samples (batch sizes, queue
+// depths) and reports summary statistics. Like Histogram it bounds memory
+// with reservoir sampling, but it pre-allocates the full reservoir so the
+// steady-state Record path never allocates — the runtime records one
+// sample per processed micro-batch and must not put allocations back on
+// the hot path it is measuring. It deliberately mirrors Histogram's
+// reservoir scheme; if the shared eviction/percentile logic ever changes,
+// change both (folding them onto one generic core is known debt).
+type Distribution struct {
+	mu      sync.Mutex
+	samples []int64
+	cap     int
+	n       int64 // total observations, including evicted ones
+	sum     int64
+	max     int64
+	rng     uint64 // xorshift state for reservoir eviction
+}
+
+// DefaultDistributionCap bounds retained samples per distribution.
+const DefaultDistributionCap = 1 << 14
+
+// NewDistribution returns a distribution retaining at most capacity
+// samples. If capacity <= 0, DefaultDistributionCap is used.
+func NewDistribution(capacity int) *Distribution {
+	if capacity <= 0 {
+		capacity = DefaultDistributionCap
+	}
+	return &Distribution{
+		samples: make([]int64, 0, capacity),
+		cap:     capacity,
+		rng:     0x9e3779b97f4a7c15,
+	}
+}
+
+func (d *Distribution) next() uint64 {
+	d.rng ^= d.rng << 13
+	d.rng ^= d.rng >> 7
+	d.rng ^= d.rng << 17
+	return d.rng
+}
+
+// Record adds one sample.
+func (d *Distribution) Record(v int64) {
+	d.mu.Lock()
+	d.n++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+	if len(d.samples) < d.cap {
+		d.samples = append(d.samples, v)
+	} else if idx := d.next() % uint64(d.n); idx < uint64(d.cap) {
+		d.samples[idx] = v
+	}
+	d.mu.Unlock()
+}
+
+// Count reports the total number of recorded samples.
+func (d *Distribution) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Mean reports the mean over all recorded samples (not only retained ones).
+func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.n)
+}
+
+// Max reports the largest recorded sample, or 0 if none.
+func (d *Distribution) Max() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) over retained
+// samples using nearest-rank on a sorted copy.
+func (d *Distribution) Percentile(p float64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(d.samples))
+	copy(sorted, d.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p / 100 * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Reset discards all samples.
+func (d *Distribution) Reset() {
+	d.mu.Lock()
+	d.samples = d.samples[:0]
+	d.n = 0
+	d.sum = 0
+	d.max = 0
+	d.mu.Unlock()
+}

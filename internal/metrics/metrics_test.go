@@ -168,3 +168,43 @@ func TestTimeSeries(t *testing.T) {
 		t.Errorf("unexpected points: %+v", pts)
 	}
 }
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution(64)
+	if d.Count() != 0 || d.Mean() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty distribution not zero")
+	}
+	for i := int64(1); i <= 100; i++ {
+		d.Record(i)
+	}
+	if d.Count() != 100 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Max() != 100 {
+		t.Fatalf("max = %d", d.Max())
+	}
+	if mean := d.Mean(); mean < 50 || mean > 51 {
+		t.Fatalf("mean = %f", mean)
+	}
+	// Reservoir keeps the retained set bounded by capacity.
+	if p := d.Percentile(0); p < 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := d.Percentile(100); p > 100 {
+		t.Fatalf("p100 = %d", p)
+	}
+	d.Reset()
+	if d.Count() != 0 || d.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDistributionRecordSteadyStateNoAlloc(t *testing.T) {
+	// The runtime records one sample per micro-batch; the pre-allocated
+	// reservoir keeps that off the allocation profile it measures.
+	d := NewDistribution(128)
+	allocs := testing.AllocsPerRun(200, func() { d.Record(7) })
+	if allocs != 0 {
+		t.Errorf("Record allocated %.1f times", allocs)
+	}
+}

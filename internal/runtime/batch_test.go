@@ -1,0 +1,474 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// fanGraph: a stateless entry TE fanning each injected item out over a
+// partitioned edge into a dictionary sink — the internal-delivery skeleton
+// the batch hot path optimises.
+func fanGraph(fanOut int) *core.Graph {
+	g := core.NewGraph("fan")
+	se := g.AddSE("sink-store", core.KindPartitioned, state.TypeKVMap, nil)
+	src := g.AddTE("src", func(ctx core.Context, it core.Item) {
+		for f := 0; f < fanOut; f++ {
+			key := it.Key*uint64(fanOut) + uint64(f)
+			val := make([]byte, 8)
+			binary.LittleEndian.PutUint64(val, key*3)
+			ctx.Emit(0, key, val)
+		}
+	}, nil, true)
+	sink := g.AddTE("sink", func(ctx core.Context, it core.Item) {
+		ctx.Store().(state.KV).Put(it.Key, it.Value.([]byte))
+	}, &core.Access{SE: se, Mode: core.AccessByKey}, false)
+	g.Connect(src, sink, core.DispatchPartitioned)
+	return g
+}
+
+// TestBatchEquivalence drives the same workload through the per-item
+// (batch=1) and micro-batched (batch=64) pipelines and requires identical
+// SE contents and dedup watermarks: batching must change dispatch cost,
+// never dispatch semantics.
+func TestBatchEquivalence(t *testing.T) {
+	const parts, injected, fanOut = 4, 300, 4
+	type snapshot struct {
+		contents   []map[uint64]string
+		watermarks []map[uint64]uint64
+	}
+	run := func(batchSize int) snapshot {
+		r, err := Deploy(fanGraph(fanOut), Options{
+			Partitions: map[string]int{"sink-store": parts},
+			BatchSize:  batchSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Stop()
+		for k := uint64(0); k < injected; k++ {
+			if err := r.Inject("src", k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !r.Drain(testTimeout) {
+			t.Fatalf("batch=%d did not drain", batchSize)
+		}
+		var snap snapshot
+		for i := 0; i < parts; i++ {
+			st, err := r.StateStore("sink-store", i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := map[uint64]string{}
+			st.(*state.KVMap).ForEach(func(k uint64, v []byte) bool {
+				m[k] = string(v)
+				return true
+			})
+			snap.contents = append(snap.contents, m)
+		}
+		ts, err := r.te("sink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ti := range ts.instances() {
+			snap.watermarks = append(snap.watermarks, ti.dedup.Watermarks())
+		}
+		return snap
+	}
+
+	a, b := run(1), run(64)
+	for i := 0; i < parts; i++ {
+		if len(a.contents[i]) != len(b.contents[i]) {
+			t.Fatalf("partition %d: batch=1 has %d keys, batch=64 has %d",
+				i, len(a.contents[i]), len(b.contents[i]))
+		}
+		for k, v := range a.contents[i] {
+			if b.contents[i][k] != v {
+				t.Fatalf("partition %d key %d: batch=1 %q, batch=64 %q", i, k, v, b.contents[i][k])
+			}
+		}
+	}
+	if len(a.watermarks) != len(b.watermarks) {
+		t.Fatalf("watermark instance counts differ: %d vs %d", len(a.watermarks), len(b.watermarks))
+	}
+	for i := range a.watermarks {
+		if len(a.watermarks[i]) != len(b.watermarks[i]) {
+			t.Fatalf("instance %d watermark origins differ", i)
+		}
+		for o, s := range a.watermarks[i] {
+			if b.watermarks[i][o] != s {
+				t.Fatalf("instance %d origin %d: watermark %d vs %d", i, o, s, b.watermarks[i][o])
+			}
+		}
+	}
+}
+
+// TestDeliverBatchAllocGuard pins the delivery hot path's allocation
+// budget. The pre-PR runtime allocated per item: a copy of the downstream
+// instance slice, a []int from Router.Route and a heap execCtx — at least 3
+// allocs/item, i.e. >= 192 for a 64-item batch. The batched path may
+// allocate only the receiver-owned sub-batch copies (one per destination,
+// 4 here), so the acceptance bar of ">= 10x fewer allocations per item at
+// batch=64" means <= 19 allocs per batch; the steady state is ~4.
+func TestDeliverBatchAllocGuard(t *testing.T) {
+	const parts, batch = 4, 64
+	r, err := Deploy(fanGraph(1), Options{
+		Partitions: map[string]int{"sink-store": parts},
+		BatchSize:  batch,
+		QueueLen:   8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// Freeze the sink workers: a consuming worker would add its own
+	// allocations to the process-global counter AllocsPerRun reads.
+	sink, err := r.te("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused := map[int]bool{}
+	for _, ti := range sink.instances() {
+		if paused[ti.node.ID] {
+			continue
+		}
+		paused[ti.node.ID] = true
+		mu := r.pauseFor(ti.node)
+		mu.Lock()
+		defer mu.Unlock()
+	}
+
+	src, err := r.te("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := src.out[0]
+	items := make([]core.Item, batch)
+	// A real payload, boxed once: the frozen workers drain these batches at
+	// teardown (the pause locks release before Stop), so the sink must be
+	// able to process them.
+	var payload any = []byte("x")
+	for i := range items {
+		items[i] = core.Item{Origin: 1, Key: uint64(i * 7), Value: payload}
+	}
+	var rs routeScratch
+	seq := uint64(0)
+	deliver := func() {
+		for i := range items {
+			seq++
+			items[i].Seq = seq
+		}
+		r.deliverBatch(e, items, &rs)
+	}
+	deliver() // size the scratch buffers and snapshot cache
+	allocs := testing.AllocsPerRun(80, deliver)
+	if allocs > 8 {
+		t.Errorf("deliverBatch allocations = %.1f per %d-item batch, want <= 8 (~%d sub-batch copies)",
+			allocs, batch, parts)
+	}
+}
+
+// TestProcessBatchAllocGuard pins the worker-side budget: dedup filtering,
+// context reuse and the empty flush must not allocate per item in steady
+// state.
+func TestProcessBatchAllocGuard(t *testing.T) {
+	g := core.NewGraph("noop")
+	g.AddTE("noop", func(ctx core.Context, it core.Item) {}, nil, true)
+	r, err := Deploy(g, Options{BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ts, err := r.te("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := ts.instances()[0]
+	items := make([]core.Item, 64)
+	for i := range items {
+		items[i] = core.Item{Origin: 7, Key: uint64(i)}
+	}
+	seq := uint64(0)
+	process := func() {
+		for i := range items {
+			seq++
+			items[i].Seq = seq
+		}
+		r.processBatch(ti, items)
+	}
+	process() // size the dedup scratch
+	allocs := testing.AllocsPerRun(80, process)
+	if allocs > 2 {
+		t.Errorf("processBatch allocations = %.1f per 64-item batch, want <= 2", allocs)
+	}
+}
+
+// TestBroadcastCountsLiveTargetsOnly is the regression test for the
+// one-to-all Parts bug: the broadcast wave size was fixed before killed
+// instances were filtered out, so the downstream gather barrier waited
+// forever for partials that had been dropped. With the fix, a global read
+// over a partially-failed partial SE still completes from the live
+// replicas.
+func TestBroadcastCountsLiveTargetsOnly(t *testing.T) {
+	r, err := Deploy(partialGraph(), Options{Partitions: map[string]int{"acc": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for i := 0; i < 30; i++ {
+		if err := r.Inject("upd", uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain")
+	}
+	before, err := r.Call("ask", 0, nil, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.(uint64) != 30 {
+		t.Fatalf("pre-failure merged total = %d, want 30", before)
+	}
+
+	// Kill the node hosting replica 2 (SE instance + colocated TEs).
+	st := r.Stats()
+	var acc SEStats
+	for _, se := range st.SEs {
+		if se.Name == "acc" {
+			acc = se
+		}
+	}
+	r.KillNode(acc.Nodes[len(acc.Nodes)-1])
+
+	// The broadcast must fix Parts to the live replica count so the merge
+	// completes; before the fix this call timed out waiting for the dead
+	// replica's partial.
+	got, err := r.Call("ask", 0, nil, testTimeout)
+	if err != nil {
+		t.Fatalf("global read after replica failure: %v", err)
+	}
+	// The dead replica's local counts are unreachable, so the merged total
+	// covers only the live replicas.
+	if got.(uint64) > 30 {
+		t.Fatalf("merged total after failure = %d, want <= 30", got)
+	}
+}
+
+// TestRecoverEvictsAbandonedGatherWaves checks the Gather.pending leak fix
+// end to end: a wave whose external Call has given up survives replay as
+// permanently incomplete, and Recover must evict it.
+func TestRecoverEvictsAbandonedGatherWaves(t *testing.T) {
+	r, err := Deploy(partialGraph(), Options{
+		Mode:     checkpoint.ModeAsync,
+		Interval: time.Hour, // manual checkpoints only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for i := 0; i < 10; i++ {
+		if err := r.Inject("upd", uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain")
+	}
+	if _, err := r.CheckpointNow("acc", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a wave for a request id whose caller is long gone: it can
+	// never complete and must not leak across recovery.
+	merge, err := r.te("merge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := merge.instances()[0]
+	mi.gather.Add(core.Item{ReqID: 0xdead, Origin: 1, Parts: 2, Value: uint64(1)})
+	pending := 0
+	for _, te := range r.Stats().TEs {
+		if te.Name == "merge" {
+			pending = te.GatherPending
+		}
+	}
+	if pending != 1 {
+		t.Fatalf("planted wave not visible in stats: GatherPending = %d", pending)
+	}
+
+	r.KillNode(r.Stats().SEs[0].Nodes[0])
+	stats, err := r.Recover("acc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GatherEvicted != 1 {
+		t.Fatalf("GatherEvicted = %d, want 1", stats.GatherEvicted)
+	}
+	if got := mi.gather.Pending(); got != 0 {
+		t.Fatalf("gather pending after recovery = %d, want 0", got)
+	}
+
+	// The pipeline still works end to end after eviction.
+	for i := 10; i < 20; i++ {
+		if err := r.Inject("upd", uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("did not drain after recovery")
+	}
+	if _, err := r.Call("ask", 0, nil, testTimeout); err != nil {
+		t.Fatalf("global read after recovery: %v", err)
+	}
+}
+
+// TestScaleUpInvalidatesInstanceSnapshot ensures the epoch-versioned edge
+// cache picks up topology changes: items injected after a scale-up must
+// reach the new instance set, not a stale snapshot.
+func TestScaleUpInvalidatesInstanceSnapshot(t *testing.T) {
+	r, err := Deploy(fanGraph(1), Options{Partitions: map[string]int{"sink-store": 2}, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 50; k++ {
+		_ = r.Inject("src", k, nil)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain")
+	}
+	if err := r.ScaleUp("sink"); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(50); k < 100; k++ {
+		_ = r.Inject("src", k, nil)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain after scale-up")
+	}
+	// Every key must live on its 3-way hash partition with the right value.
+	total := 0
+	for i := 0; i < 3; i++ {
+		st, err := r.StateStore("sink-store", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.(*state.KVMap).ForEach(func(k uint64, v []byte) bool {
+			if state.PartitionKey(k, 3) != i {
+				t.Errorf("key %d on wrong partition %d after repartition", k, i)
+				return false
+			}
+			if want := k * 3; binary.LittleEndian.Uint64(v) != want {
+				t.Errorf("key %d = %d, want %d", k, binary.LittleEndian.Uint64(v), want)
+				return false
+			}
+			return true
+		})
+		total += st.NumEntries()
+	}
+	if total != 100 {
+		t.Fatalf("entries after scale-up = %d, want 100", total)
+	}
+}
+
+// TestProcessChunksBoundedByBatchSize delivers one oversized batch (the
+// recovery replay paths enqueue whole output buffers) and requires the
+// worker to process it in chunks no larger than BatchSize: the per-chunk
+// dedup/pause window is a hard bound, not a target.
+func TestProcessChunksBoundedByBatchSize(t *testing.T) {
+	g := core.NewGraph("noop")
+	g.AddTE("noop", func(ctx core.Context, it core.Item) {}, nil, true)
+	r, err := Deploy(g, Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ts, err := r.te("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := ts.instances()[0]
+	big := make([]core.Item, 100)
+	for i := range big {
+		big[i] = core.Item{Origin: 3, Seq: uint64(i + 1)}
+	}
+	r.enqueue(ti, big)
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain")
+	}
+	if got := ti.processed.Load(); got != 100 {
+		t.Fatalf("processed = %d, want 100", got)
+	}
+	if max := r.BatchSizes.Max(); max > 4 {
+		t.Fatalf("processed chunk of %d items, want <= BatchSize 4", max)
+	}
+}
+
+// TestParallelEdgesKeepSeqOrder guards the serialEmit escape hatch: a TE
+// with two out-edges to the same destination shares one origin/seq space
+// across both, so buffered per-edge flushing could deliver a later seq
+// first and the dedup watermark would drop the earlier item. Every
+// emission must survive at any batch size.
+func TestParallelEdgesKeepSeqOrder(t *testing.T) {
+	build := func() *core.Graph {
+		g := core.NewGraph("parallel")
+		src := g.AddTE("src", func(ctx core.Context, it core.Item) {
+			// Alternate edges so flush order and emission order diverge
+			// unless the runtime serialises.
+			ctx.Emit(1, it.Key, it.Value)
+			ctx.Emit(0, it.Key, it.Value)
+		}, nil, true)
+		sink := g.AddTE("sink", func(ctx core.Context, it core.Item) {}, nil, false)
+		g.Connect(src, sink, core.DispatchOneToAny)
+		g.Connect(src, sink, core.DispatchOneToAny)
+		return g
+	}
+	for _, batch := range []int{1, 64} {
+		r, err := Deploy(build(), Options{BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const injected = 200
+		for k := uint64(0); k < injected; k++ {
+			if err := r.Inject("src", k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !r.Drain(testTimeout) {
+			t.Fatalf("batch=%d did not drain", batch)
+		}
+		if got := r.Processed("sink"); got != 2*injected {
+			t.Fatalf("batch=%d: sink processed %d of %d emissions (seq inversion dropped items)",
+				batch, got, 2*injected)
+		}
+		r.Stop()
+	}
+}
+
+// TestBatchSizesRecorded checks the batch-size distribution surface.
+func TestBatchSizesRecorded(t *testing.T) {
+	r, err := Deploy(fanGraph(4), Options{Partitions: map[string]int{"sink-store": 2}, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for k := uint64(0); k < 200; k++ {
+		_ = r.Inject("src", k, nil)
+	}
+	if !r.Drain(testTimeout) {
+		t.Fatal("drain")
+	}
+	if r.BatchSizes.Count() == 0 {
+		t.Fatal("no batch sizes recorded")
+	}
+	if r.BatchSizes.Max() < 1 {
+		t.Fatalf("max batch size = %d", r.BatchSizes.Max())
+	}
+}

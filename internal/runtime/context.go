@@ -33,6 +33,10 @@ func (c *execCtx) Store() state.Store {
 	return nil
 }
 
+// emit buffers one emission on the instance's per-edge pending batch. The
+// buffer flushes when it reaches the configured batch size and always at
+// the end of the current micro-batch, so with BatchSize 1 every emission
+// delivers immediately, exactly as the per-item runtime did.
 func (c *execCtx) emit(edge int, key uint64, value any, reqID uint64) {
 	if edge < 0 || edge >= len(c.ti.te.out) {
 		panic(fmt.Sprintf("runtime: TE %q emits on unknown edge %d", c.ti.te.def.Name, edge))
@@ -45,8 +49,10 @@ func (c *execCtx) emit(edge int, key uint64, value any, reqID uint64) {
 		Parts:  c.cur.Parts, // broadcast wave size propagates to the merge
 		Value:  value,
 	}
-	c.ti.outBufs[edge].Append(it)
-	c.r.deliver(c.ti.te.out[edge], it)
+	c.ti.pendingOut[edge] = append(c.ti.pendingOut[edge], it)
+	if c.ti.te.serialEmit || len(c.ti.pendingOut[edge]) >= c.r.opts.BatchSize {
+		c.r.flushEdge(c.ti, edge)
+	}
 }
 
 // Emit sends a value downstream without request correlation.

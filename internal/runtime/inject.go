@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataflow"
+	"repro/internal/state"
 )
 
 // Errors returned by the external interface.
@@ -27,12 +27,10 @@ func (r *Runtime) injectTo(ts *teState, it core.Item) {
 	r.routeToEntry(ts, it)
 }
 
-// routeToEntry dispatches an (already logged) item to an entry instance.
+// routeToEntry dispatches an (already logged) item to an entry instance,
+// reading the instance set from the epoch-versioned snapshot cache.
 func (r *Runtime) routeToEntry(ts *teState, it core.Item) {
-	ts.mu.RLock()
-	insts := make([]*teInstance, len(ts.insts))
-	copy(insts, ts.insts)
-	ts.mu.RUnlock()
+	insts := ts.instances()
 	if len(insts) == 0 {
 		return
 	}
@@ -46,18 +44,19 @@ func (r *Runtime) routeToEntry(ts *teState, it core.Item) {
 	if dst.killed.Load() || dst.node.Failed() {
 		return
 	}
-	select {
-	case dst.queue <- it:
-	case <-dst.dead:
-	case <-r.stopped:
-	}
+	// The one-item wrap is the price of batch queues' ownership transfer
+	// (the receiver keeps the slice); injection still nets fewer
+	// allocations than pre-batching, which paid an instance-slice copy
+	// plus a route slice per item here. Batching the external Inject API
+	// itself is the remaining lever if entry throughput ever dominates.
+	r.enqueue(dst, []core.Item{it})
 }
 
 // statePartition mirrors dataflow routing so injection agrees with SE
-// partition placement.
+// partition placement. It computes the partition directly — Router.Route
+// would allocate a slice per injected item.
 func statePartition(key uint64, n int) int {
-	router := dataflow.Router{Dispatch: core.DispatchPartitioned}
-	return router.Route(core.Item{Key: key}, n)[0]
+	return state.PartitionKey(key, n)
 }
 
 // Inject delivers a fire-and-forget item to an entry TE.
@@ -117,6 +116,17 @@ func (r *Runtime) Call(teName string, key uint64, value any, timeout time.Durati
 	case <-r.stopped:
 		return nil, ErrStopped
 	}
+}
+
+// callWaiting reports whether an external Call is still waiting on the
+// request id. Every graph has at most one gather stage per request path
+// (the merge that replies), so a nonzero-reqID partial with no waiting
+// Call can only belong to a completed or abandoned request.
+func (r *Runtime) callWaiting(reqID uint64) bool {
+	r.replyMu.Lock()
+	_, ok := r.replies[reqID]
+	r.replyMu.Unlock()
+	return ok
 }
 
 // resolve delivers a reply to a waiting Call; late or duplicate replies

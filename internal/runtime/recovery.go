@@ -31,11 +31,12 @@ func (r *Runtime) KillNode(nodeID int) {
 // sum: "the time to restore the lost SE, re-process unprocessed data and
 // resume processing").
 type RecoveryStats struct {
-	Restore  time.Duration // m-to-n chunk fetch + state reconstruction
-	Replay   time.Duration // re-delivery of logged items
-	Total    time.Duration
-	Replayed int // items re-delivered from upstream and own buffers
-	NewNodes int
+	Restore       time.Duration // m-to-n chunk fetch + state reconstruction
+	Replay        time.Duration // re-delivery of logged items
+	Total         time.Duration
+	Replayed      int // items re-delivered from upstream and own buffers
+	NewNodes      int
+	GatherEvicted int // permanently stuck gather waves dropped after replay
 }
 
 // Recover restores the failed instance of the named SE onto n fresh nodes
@@ -163,6 +164,7 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 			ts.insts = insts
 			started = append(started, insts...)
 		}
+		ts.bumpInstances()
 		// Checkpoint watermark bookkeeping restarts for the new layout.
 		ts.ckptWM = nil
 		ts.mu.Unlock()
@@ -178,32 +180,66 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 		}
 	}
 
-	// Phase 3: replay. First the failed node's own logged output (recovered
-	// from the checkpoint), then the upstream replay logs; receivers dedup.
+	// Phase 3: replay. First evict permanently stuck gather waves — waves
+	// whose external caller already gave up and that replay can never
+	// complete. Evicting *before* replay keeps this deterministic: evicting
+	// afterwards would race the asynchronously-enqueued replayed partials,
+	// which can legitimately refill a pending wave while we scan. Then
+	// re-deliver the failed node's own logged output (recovered from the
+	// checkpoint) and the upstream replay logs; receivers dedup.
+	evicted := r.evictStaleGathers()
 	replayStart := time.Now()
 	replayed := 0
+	var rs routeScratch
 	for _, teID := range accessing {
 		ts := r.tes[teID]
 		for edgeIdx, bufs := range meta.Buffered[teID] {
 			if edgeIdx >= len(ts.out) {
 				break
 			}
-			for _, it := range bufs {
-				r.deliver(ts.out[edgeIdx], it)
-				replayed++
+			if len(bufs) == 0 {
+				continue
 			}
+			// Whole-buffer batches keep the timed replay phase off the
+			// per-item delivery cost the hot path no longer pays.
+			r.deliverBatch(ts.out[edgeIdx], bufs, &rs)
+			replayed += len(bufs)
 		}
 		replayed += r.replayInto(ts)
 	}
 	replayDur := time.Since(replayStart)
 
 	return RecoveryStats{
-		Restore:  restoreDur,
-		Replay:   replayDur,
-		Total:    time.Since(start),
-		Replayed: replayed,
-		NewNodes: n,
+		Restore:       restoreDur,
+		Replay:        replayDur,
+		Total:         time.Since(start),
+		Replayed:      replayed,
+		NewNodes:      n,
+		GatherEvicted: evicted,
 	}, nil
+}
+
+// evictStaleGathers drops pending gather waves that are permanently stuck:
+// request/reply waves (nonzero request id) whose Call has already returned
+// or timed out. Waves for outstanding Calls and fire-and-forget waves
+// (request id 0) are kept — replayed duplicates can still refill them.
+func (r *Runtime) evictStaleGathers() int {
+	stale := func(reqID uint64) bool {
+		return reqID != 0 && !r.callWaiting(reqID)
+	}
+	evicted := 0
+	for _, ts := range r.tes {
+		if !ts.hasInAll {
+			continue
+		}
+		for _, ti := range ts.instances() {
+			if ti.gather == nil || ti.killed.Load() {
+				continue
+			}
+			evicted += ti.gather.Evict(stale)
+		}
+	}
+	return evicted
 }
 
 // restoreTE initialises a replacement TE instance from checkpoint metadata.
@@ -239,7 +275,10 @@ func restoreTE(ti *teInstance, meta checkpoint.Meta, teID int, withIdentity bool
 // processed.
 func (r *Runtime) replayInto(ts *teState) int {
 	replayed := 0
+	var rs routeScratch
 	if ts.srcBuf != nil {
+		// Entry routing is per item by design (the key or seq picks the
+		// instance), so the source log replays item by item.
 		for _, it := range ts.srcBuf.Replay() {
 			r.routeToEntry(ts, it)
 			replayed++
@@ -257,17 +296,15 @@ func (r *Runtime) replayInto(ts *teState) int {
 		if edgeIdx < 0 {
 			continue
 		}
-		from.mu.RLock()
-		ups := make([]*teInstance, len(from.insts))
-		copy(ups, from.insts)
-		from.mu.RUnlock()
-		for _, up := range ups {
+		for _, up := range from.instances() {
 			if up.killed.Load() {
 				continue
 			}
-			for _, it := range up.outBufs[edgeIdx].Replay() {
-				r.deliver(from.out[edgeIdx], it)
-				replayed++
+			// Replay() returns a caller-owned copy, so the whole buffer can
+			// go through the batch path in one call.
+			if items := up.outBufs[edgeIdx].Replay(); len(items) > 0 {
+				r.deliverBatch(from.out[edgeIdx], items, &rs)
+				replayed += len(items)
 			}
 		}
 	}
@@ -294,14 +331,14 @@ func (r *Runtime) Drain(timeout time.Duration) bool {
 
 func (r *Runtime) quiet() bool {
 	for _, ts := range r.tes {
-		ts.mu.RLock()
-		for _, ti := range ts.insts {
-			if !ti.killed.Load() && len(ti.queue) > 0 {
-				ts.mu.RUnlock()
+		for _, ti := range ts.instances() {
+			// queued covers both queued batches and the batch currently
+			// being processed (workers decrement only after the flush), so
+			// quiescence here implies emissions have propagated downstream.
+			if !ti.killed.Load() && ti.queued.Load() > 0 {
 				return false
 			}
 		}
-		ts.mu.RUnlock()
 	}
 	return true
 }

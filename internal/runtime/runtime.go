@@ -29,8 +29,18 @@ type Options struct {
 	// Cluster supplies the nodes; a fresh unbounded-disk cluster is created
 	// when nil.
 	Cluster *cluster.Cluster
-	// QueueLen bounds each instance's inbound queue (default 1024).
+	// QueueLen bounds each instance's inbound queue (default 1024). The
+	// queue carries micro-batches, so with BatchSize > 1 the item-count
+	// bound is QueueLen x the typical batch size.
 	QueueLen int
+	// BatchSize sets the micro-batch target for the item hot path: each
+	// worker coalesces up to this many queued items before taking the
+	// pause lock and dedup filter once for the whole batch, and emissions
+	// buffer per out-edge until this many items are pending. Batches flush
+	// on idle — a worker never waits for more input, so BatchSize only
+	// amortises overhead under load and adds no latency when the pipeline
+	// is drained. Default 1 preserves per-item dispatch semantics exactly.
+	BatchSize int
 	// Partitions sets the initial instance count per SE name (default 1).
 	// TEs accessing an SE always have exactly as many instances as the SE.
 	Partitions map[string]int
@@ -73,6 +83,9 @@ func (o *Options) defaults() {
 	if o.QueueLen <= 0 {
 		o.QueueLen = 1024
 	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
 	if o.Interval <= 0 {
 		o.Interval = 10 * time.Second
 	}
@@ -108,6 +121,9 @@ type Runtime struct {
 
 	// Latency of Call round trips, recorded centrally for experiments.
 	CallLatency *metrics.Histogram
+	// BatchSizes records the size of every processed micro-batch, so
+	// operators can see how well the pipeline coalesces under load.
+	BatchSizes *metrics.Distribution
 }
 
 // teState tracks one task element and its live instances.
@@ -116,11 +132,53 @@ type teState struct {
 	mu       sync.RWMutex
 	insts    []*teInstance
 	out      []*edgeRT
-	hasInAll bool                      // any inbound all-to-one edge => gather barrier
-	ckptWM   map[int]map[uint64]uint64 // instance idx -> last checkpointed watermarks
+	hasInAll bool // any inbound all-to-one edge => gather barrier
+	// serialEmit forces per-emission flushing: when two out-edges share a
+	// destination TE, buffered per-edge flushing could deliver a later
+	// seq before an earlier one to the same instance, and the shared
+	// per-origin dedup watermark would then drop the earlier item for
+	// good. Such TEs trade the flush amortisation for seq-order delivery.
+	serialEmit bool
+	ckptWM     map[int]map[uint64]uint64 // instance idx -> last checkpointed watermarks
 	// srcBuf logs externally injected items for entry TEs so post-checkpoint
 	// inputs replay after failures; nil when fault tolerance is off.
 	srcBuf *dataflow.OutputBuffer
+
+	// instEpoch versions insts: every mutation (scale-up, repartition,
+	// recovery) bumps it under mu, invalidating the cached snapshot below.
+	instEpoch atomic.Uint64
+	// snap caches an immutable copy of insts so the delivery hot path
+	// reads the instance set without a lock or a per-item slice copy.
+	snap atomic.Pointer[instSnapshot]
+}
+
+// instSnapshot is an immutable view of a TE's instance set at one epoch.
+type instSnapshot struct {
+	epoch uint64
+	insts []*teInstance
+}
+
+// instances returns the TE's live instance slice from the epoch-versioned
+// cache, rebuilding it under the read lock only after a topology change.
+// The returned slice is immutable and safe to read without ts.mu.
+func (ts *teState) instances() []*teInstance {
+	if s := ts.snap.Load(); s != nil && s.epoch == ts.instEpoch.Load() {
+		return s.insts
+	}
+	ts.mu.RLock()
+	s := &instSnapshot{
+		epoch: ts.instEpoch.Load(),
+		insts: append([]*teInstance(nil), ts.insts...),
+	}
+	ts.mu.RUnlock()
+	ts.snap.Store(s)
+	return s.insts
+}
+
+// bumpInstances invalidates the cached instance snapshot. Callers must hold
+// ts.mu exclusively and call it after every mutation of ts.insts.
+func (ts *teState) bumpInstances() {
+	ts.instEpoch.Add(1)
 }
 
 // edgeRT is a dataflow edge prepared for dispatch.
@@ -130,6 +188,15 @@ type edgeRT struct {
 	to     *teState
 }
 
+// routeScratch holds the reusable buffers one sender needs to group a
+// micro-batch into per-destination sub-batches without per-item allocation.
+type routeScratch struct {
+	targets []int         // one destination index per item
+	counts  []int         // items per destination, indexed by instance
+	batches [][]core.Item // per-destination sub-batch headers during a flush
+	dsts    []*teInstance // live destination set for broadcasts
+}
+
 // teInstance is one pipelined worker (§3.1: TEs are materialised, not
 // scheduled).
 type teInstance struct {
@@ -137,15 +204,28 @@ type teInstance struct {
 	idx  int
 	node *cluster.Node
 
-	queue   chan core.Item
+	queue   chan []core.Item // inbound micro-batches
 	dead    chan struct{}
 	dedup   *dataflow.Dedup
 	gather  *dataflow.Gather
 	outBufs []*dataflow.OutputBuffer
 	seqCtr  atomic.Uint64
 
+	// queued tracks inbound items (not batches) across the queue and the
+	// batch currently being processed; load balancing, bottleneck
+	// detection and Drain read it instead of len(queue).
+	queued    atomic.Int64
 	processed atomic.Int64
 	killed    atomic.Bool
+
+	// Worker-owned scratch, reused across batches so the steady-state hot
+	// path allocates nothing per item. Only the worker goroutine touches
+	// these (pendingOut additionally from Fn via the reused execCtx).
+	inBatch    []core.Item   // coalesced inbound batch
+	freshBatch []core.Item   // dedup-filtered view of inBatch
+	pendingOut [][]core.Item // emissions buffered per out-edge
+	route      routeScratch
+	ectx       execCtx
 }
 
 // originID identifies the instance as an item origin: TE id in the high
@@ -201,6 +281,7 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		stopped:     make(chan struct{}),
 		pauseMu:     make(map[int]*sync.RWMutex),
 		CallLatency: metrics.NewHistogram(0),
+		BatchSizes:  metrics.NewDistribution(4096),
 	}
 
 	// Backup store for checkpoints.
@@ -244,12 +325,17 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		r.tes = append(r.tes, ts)
 	}
 	for _, ts := range r.tes {
+		seen := map[int]bool{}
 		for _, e := range r.graph.OutEdges(ts.def.ID) {
 			ts.out = append(ts.out, &edgeRT{
 				def:    e,
 				router: &dataflow.Router{Dispatch: e.Dispatch},
 				to:     r.tes[e.To],
 			})
+			if seen[e.To] {
+				ts.serialEmit = true
+			}
+			seen[e.To] = true
 		}
 	}
 
@@ -354,7 +440,7 @@ func (r *Runtime) newInstance(ts *teState, idx int, node *cluster.Node) *teInsta
 		te:      ts,
 		idx:     idx,
 		node:    node,
-		queue:   make(chan core.Item, r.opts.QueueLen),
+		queue:   make(chan []core.Item, r.opts.QueueLen),
 		dead:    make(chan struct{}),
 		dedup:   dataflow.NewDedup(),
 		outBufs: make([]*dataflow.OutputBuffer, len(ts.out)),
@@ -362,29 +448,76 @@ func (r *Runtime) newInstance(ts *teState, idx int, node *cluster.Node) *teInsta
 	for i := range ti.outBufs {
 		ti.outBufs[i] = &dataflow.OutputBuffer{}
 	}
+	ti.pendingOut = make([][]core.Item, len(ts.out))
+	ti.ectx = execCtx{r: r, ti: ti}
 	if ts.hasInAll {
 		ti.gather = dataflow.NewGather()
 	}
 	return ti
 }
 
-// startWorker launches the pipelined processing loop of one TE instance.
+// startWorker launches the pipelined processing loop of one TE instance:
+// receive a micro-batch, coalesce whatever else is already queued up to
+// BatchSize items (flush-on-idle: never wait for more input), then take the
+// pause lock once and run the whole batch.
 func (r *Runtime) startWorker(ti *teInstance) {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
 		pause := r.pauseFor(ti.node)
+		max := r.opts.BatchSize
 		for {
 			select {
 			case <-r.stopped:
 				return
 			case <-ti.dead:
 				return
-			case it := <-ti.queue:
-				// A paused node (sync checkpoint) blocks here.
-				pause.RLock()
-				r.process(ti, it)
-				pause.RUnlock()
+			case batch := <-ti.queue:
+				items := batch
+				if max > 1 {
+				coalesce:
+					for len(items) < max {
+						select {
+						case more := <-ti.queue:
+							// Copy-on-extend: the received slices are owned
+							// by this worker, but coalescing needs a single
+							// contiguous batch in the reusable buffer.
+							if len(ti.inBatch) == 0 {
+								ti.inBatch = append(ti.inBatch[:0], items...)
+							}
+							ti.inBatch = append(ti.inBatch, more...)
+							items = ti.inBatch
+						default:
+							break coalesce
+						}
+					}
+				}
+				// Process in chunks of at most BatchSize: coalescing can
+				// overshoot (whole queued batches append), and replay paths
+				// enqueue whole output buffers, but the per-chunk
+				// bookkeeping window — one pause hold, one dedup pass
+				// before any flush — must never exceed the configured
+				// batch size (at BatchSize=1 this is exactly the per-item
+				// runtime's behaviour).
+				for start := 0; start < len(items); start += max {
+					end := start + max
+					if end > len(items) {
+						end = len(items)
+					}
+					// A paused node (sync checkpoint) blocks here.
+					pause.RLock()
+					r.processBatch(ti, items[start:end])
+					pause.RUnlock()
+				}
+				ti.queued.Add(-int64(len(items)))
+				// Reuse the coalesce buffer, but do not let one oversized
+				// replay batch pin its high-water capacity (and the Items'
+				// payload pointers) for the instance's lifetime.
+				if cap(ti.inBatch) > 4*max && cap(ti.inBatch) > 64 {
+					ti.inBatch = nil
+				} else {
+					ti.inBatch = ti.inBatch[:0]
+				}
 			}
 		}
 	}()
@@ -401,76 +534,249 @@ func (r *Runtime) pauseFor(node *cluster.Node) *sync.RWMutex {
 	return mu
 }
 
-// process runs one item through the TE's function, honouring dedup and
-// all-to-one gather barriers.
-func (r *Runtime) process(ti *teInstance, it core.Item) {
-	if !ti.dedup.Fresh(it) {
-		return
+// processBatch runs one micro-batch through the TE's function. The dedup
+// filter is applied once for the whole batch; merge TEs with a gather
+// barrier keep per-item bookkeeping because duplicates must still refill
+// pending waves (see Gather.Refill). Buffered emissions flush after the
+// batch so downstream delivery amortises routing and enqueueing.
+func (r *Runtime) processBatch(ti *teInstance, items []core.Item) {
+	if r.opts.BatchSize > 1 {
+		// In per-item mode every batch has size 1 by construction; skipping
+		// the record keeps the one cross-worker mutex in this function off
+		// the per-item path.
+		r.BatchSizes.Record(int64(len(items)))
 	}
-	if ti.gather != nil {
-		coll, done := ti.gather.Add(it)
-		if !done {
-			return
+	if ti.gather == nil {
+		ti.freshBatch = ti.dedup.FreshBatch(items, ti.freshBatch[:0])
+		fresh := ti.freshBatch
+		for i := range fresh {
+			r.invoke(ti, &fresh[i])
 		}
-		it.Value = coll
+	} else {
+		// Partials in one batch usually share a request id; memoise the
+		// callWaiting lookup so the global reply mutex is taken once per
+		// wave per batch, not once per partial.
+		var memoReq uint64
+		var memoWaiting, memoValid bool
+		waiting := func(reqID uint64) bool {
+			if !memoValid || memoReq != reqID {
+				memoReq, memoWaiting, memoValid = reqID, r.callWaiting(reqID), true
+			}
+			return memoWaiting
+		}
+		for i := range items {
+			it := items[i]
+			var coll core.Collection
+			var done bool
+			if ti.dedup.Fresh(it) && (it.ReqID == 0 || waiting(it.ReqID)) {
+				coll, done = ti.gather.Add(it)
+			} else {
+				// Duplicates, and fresh partials whose Call has already
+				// returned or timed out, may only fill holes in pending
+				// waves: a replayed duplicate completes a wave whose
+				// original partial died with a failed instance, while a
+				// partial for an abandoned request must not (re)create a
+				// wave nobody will ever complete — that would leak the
+				// very waves Recover evicts.
+				coll, done = ti.gather.Refill(it)
+			}
+			if !done {
+				continue
+			}
+			it.Value = coll
+			r.invoke(ti, &it)
+		}
 	}
+	r.flushOut(ti)
+}
+
+// invoke runs the TE function on one item through the instance's reused
+// execution context.
+func (r *Runtime) invoke(ti *teInstance, it *core.Item) {
 	ti.node.Penalize()
-	ctx := &execCtx{r: r, ti: ti, cur: &it}
-	ti.te.def.Fn(ctx, it)
+	ti.ectx.cur = it
+	ti.te.def.Fn(&ti.ectx, *it)
+	ti.ectx.cur = nil
 	ti.processed.Add(1)
 }
 
-// deliver routes an item over an edge to the downstream instances.
-func (r *Runtime) deliver(e *edgeRT, it core.Item) {
-	e.to.mu.RLock()
-	insts := make([]*teInstance, len(e.to.insts))
-	copy(insts, e.to.insts)
-	e.to.mu.RUnlock()
-	if len(insts) == 0 {
+// flushOut logs and delivers every buffered emission, edge by edge. Called
+// after each batch and whenever one edge's pending buffer reaches the batch
+// size mid-batch.
+func (r *Runtime) flushOut(ti *teInstance) {
+	for edge := range ti.pendingOut {
+		if len(ti.pendingOut[edge]) > 0 {
+			r.flushEdge(ti, edge)
+		}
+	}
+}
+
+// flushEdge logs one edge's pending emissions to the replay buffer and
+// routes them downstream, then resets the pending buffer for reuse.
+func (r *Runtime) flushEdge(ti *teInstance, edge int) {
+	pend := ti.pendingOut[edge]
+	ti.outBufs[edge].AppendBatch(pend)
+	r.deliverBatch(ti.te.out[edge], pend, &ti.route)
+	ti.pendingOut[edge] = pend[:0]
+}
+
+// deliverBatch routes a micro-batch over an edge to the downstream
+// instances. items is caller-owned scratch: every enqueued sub-batch is a
+// fresh copy, so receivers own their slices and the caller may reuse items
+// immediately. In the steady state the only allocations are those copies —
+// one per destination per flush — so the per-item cost vanishes as the
+// batch grows.
+func (r *Runtime) deliverBatch(e *edgeRT, items []core.Item, rs *routeScratch) {
+	insts := e.to.instances()
+	if len(insts) == 0 || len(items) == 0 {
 		return
 	}
-	if r.opts.WireCheck && it.Value != nil {
-		v, err := wireRoundTrip(it.Value)
-		if err != nil {
-			panic(fmt.Sprintf("runtime: payload %T violates location independence: %v", it.Value, err))
+	if r.opts.WireCheck {
+		for i := range items {
+			if items[i].Value == nil {
+				continue
+			}
+			v, err := wireRoundTrip(items[i].Value)
+			if err != nil {
+				panic(fmt.Sprintf("runtime: payload %T violates location independence: %v", items[i].Value, err))
+			}
+			items[i].Value = v
 		}
-		it.Value = v
 	}
-	if e.def.Dispatch == core.DispatchOneToAll {
+	switch {
+	case e.def.Dispatch == core.DispatchOneToAll:
 		// The broadcast wave fixes the collection size for a later merge.
-		it.Parts = len(insts)
-	}
-	targets := e.router.Route(it, len(insts))
-	if e.def.Dispatch == core.DispatchOneToAny && len(insts) > 1 {
+		// Count only live targets: killed instances drop their copy, and a
+		// Parts count that includes them would leave the gather barrier
+		// waiting forever for partials that can never arrive. One liveness
+		// scan collects the exact destination set so Parts always equals
+		// the number of copies enqueued — a second scan could disagree with
+		// the count if an instance died in between. (A kill after the scan
+		// is the general fail-any-time case, recovered by replay, which
+		// recomputes Parts, and by Gather.Refill.)
+		if cap(rs.dsts) < len(insts) {
+			rs.dsts = make([]*teInstance, 0, len(insts))
+		}
+		rs.dsts = rs.dsts[:0]
+		for _, dst := range insts {
+			if !dst.killed.Load() && !dst.node.Failed() {
+				rs.dsts = append(rs.dsts, dst)
+			}
+		}
+		live := len(rs.dsts)
+		for _, dst := range rs.dsts {
+			b := make([]core.Item, len(items))
+			copy(b, items)
+			for i := range b {
+				b[i].Parts = live
+			}
+			r.enqueue(dst, b)
+		}
+		for i := range rs.dsts {
+			rs.dsts[i] = nil // do not pin instances until the next broadcast
+		}
+	case e.def.Dispatch == core.DispatchOneToAny:
 		// "Dispatched to an arbitrary instance ... for load-balancing"
-		// (§3.1): route to the least-loaded live instance, so stragglers
-		// absorb only what they can process instead of capping the whole
-		// pipeline at n x the slowest rate.
-		best, bestLen := -1, 0
-		for i, dst := range insts {
+		// (§3.1): the whole batch goes to the least-loaded live instance,
+		// so stragglers absorb only what they can process instead of
+		// capping the pipeline at n x the slowest rate.
+		var best *teInstance
+		var bestLen int64
+		for _, dst := range insts {
 			if dst.killed.Load() || dst.node.Failed() {
 				continue
 			}
-			if q := len(dst.queue); best < 0 || q < bestLen {
-				best, bestLen = i, q
+			if q := dst.queued.Load(); best == nil || q < bestLen {
+				best, bestLen = dst, q
 			}
 		}
-		if best >= 0 {
-			targets = targets[:0]
-			targets = append(targets, best)
+		if best == nil {
+			return
+		}
+		b := make([]core.Item, len(items))
+		copy(b, items)
+		r.enqueue(best, b)
+	default:
+		rs.targets = e.router.RouteBatch(items, len(insts), rs.targets[:0])
+		r.enqueueGrouped(insts, items, rs)
+	}
+}
+
+// enqueueGrouped splits a routed batch into per-destination sub-batches and
+// enqueues them. Grouping reuses the sender's scratch counters; the only
+// allocations are the receiver-owned sub-batch slices.
+func (r *Runtime) enqueueGrouped(insts []*teInstance, items []core.Item, rs *routeScratch) {
+	// Fast path: the whole batch routes to a single destination.
+	single := true
+	for _, t := range rs.targets[1:] {
+		if t != rs.targets[0] {
+			single = false
+			break
 		}
 	}
-	for _, t := range targets {
-		dst := insts[t]
+	if single {
+		dst := insts[rs.targets[0]]
 		if dst.killed.Load() || dst.node.Failed() {
 			// Dropped; upstream buffers replay it after recovery.
+			return
+		}
+		b := make([]core.Item, len(items))
+		copy(b, items)
+		r.enqueue(dst, b)
+		return
+	}
+	if cap(rs.counts) < len(insts) {
+		rs.counts = make([]int, len(insts))
+		rs.batches = make([][]core.Item, len(insts))
+	}
+	rs.counts = rs.counts[:len(insts)]
+	rs.batches = rs.batches[:len(insts)]
+	for i := range rs.counts {
+		rs.counts[i] = 0
+	}
+	for _, t := range rs.targets {
+		rs.counts[t]++
+	}
+	// Pre-size one receiver-owned sub-batch per live destination, then fill
+	// them all in a single pass over the targets — O(items + destinations).
+	for dstIdx, n := range rs.counts {
+		rs.batches[dstIdx] = nil
+		if n == 0 {
 			continue
 		}
-		select {
-		case dst.queue <- it:
-		case <-dst.dead:
-		case <-r.stopped:
+		dst := insts[dstIdx]
+		if dst.killed.Load() || dst.node.Failed() {
+			// Stays nil: the items drop and upstream buffers replay them
+			// after recovery.
+			continue
 		}
+		rs.batches[dstIdx] = make([]core.Item, 0, n)
+	}
+	for i, t := range rs.targets {
+		if rs.batches[t] != nil {
+			rs.batches[t] = append(rs.batches[t], items[i])
+		}
+	}
+	for dstIdx, b := range rs.batches {
+		if len(b) > 0 {
+			r.enqueue(insts[dstIdx], b)
+		}
+		rs.batches[dstIdx] = nil // ownership moved to the receiver
+	}
+}
+
+// enqueue hands one receiver-owned micro-batch to an instance, accounting
+// the items before the (possibly blocking) send so Drain and the bottleneck
+// detector see in-flight work.
+func (r *Runtime) enqueue(dst *teInstance, b []core.Item) {
+	n := int64(len(b))
+	dst.queued.Add(n)
+	select {
+	case dst.queue <- b:
+	case <-dst.dead:
+		dst.queued.Add(-n)
+	case <-r.stopped:
+		dst.queued.Add(-n)
 	}
 }
 

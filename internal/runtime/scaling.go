@@ -30,6 +30,7 @@ func (r *Runtime) ScaleUp(teName string) error {
 		ts.mu.Lock()
 		ti := r.newInstance(ts, len(ts.insts), node)
 		ts.insts = append(ts.insts, ti)
+		ts.bumpInstances()
 		ts.mu.Unlock()
 		r.startWorker(ti)
 		return nil
@@ -67,6 +68,7 @@ func (r *Runtime) growPartial(ss *seState) error {
 		ts.mu.Lock()
 		ti := r.newInstance(ts, idx, node)
 		ts.insts = append(ts.insts, ti)
+		ts.bumpInstances()
 		// Trim bookkeeping must now cover the new instance too.
 		ts.ckptWM = nil
 		ts.mu.Unlock()
@@ -158,6 +160,7 @@ func (r *Runtime) repartition(ss *seState) error {
 		ts.mu.Lock()
 		ti := r.newInstance(ts, k, newInsts[k].node)
 		ts.insts = append(ts.insts, ti)
+		ts.bumpInstances()
 		ts.ckptWM = nil
 		ts.mu.Unlock()
 		started = append(started, ti)
@@ -173,8 +176,8 @@ func (r *Runtime) repartition(ss *seState) error {
 
 // ScalePolicy tunes the reactive bottleneck/straggler detector.
 type ScalePolicy struct {
-	// QueueHighWater: a TE whose summed queue length stays above this
-	// threshold is a bottleneck.
+	// QueueHighWater: a TE whose summed inbound queue occupancy (batch
+	// entries, not items) stays above this threshold is a bottleneck.
 	QueueHighWater int
 	// Cooldown between scaling actions.
 	Cooldown time.Duration
@@ -276,6 +279,12 @@ func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, 
 			if ti.killed.Load() {
 				continue
 			}
+			// Backpressure is what matters here, and it acts on channel
+			// occupancy: a sender blocks when the queue is out of batch
+			// slots, however many items each batch holds. Item counts
+			// (ti.queued) would need a per-batch-size rescale and still
+			// misfire when grouping produces small sub-batches, so the
+			// detector keeps the occupancy signal.
 			q := len(ti.queue)
 			totalQueue += q
 			if q > r.opts.QueueLen/4 {

@@ -8,11 +8,12 @@ import (
 
 // TEStats is a point-in-time view of one task element.
 type TEStats struct {
-	Name      string
-	Instances int
-	Queued    int   // summed inbound queue length
-	Processed int64 // items processed across instances
-	Nodes     []int // hosting node ids
+	Name          string
+	Instances     int
+	Queued        int   // summed inbound items (queued + in-flight batch)
+	Processed     int64 // items processed across instances
+	GatherPending int   // incomplete all-to-one waves across instances
+	Nodes         []int // hosting node ids
 }
 
 // SEStats is a point-in-time view of one state element.
@@ -43,8 +44,11 @@ func (r *Runtime) Stats() Stats {
 			if ti.killed.Load() {
 				continue
 			}
-			s.Queued += len(ti.queue)
+			s.Queued += int(ti.queued.Load())
 			s.Processed += ti.processed.Load()
+			if ti.gather != nil {
+				s.GatherPending += ti.gather.Pending()
+			}
 			s.Nodes = append(s.Nodes, ti.node.ID)
 		}
 		ts.mu.RUnlock()
