@@ -31,6 +31,9 @@ func main() {
 		pipe      = flag.Bool("pipe-bench", false, "measure dataflow hot-path cost across micro-batch sizes and exit")
 		pipeOut   = flag.String("pipe-out", "BENCH_throughput.json", "JSON output path for -pipe-bench (empty = stdout table only)")
 		pipeItems = flag.Int("pipe-items", 20_000, "injected items per batch size for -pipe-bench")
+		bp        = flag.Bool("bp-bench", false, "measure offered load vs goodput under bounded admission and exit")
+		bpOut     = flag.String("bp-out", "BENCH_backpressure.json", "JSON output path for -bp-bench (empty = stdout table only)")
+		bpItems   = flag.Int("bp-items", 6_000, "items offered at load 1.0x for -bp-bench")
 	)
 	flag.Parse()
 
@@ -47,6 +50,16 @@ func main() {
 	if *pipe {
 		err := experiments.WritePipeBench(os.Stdout,
 			experiments.PipeBenchConfig{Items: *pipeItems}, *pipeOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bp {
+		err := experiments.WriteBPBench(os.Stdout,
+			experiments.BPBenchConfig{Items: *bpItems}, *bpOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)

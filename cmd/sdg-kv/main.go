@@ -42,6 +42,9 @@ func main() {
 		partitions   = flag.Int("partitions", 2, "store partitions")
 		shards       = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
 		batch        = flag.Int("batch", 1, "micro-batch target for the item hot path (1 = per-item dispatch)")
+		injectPolicy = flag.String("inject-policy", "block", "ingress admission policy under overload: block | shed")
+		injectDL     = flag.Duration("inject-deadline", 0, "max time block admission waits before shedding (0 = forever)")
+		overflowLen  = flag.Int("overflow-len", 0, "flow-control watermark in items (0 = 4 x queue length)")
 		ftInterval   = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
 		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
 		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
@@ -55,6 +58,16 @@ func main() {
 		mode = checkpoint.ModeOff
 		*ftInterval = time.Hour
 	}
+	var policy runtime.InjectPolicy
+	switch *injectPolicy {
+	case "block":
+		policy = runtime.InjectBlock
+	case "shed":
+		policy = runtime.InjectShed
+	default:
+		fmt.Fprintf(os.Stderr, "sdg-kv: unknown -inject-policy %q (want block or shed)\n", *injectPolicy)
+		os.Exit(2)
+	}
 	store, err := kv.New(kv.Config{
 		Partitions: *partitions,
 		Runtime: runtime.Options{
@@ -62,6 +75,9 @@ func main() {
 			Interval:         *ftInterval,
 			KVShards:         *shards,
 			BatchSize:        *batch,
+			InjectPolicy:     policy,
+			InjectDeadline:   *injectDL,
+			OverflowLen:      *overflowLen,
 			DeltaCheckpoints: *delta,
 			CompactEvery:     *compactEvery,
 			CompactRatio:     *compactRatio,

@@ -20,6 +20,14 @@ const MaxFrameSize = 64 << 20
 // ErrFrameTooLarge is returned when an inbound frame exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("cluster: frame exceeds maximum size")
 
+// ErrClientBroken is returned by Client.Call after an earlier call failed
+// mid-frame: the connection's framing state is undefined (a partial write
+// or read leaves the peer mid-frame, so the next length prefix could be
+// parsed out of payload bytes), and reusing it would return garbage that
+// parses. The client closes the connection on first error and every later
+// call fails fast with this sticky error; callers must Dial a fresh client.
+var ErrClientBroken = errors.New("cluster: client connection broken by earlier error")
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
@@ -92,17 +100,30 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
+		if !s.register(conn) {
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// register adds an accepted connection to the tracked set, re-checking
+// closed under the same critical section: a connection accepted
+// concurrently with Close would otherwise be added after Close has iterated
+// the map and escape the close loop, leaking past s.wg.Wait. The handler
+// goroutine's wg.Add also stays ordered before acceptLoop's own wg.Done, so
+// Close's Wait cannot complete while a registered conn is still being
+// handed off.
+func (s *Server) register(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -146,10 +167,14 @@ func (s *Server) Close() error {
 }
 
 // Client is a framed request/reply TCP client. It serialises concurrent
-// callers over one connection.
+// callers over one connection. A call that fails mid-frame poisons the
+// stream: the connection is closed eagerly and every subsequent Call
+// returns a sticky ErrClientBroken instead of misparsing the next length
+// prefix out of leftover payload bytes.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	broken error // first framing error; nil while the stream is healthy
 }
 
 // Dial connects to a Server.
@@ -165,10 +190,33 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Call(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req); err != nil {
+	if c.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+	}
+	// An oversized request is rejected before any bytes hit the wire, so
+	// it does not poison the stream.
+	if len(req) > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if err := c.poison(WriteFrame(c.conn, req)); err != nil {
 		return nil, err
 	}
-	return ReadFrame(c.conn)
+	resp, err := ReadFrame(c.conn)
+	if err := c.poison(err); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// poison records the first mid-frame error, closing the connection so the
+// peer sees the failure immediately rather than on its next read. Called
+// under c.mu; returns err unchanged.
+func (c *Client) poison(err error) error {
+	if err != nil && c.broken == nil {
+		c.broken = err
+		c.conn.Close()
+	}
+	return err
 }
 
 // Close closes the connection.

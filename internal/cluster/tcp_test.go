@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClientPoisonedStream is the regression for the framing-state bug:
+// after a mid-Call error the connection is left between frames in an
+// undefined position, and a client that kept using it could misparse the
+// next length prefix out of leftover payload bytes. The client must mark
+// itself broken on the first error, close the connection eagerly, and fail
+// every later Call fast with the sticky typed error.
+func TestClientPoisonedStream(t *testing.T) {
+	// A hostile peer: reads the request, then answers with a frame header
+	// promising 100 bytes but delivers only 3 before closing — exactly the
+	// partial-read shape a crashed server produces.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := ReadFrame(conn); err != nil {
+			return
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 100)
+		conn.Write(hdr[:])
+		conn.Write([]byte{1, 2, 3})
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call([]byte("req-1")); err == nil {
+		t.Fatal("first call over truncated stream succeeded")
+	} else if errors.Is(err, ErrClientBroken) {
+		t.Fatalf("first call must surface the underlying error, got sticky %v", err)
+	}
+	// Every later call fails fast with the sticky typed error — it must
+	// not touch the (closed) connection and hang or misparse.
+	for i := 0; i < 3; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Call([]byte("req-2"))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClientBroken) {
+				t.Fatalf("call %d after poison: got %v, want ErrClientBroken", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("call %d after poison blocked", i)
+		}
+	}
+}
+
+// TestClientOversizedRequestDoesNotPoison: the size check fires before any
+// bytes hit the wire, so the stream stays healthy and usable.
+func TestClientOversizedRequestDoesNotPoison(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized call: got %v, want ErrFrameTooLarge", err)
+	}
+	resp, err := c.Call([]byte("ok"))
+	if err != nil {
+		t.Fatalf("call after oversized request: %v", err)
+	}
+	if string(resp) != "echo:ok" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestServerCloseAcceptRace hammers the accepted-concurrently-with-Close
+// window: a connection registered after Close iterated the conn map would
+// escape the close loop and leak past wg.Wait. The registration re-check
+// under the same critical section must close it instead. Run under -race.
+func TestServerCloseAcceptRace(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		s, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) {
+			return req, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Addr()
+
+		var wg sync.WaitGroup
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := Dial(addr)
+				if err != nil {
+					return // listener already closed
+				}
+				defer c.Close()
+				c.Call([]byte("x")) // may fail: the server is closing
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			s.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Close hung (leaked connection?)", i)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,96 @@
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Overflow is the lossless parking lot behind one instance's inbound queue.
+// When the bounded queue channel is out of slots, senders park the batch
+// here instead of blocking — no worker ever waits on another worker's queue,
+// so cyclic topologies cannot distributed-deadlock — and the owning worker
+// promotes parked batches back into the channel as slots free up.
+//
+// Ordering: while anything is parked, new batches must also park (Offer
+// enforces this), and Promote refills the channel strictly FIFO, so
+// per-destination delivery order is exactly what a blocking send would have
+// produced. That matters because the per-origin dedup watermark at the
+// receiver permanently drops items that arrive behind a later sequence
+// number from the same origin.
+//
+// Bounding: Offer never rejects a batch — intra-graph edges are lossless by
+// contract. The parked depth (Items) is instead the runtime's backpressure
+// signal: ingress admission stops once a task element's parked depth
+// crosses its capacity-scaled watermark, so total parked memory stays
+// within what admission has let into the graph times its fan-out.
+type Overflow struct {
+	mu      sync.Mutex
+	batches [][]core.Item
+	head    int // index of the oldest parked batch
+	items   atomic.Int64
+}
+
+// Offer hands a batch to the destination: it goes straight into ch when
+// nothing is parked and a slot is free, and parks otherwise. parked reports
+// which happened, so the caller can wake an idle worker.
+func (o *Overflow) Offer(ch chan<- []core.Item, b []core.Item) (parked bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.head == len(o.batches) {
+		select {
+		case ch <- b:
+			return false
+		default:
+		}
+	}
+	o.batches = append(o.batches, b)
+	o.items.Add(int64(len(b)))
+	return true
+}
+
+// Promote moves parked batches into ch, oldest first, until a send would
+// block or nothing is parked, and reports how many items it moved. It is
+// called by the owning worker after each processed batch and whenever a
+// park kicks an idle worker.
+func (o *Overflow) Promote(ch chan<- []core.Item) (moved int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for o.head < len(o.batches) {
+		b := o.batches[o.head]
+		select {
+		case ch <- b:
+			moved += int64(len(b))
+			o.items.Add(-int64(len(b)))
+			o.batches[o.head] = nil
+			o.head++
+		default:
+			o.compact()
+			return moved
+		}
+	}
+	o.compact()
+	return moved
+}
+
+// compact keeps the parked slice from creeping: reset when drained, slide
+// the live tail down once the dead prefix dominates. Called under mu.
+func (o *Overflow) compact() {
+	if o.head == len(o.batches) {
+		o.batches = o.batches[:0]
+		o.head = 0
+		return
+	}
+	if o.head > 32 && o.head*2 >= len(o.batches) {
+		n := copy(o.batches, o.batches[o.head:])
+		for i := n; i < len(o.batches); i++ {
+			o.batches[i] = nil
+		}
+		o.batches = o.batches[:n]
+		o.head = 0
+	}
+}
+
+// Items reports the number of parked items.
+func (o *Overflow) Items() int64 { return o.items.Load() }

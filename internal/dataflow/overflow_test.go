@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func batchOf(seqs ...uint64) []core.Item {
+	b := make([]core.Item, len(seqs))
+	for i, s := range seqs {
+		b[i] = core.Item{Origin: 1, Seq: s}
+	}
+	return b
+}
+
+// TestOverflowPreservesFIFO: once anything is parked, later offers must
+// park behind it (no channel bypass), and promotion must refill the channel
+// oldest-first — otherwise a later seq could overtake an earlier one to the
+// same destination and the receiver's dedup watermark would drop the
+// earlier item forever.
+func TestOverflowPreservesFIFO(t *testing.T) {
+	ch := make(chan []core.Item, 1)
+	o := &Overflow{}
+
+	if parked := o.Offer(ch, batchOf(1)); parked {
+		t.Fatal("first offer should take the free channel slot")
+	}
+	if parked := o.Offer(ch, batchOf(2)); !parked {
+		t.Fatal("offer against a full channel must park")
+	}
+	// The channel has a free slot only conceptually after a receive; while
+	// batch 2 is parked, batch 3 must queue behind it even though a direct
+	// send could race ahead after the consumer drains.
+	<-ch // consume batch 1; channel now empty, overflow non-empty
+	if parked := o.Offer(ch, batchOf(3)); !parked {
+		t.Fatal("offer must park behind existing parked batches, not bypass them")
+	}
+	if got := o.Items(); got != 2 {
+		t.Fatalf("parked items = %d, want 2", got)
+	}
+	o.Promote(ch)
+	if got := o.Items(); got != 1 {
+		t.Fatalf("parked after promote into 1-slot channel = %d, want 1", got)
+	}
+	first := <-ch
+	o.Promote(ch)
+	second := <-ch
+	if first[0].Seq != 2 || second[0].Seq != 3 {
+		t.Fatalf("promotion order = %d, %d; want 2, 3", first[0].Seq, second[0].Seq)
+	}
+	if got := o.Items(); got != 0 {
+		t.Fatalf("parked items after full drain = %d, want 0", got)
+	}
+}
+
+// TestOverflowPromotePartial: promotion stops when the channel fills and
+// resumes later without losing or reordering batches.
+func TestOverflowPromotePartial(t *testing.T) {
+	ch := make(chan []core.Item, 2)
+	o := &Overflow{}
+	ch <- batchOf(0) // occupy one slot
+	for s := uint64(1); s <= 4; s++ {
+		o.Offer(ch, batchOf(s))
+	}
+	// Seq 1 took the remaining slot; 2-4 parked.
+	if got := o.Items(); got != 3 {
+		t.Fatalf("parked = %d, want 3", got)
+	}
+	<-ch // free a slot
+	o.Promote(ch)
+	if got := o.Items(); got != 2 {
+		t.Fatalf("parked after partial promote = %d, want 2", got)
+	}
+	var seqs []uint64
+	for len(ch) > 0 {
+		seqs = append(seqs, (<-ch)[0].Seq)
+	}
+	o.Promote(ch)
+	for len(ch) > 0 {
+		seqs = append(seqs, (<-ch)[0].Seq)
+	}
+	o.Promote(ch)
+	for len(ch) > 0 {
+		seqs = append(seqs, (<-ch)[0].Seq)
+	}
+	want := []uint64{1, 2, 3, 4}
+	if len(seqs) != len(want) {
+		t.Fatalf("drained %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("drained %v, want %v", seqs, want)
+		}
+	}
+}
+
+// TestOverflowItemCounting: multi-item batches account items, not batches.
+func TestOverflowItemCounting(t *testing.T) {
+	ch := make(chan []core.Item) // unbuffered: every offer parks
+	o := &Overflow{}
+	o.Offer(ch, batchOf(1, 2, 3))
+	o.Offer(ch, batchOf(4, 5))
+	if got := o.Items(); got != 5 {
+		t.Fatalf("parked items = %d, want 5", got)
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/state"
+)
+
+// BPBenchConfig sizes the backpressure measurement: a keyed entry TE doing
+// fixed CPU work per item into a partitioned dictionary, offered load at
+// multiples of its calibrated capacity under bounded (deadline) admission.
+type BPBenchConfig struct {
+	Items       int           // items at offered-load 1.0x (default 6000)
+	Levels      []float64     // offered-load multipliers (default 0.5, 1, 2, 4)
+	WorkIters   int           // spin iterations per item, the simulated service cost (default 20000)
+	Partitions  int           // store partitions (default 2)
+	QueueLen    int           // per-instance queue slots (default 64)
+	OverflowLen int           // admission watermark in items (default 256)
+	Burst       int           // items per InjectBatch burst (default 64)
+	Deadline    time.Duration // block-admission deadline before shedding (default 200µs)
+}
+
+func (c BPBenchConfig) withDefaults() BPBenchConfig {
+	if c.Items <= 0 {
+		c.Items = 6000
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []float64{0.5, 1, 2, 4}
+	}
+	if c.WorkIters <= 0 {
+		// The service cost must decisively exceed the injection cost even
+		// time-sliced on one core, or offered load can never outrun the
+		// sink and the overload levels measure nothing.
+		c.WorkIters = 20000
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.OverflowLen <= 0 {
+		c.OverflowLen = 256
+	}
+	if c.Burst <= 0 {
+		c.Burst = 64
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 200 * time.Microsecond
+	}
+	return c
+}
+
+// BPBenchResult records one offered-load level. Counts are the headline
+// numbers (accepted + shed == offered and delivered == accepted always
+// hold — admission is lossless for what it accepts); rates and latency
+// percentiles are wall-clock context, per the repo's single-core
+// measurement policy.
+type BPBenchResult struct {
+	Level       float64 `json:"offered_load_x"` // multiple of calibrated capacity
+	Offered     int     `json:"offered_items"`
+	OfferedRate float64 `json:"offered_per_sec"`
+	Accepted    int64   `json:"accepted_items"`
+	Shed        int64   `json:"shed_items"`
+	ShedRatio   float64 `json:"shed_ratio"`
+	Delivered   int64   `json:"delivered_items"`
+	Goodput     float64 `json:"goodput_per_sec"`
+	AdmitP50Ns  int64   `json:"admit_p50_ns"`
+	AdmitP95Ns  int64   `json:"admit_p95_ns"`
+	AdmitP99Ns  int64   `json:"admit_p99_ns"`
+}
+
+// BPBenchRecord is the JSON artefact: calibrated capacity plus one row per
+// offered-load level.
+type BPBenchRecord struct {
+	Capacity float64         `json:"calibrated_capacity_per_sec"`
+	Levels   []BPBenchResult `json:"levels"`
+}
+
+// bpSink defeats dead-code elimination of the service-cost spin.
+var bpSink atomic.Uint64
+
+func bpSpin(iters int) {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < iters; i++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+	}
+	bpSink.Store(h)
+}
+
+// bpGraph builds the measured pipeline: a keyed entry whose per-item spin
+// makes ingestion the bottleneck, so offered load beyond capacity surfaces
+// as admission waits and sheds rather than unbounded queues.
+func bpGraph(workIters int) *core.Graph {
+	g := core.NewGraph("bp-bench")
+	se := g.AddSE("ingest-store", core.KindPartitioned, state.TypeKVMap, nil)
+	g.AddTE("ingest", func(ctx core.Context, it core.Item) {
+		bpSpin(workIters)
+		ctx.Store().(state.KV).Put(it.Key, it.Value.([]byte))
+	}, &core.Access{SE: se, Mode: core.AccessByKey}, true)
+	return g
+}
+
+func bpDeploy(cfg BPBenchConfig, policy runtime.InjectPolicy, deadline time.Duration) (*runtime.Runtime, error) {
+	return runtime.Deploy(bpGraph(cfg.WorkIters), runtime.Options{
+		Partitions:     map[string]int{"ingest-store": cfg.Partitions},
+		QueueLen:       cfg.QueueLen,
+		OverflowLen:    cfg.OverflowLen,
+		InjectPolicy:   policy,
+		InjectDeadline: deadline,
+	})
+}
+
+// bpCalibrate measures the pipeline's service capacity: items/s delivered
+// with blocking admission (no deadline), i.e. injection paced exactly at
+// the rate the workers drain.
+func bpCalibrate(cfg BPBenchConfig) (float64, error) {
+	rt, err := bpDeploy(cfg, runtime.InjectBlock, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Stop()
+	value := []byte("v")
+	// Warm the pipeline (store growth, snapshot caches) off the clock.
+	for k := uint64(0); k < 256; k++ {
+		if err := rt.Inject("ingest", k, value); err != nil {
+			return 0, err
+		}
+	}
+	if !rt.Drain(60 * time.Second) {
+		return 0, fmt.Errorf("bp bench: warm-up did not drain")
+	}
+	start := time.Now()
+	for k := uint64(0); k < uint64(cfg.Items); k++ {
+		if err := rt.Inject("ingest", k, value); err != nil {
+			return 0, err
+		}
+	}
+	if !rt.Drain(120 * time.Second) {
+		return 0, fmt.Errorf("bp bench: calibration did not drain")
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("bp bench: calibration too fast to time")
+	}
+	return float64(cfg.Items) / elapsed, nil
+}
+
+// RunBPBenchLevel offers load at level x the calibrated capacity with
+// bounded (deadline) admission and reports goodput, sheds and admission
+// latency percentiles.
+func RunBPBenchLevel(cfg BPBenchConfig, capacity, level float64) (BPBenchResult, error) {
+	cfg = cfg.withDefaults()
+	rt, err := bpDeploy(cfg, runtime.InjectBlock, cfg.Deadline)
+	if err != nil {
+		return BPBenchResult{}, err
+	}
+	defer rt.Stop()
+
+	offered := int(float64(cfg.Items) * level)
+	if offered < cfg.Burst {
+		offered = cfg.Burst
+	}
+	rate := capacity * level
+	interval := time.Duration(float64(time.Second) / rate)
+	value := []byte("v")
+
+	// Open-loop offering in InjectBatch bursts paced to the target rate: a
+	// synchronous per-item injector on one core falls into lockstep with
+	// the worker and can never sustain overload, but a burst needs room
+	// for all its items under one admission decision, so levels beyond
+	// capacity genuinely wait out the deadline and shed. A schedule that
+	// has fallen behind never sleeps, so overload levels offer as fast as
+	// admission allows.
+	var accepted, shed int64
+	start := time.Now()
+	for i := 0; i < offered; i += cfg.Burst {
+		n := cfg.Burst
+		if i+n > offered {
+			n = offered - i
+		}
+		due := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		batch := make([]runtime.InjectItem, n)
+		for j := range batch {
+			batch[j] = runtime.InjectItem{Key: uint64(i + j), Value: value}
+		}
+		err := rt.InjectBatch("ingest", batch)
+		switch {
+		case err == nil:
+			accepted += int64(n)
+		case errors.Is(err, runtime.ErrOverloaded):
+			shed += int64(n)
+		default:
+			return BPBenchResult{}, err
+		}
+	}
+	if !rt.Drain(120 * time.Second) {
+		return BPBenchResult{}, fmt.Errorf("bp bench: level %.1fx did not drain", level)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	delivered := rt.Processed("ingest")
+	if got := rt.Shed("ingest"); got != shed {
+		return BPBenchResult{}, fmt.Errorf("bp bench: shed counter %d != caller-observed %d", got, shed)
+	}
+	if delivered != accepted {
+		return BPBenchResult{}, fmt.Errorf("bp bench: delivered %d != accepted %d (admitted items lost)", delivered, accepted)
+	}
+	pcts := rt.AdmitLatency.Percentiles(50, 95, 99)
+	return BPBenchResult{
+		Level:       level,
+		Offered:     offered,
+		OfferedRate: float64(offered) / elapsed,
+		Accepted:    accepted,
+		Shed:        shed,
+		ShedRatio:   float64(shed) / float64(offered),
+		Delivered:   delivered,
+		Goodput:     float64(delivered) / elapsed,
+		AdmitP50Ns:  pcts[0],
+		AdmitP95Ns:  pcts[1],
+		AdmitP99Ns:  pcts[2],
+	}, nil
+}
+
+// RunBPBench calibrates capacity, sweeps the offered-load levels and
+// returns the record.
+func RunBPBench(cfg BPBenchConfig) (BPBenchRecord, error) {
+	cfg = cfg.withDefaults()
+	capacity, err := bpCalibrate(cfg)
+	if err != nil {
+		return BPBenchRecord{}, err
+	}
+	rec := BPBenchRecord{Capacity: capacity}
+	for _, level := range cfg.Levels {
+		r, err := RunBPBenchLevel(cfg, capacity, level)
+		if err != nil {
+			return BPBenchRecord{}, err
+		}
+		rec.Levels = append(rec.Levels, r)
+	}
+	return rec, nil
+}
+
+// WriteBPBench runs the offered-load sweep, prints a summary table, and
+// (when outPath is non-empty) writes the structured record as JSON so CI
+// tracks the flow-control trajectory alongside the checkpoint and
+// throughput records.
+func WriteBPBench(w io.Writer, cfg BPBenchConfig, outPath string) error {
+	cfg = cfg.withDefaults()
+	rec, err := RunBPBench(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: "backpressure: offered load vs goodput under bounded admission",
+		Note: fmt.Sprintf("capacity %.0f items/s; %d items at 1.0x, %v admission deadline, overflow watermark %d",
+			rec.Capacity, cfg.Items, cfg.Deadline, cfg.OverflowLen),
+		Header: []string{"load", "offered/s", "goodput/s", "shed", "shed%", "admit p50", "admit p99"},
+	}
+	for _, r := range rec.Levels {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.1fx", r.Level),
+			fmt.Sprintf("%.0f", r.OfferedRate),
+			fmt.Sprintf("%.0f", r.Goodput),
+			fmt.Sprintf("%d", r.Shed),
+			fmt.Sprintf("%.1f%%", r.ShedRatio*100),
+			time.Duration(r.AdmitP50Ns).String(),
+			time.Duration(r.AdmitP99Ns).String(),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -476,3 +476,47 @@ func TestPipeBenchSmoke(t *testing.T) {
 		t.Fatal("summary table missing")
 	}
 }
+
+func TestBPBenchSmoke(t *testing.T) {
+	// Tiny config: guards the CI perf-record path (table + JSON) and the
+	// flow-control invariants — every offered item is either accepted or
+	// shed, and everything accepted is delivered. Rates and latency
+	// percentiles are wall-clock context, not asserted (single-core
+	// measurement policy).
+	out := filepath.Join(t.TempDir(), "BENCH_backpressure.json")
+	cfg := BPBenchConfig{Items: 600, Levels: []float64{0.5, 1, 2}, WorkIters: 2000}
+	var buf strings.Builder
+	if err := WriteBPBench(&buf, cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec BPBenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Capacity <= 0 {
+		t.Fatalf("calibrated capacity = %f", rec.Capacity)
+	}
+	if len(rec.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(rec.Levels))
+	}
+	for _, r := range rec.Levels {
+		if r.Accepted+r.Shed != int64(r.Offered) {
+			t.Fatalf("level %.1fx: accepted %d + shed %d != offered %d",
+				r.Level, r.Accepted, r.Shed, r.Offered)
+		}
+		if r.Delivered != r.Accepted {
+			t.Fatalf("level %.1fx: delivered %d != accepted %d (admitted items lost)",
+				r.Level, r.Delivered, r.Accepted)
+		}
+		if r.Goodput <= 0 {
+			t.Fatalf("level %.1fx: empty measurement %+v", r.Level, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "offered load vs goodput") {
+		t.Fatal("summary table missing")
+	}
+}

@@ -89,25 +89,37 @@ func (d *Distribution) Max() int64 {
 // Percentile reports the p-th percentile (0 <= p <= 100) over retained
 // samples using nearest-rank on a sorted copy.
 func (d *Distribution) Percentile(p float64) int64 {
+	return d.Percentiles(p)[0]
+}
+
+// Percentiles reports several percentiles in one pass, sorting the
+// retained samples once instead of once per call — the experiment harness
+// reads p50/p95/p99 together for every load level.
+func (d *Distribution) Percentiles(ps ...float64) []int64 {
+	out := make([]int64, len(ps))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.samples) == 0 {
-		return 0
+		return out
 	}
 	sorted := make([]int64, len(d.samples))
 	copy(sorted, d.samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if p <= 0 {
-		return sorted[0]
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = sorted[0]
+		case p >= 100:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			rank := int(p / 100 * float64(len(sorted)))
+			if rank >= len(sorted) {
+				rank = len(sorted) - 1
+			}
+			out[i] = sorted[rank]
+		}
 	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := int(p / 100 * float64(len(sorted)))
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+	return out
 }
 
 // Reset discards all samples.

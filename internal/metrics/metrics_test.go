@@ -199,6 +199,26 @@ func TestDistribution(t *testing.T) {
 	}
 }
 
+func TestDistributionPercentiles(t *testing.T) {
+	d := NewDistribution(256)
+	if got := d.Percentiles(50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty percentiles = %v", got)
+	}
+	for i := int64(1); i <= 200; i++ {
+		d.Record(i)
+	}
+	got := d.Percentiles(0, 50, 95, 100)
+	if got[0] != 1 || got[3] != 200 {
+		t.Fatalf("p0/p100 = %d/%d, want 1/200", got[0], got[3])
+	}
+	// The multi-percentile read must agree with the single-percentile path.
+	for i, p := range []float64{0, 50, 95, 100} {
+		if want := d.Percentile(p); got[i] != want {
+			t.Fatalf("Percentiles p%.0f = %d, Percentile = %d", p, got[i], want)
+		}
+	}
+}
+
 func TestDistributionRecordSteadyStateNoAlloc(t *testing.T) {
 	// The runtime records one sample per micro-batch; the pre-allocated
 	// reservoir keeps that off the allocation profile it measures.

@@ -146,12 +146,21 @@ func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 		ts := r.tes[teID]
 		var started []*teInstance
 		ts.mu.Lock()
+		// Discarded instances take their parked overflow with them (source
+		// replay re-delivers those items); release their share of the
+		// global parked bound so the admission fast path can go quiet
+		// again. A park racing this swap only leaves the bound high —
+		// harmless — never low.
 		if n == 1 {
+			r.parked.Add(-ts.insts[failedIdx].overflow.Items())
 			ti := r.newInstance(ts, failedIdx, newNodes[0])
 			restoreTE(ti, meta, teID, true)
 			ts.insts[failedIdx] = ti
 			started = append(started, ti)
 		} else {
+			for _, old := range ts.insts {
+				r.parked.Add(-old.overflow.Items())
+			}
 			insts := make([]*teInstance, n)
 			for j := 0; j < n; j++ {
 				ti := r.newInstance(ts, j, newNodes[j])

@@ -33,6 +33,23 @@ type Options struct {
 	// queue carries micro-batches, so with BatchSize > 1 the item-count
 	// bound is QueueLen x the typical batch size.
 	QueueLen int
+	// OverflowLen is the flow-control watermark in items (default
+	// 4 x QueueLen). Two roles: a TE whose parked overflow reaches
+	// OverflowLen x its live instance count is backpressured, which
+	// revokes ingress admission credits graph-wide until it drains (or
+	// gains instances); and an entry TE whose backlog (queued + parked +
+	// in-flight) reaches it stops admitting external items per
+	// InjectPolicy. Intra-graph edges never drop or block regardless —
+	// the bound is enforced where callers can be told, at ingress.
+	OverflowLen int
+	// InjectPolicy selects the ingress admission behaviour when an entry
+	// TE is over its OverflowLen backlog or the graph is backpressured:
+	// InjectBlock (default) waits for capacity, preserving the historical
+	// blocking semantics; InjectShed fails fast with ErrOverloaded.
+	InjectPolicy InjectPolicy
+	// InjectDeadline bounds how long InjectBlock admission waits before
+	// giving up with ErrOverloaded (0 = wait forever).
+	InjectDeadline time.Duration
 	// BatchSize sets the micro-batch target for the item hot path: each
 	// worker coalesces up to this many queued items before taking the
 	// pause lock and dedup filter once for the whole batch, and emissions
@@ -83,6 +100,9 @@ func (o *Options) defaults() {
 	if o.QueueLen <= 0 {
 		o.QueueLen = 1024
 	}
+	if o.OverflowLen <= 0 {
+		o.OverflowLen = 4 * o.QueueLen
+	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 1
 	}
@@ -115,6 +135,15 @@ type Runtime struct {
 	replyMu sync.Mutex
 	replies map[uint64]chan any
 
+	// parked upper-bounds the items currently parked across every
+	// instance's overflow: enqueue adds on park, workers subtract what
+	// they promote, and recovery subtracts what it discards with a
+	// replaced instance. Zero means no TE can be backpressured, letting
+	// the admission fast path skip the per-instance graph scan; races
+	// around recovery only ever leave the bound high (scan runs anyway),
+	// never low.
+	parked atomic.Int64
+
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -124,6 +153,10 @@ type Runtime struct {
 	// BatchSizes records the size of every processed micro-batch, so
 	// operators can see how well the pipeline coalesces under load.
 	BatchSizes *metrics.Distribution
+	// AdmitLatency records, in nanoseconds, how long each external
+	// injection waited for admission (0 for the uncontended fast path), so
+	// operators can see ingress pressure building before items shed.
+	AdmitLatency *metrics.Distribution
 }
 
 // teState tracks one task element and its live instances.
@@ -143,6 +176,13 @@ type teState struct {
 	// srcBuf logs externally injected items for entry TEs so post-checkpoint
 	// inputs replay after failures; nil when fault tolerance is off.
 	srcBuf *dataflow.OutputBuffer
+	// injMu serialises external injection end to end — seq assignment,
+	// srcBuf logging and enqueueing — so concurrent injectors cannot
+	// reorder seqs on their way to one entry instance (the per-origin
+	// dedup watermark would silently drop the overtaken item forever).
+	injMu sync.Mutex
+	// shed counts externally offered items rejected by admission control.
+	shed atomic.Int64
 
 	// instEpoch versions insts: every mutation (scale-up, repartition,
 	// recovery) bumps it under mu, invalidating the cached snapshot below.
@@ -211,6 +251,13 @@ type teInstance struct {
 	outBufs []*dataflow.OutputBuffer
 	seqCtr  atomic.Uint64
 
+	// overflow parks inbound batches that found the queue full, so senders
+	// never block on this instance (deadlock-free dispatch); the worker
+	// promotes parked batches back into the queue as slots free up. kick
+	// wakes an idle worker when a batch parks while the queue is empty.
+	overflow *dataflow.Overflow
+	kick     chan struct{}
+
 	// queued tracks inbound items (not batches) across the queue and the
 	// batch currently being processed; load balancing, bottleneck
 	// detection and Drain read it instead of len(queue).
@@ -274,14 +321,15 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		cl = cluster.New(0, cluster.Config{})
 	}
 	r := &Runtime{
-		graph:       g,
-		opts:        opts,
-		cl:          cl,
-		replies:     make(map[uint64]chan any),
-		stopped:     make(chan struct{}),
-		pauseMu:     make(map[int]*sync.RWMutex),
-		CallLatency: metrics.NewHistogram(0),
-		BatchSizes:  metrics.NewDistribution(4096),
+		graph:        g,
+		opts:         opts,
+		cl:           cl,
+		replies:      make(map[uint64]chan any),
+		stopped:      make(chan struct{}),
+		pauseMu:      make(map[int]*sync.RWMutex),
+		CallLatency:  metrics.NewHistogram(0),
+		BatchSizes:   metrics.NewDistribution(4096),
+		AdmitLatency: metrics.NewDistribution(4096),
 	}
 
 	// Backup store for checkpoints.
@@ -437,13 +485,15 @@ func (r *Runtime) deltaPolicy() checkpoint.Policy {
 // newInstance builds (but does not start) a TE instance on a node.
 func (r *Runtime) newInstance(ts *teState, idx int, node *cluster.Node) *teInstance {
 	ti := &teInstance{
-		te:      ts,
-		idx:     idx,
-		node:    node,
-		queue:   make(chan []core.Item, r.opts.QueueLen),
-		dead:    make(chan struct{}),
-		dedup:   dataflow.NewDedup(),
-		outBufs: make([]*dataflow.OutputBuffer, len(ts.out)),
+		te:       ts,
+		idx:      idx,
+		node:     node,
+		queue:    make(chan []core.Item, r.opts.QueueLen),
+		dead:     make(chan struct{}),
+		dedup:    dataflow.NewDedup(),
+		outBufs:  make([]*dataflow.OutputBuffer, len(ts.out)),
+		overflow: &dataflow.Overflow{},
+		kick:     make(chan struct{}, 1),
 	}
 	for i := range ti.outBufs {
 		ti.outBufs[i] = &dataflow.OutputBuffer{}
@@ -467,12 +517,18 @@ func (r *Runtime) startWorker(ti *teInstance) {
 		pause := r.pauseFor(ti.node)
 		max := r.opts.BatchSize
 		for {
+			var batch []core.Item
 			select {
 			case <-r.stopped:
 				return
 			case <-ti.dead:
 				return
-			case batch := <-ti.queue:
+			case batch = <-ti.queue:
+			case <-ti.kick:
+				// A batch parked while the queue was empty (the park and the
+				// final promote raced); fall through to promote it.
+			}
+			if batch != nil {
 				items := batch
 				if max > 1 {
 				coalesce:
@@ -518,6 +574,12 @@ func (r *Runtime) startWorker(ti *teInstance) {
 				} else {
 					ti.inBatch = ti.inBatch[:0]
 				}
+			}
+			// Opportunistically refill the queue from parked overflow: the
+			// batch just processed (and any the coalesce loop drained) freed
+			// slots.
+			if moved := ti.overflow.Promote(ti.queue); moved > 0 {
+				r.parked.Add(-moved)
 			}
 		}
 	}()
@@ -765,18 +827,23 @@ func (r *Runtime) enqueueGrouped(insts []*teInstance, items []core.Item, rs *rou
 	}
 }
 
-// enqueue hands one receiver-owned micro-batch to an instance, accounting
-// the items before the (possibly blocking) send so Drain and the bottleneck
-// detector see in-flight work.
+// enqueue hands one receiver-owned micro-batch to an instance. It never
+// blocks: a batch that finds the queue full parks in the destination's
+// overflow, to be promoted by the destination's own worker. That keeps
+// every producer-side wait out of the dispatch path — a worker blocked on
+// another worker's queue is how cyclic topologies distributed-deadlock —
+// and turns sustained pressure into an observable saturation signal that
+// revokes ingress credits instead of wedging the graph.
 func (r *Runtime) enqueue(dst *teInstance, b []core.Item) {
-	n := int64(len(b))
-	dst.queued.Add(n)
-	select {
-	case dst.queue <- b:
-	case <-dst.dead:
-		dst.queued.Add(-n)
-	case <-r.stopped:
-		dst.queued.Add(-n)
+	dst.queued.Add(int64(len(b)))
+	if dst.overflow.Offer(dst.queue, b) {
+		r.parked.Add(int64(len(b)))
+		// Wake the worker in case it is idle on an empty queue (the park
+		// and its final promote can race); the 1-slot kick never blocks.
+		select {
+		case dst.kick <- struct{}{}:
+		default:
+		}
 	}
 }
 

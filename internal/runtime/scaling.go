@@ -176,8 +176,11 @@ func (r *Runtime) repartition(ss *seState) error {
 
 // ScalePolicy tunes the reactive bottleneck/straggler detector.
 type ScalePolicy struct {
-	// QueueHighWater: a TE whose summed inbound queue occupancy (batch
-	// entries, not items) stays above this threshold is a bottleneck.
+	// QueueHighWater: a TE whose summed parked-overflow depth (items that
+	// found the inbound queue full and parked in the lossless overflow)
+	// stays above this threshold is a bottleneck. Parked items are the
+	// primary backpressure signal: senders only park once the channel is
+	// out of slots, so any sustained depth means the TE cannot keep up.
 	QueueHighWater int
 	// Cooldown between scaling actions.
 	Cooldown time.Duration
@@ -272,22 +275,26 @@ func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, 
 		}
 		ts.mu.RLock()
 		n := len(ts.insts)
-		totalQueue := 0
+		totalPark := 0
+		totalBacklog := 0
 		var deltas []int64
 		queued := false
 		for _, ti := range ts.insts {
 			if ti.killed.Load() {
 				continue
 			}
-			// Backpressure is what matters here, and it acts on channel
-			// occupancy: a sender blocks when the queue is out of batch
-			// slots, however many items each batch holds. Item counts
-			// (ti.queued) would need a per-batch-size rescale and still
-			// misfire when grouping produces small sub-batches, so the
-			// detector keeps the occupancy signal.
-			q := len(ti.queue)
-			totalQueue += q
-			if q > r.opts.QueueLen/4 {
+			// Backpressure acts on the overflow now, not on blocked
+			// senders: a batch only parks once the destination channel is
+			// out of slots, so parked depth is the direct, sustained
+			// measure of a TE that cannot keep up — the primary bottleneck
+			// input. The full item backlog (channel + parked + in-flight)
+			// still feeds the straggler heuristic so a lagging instance is
+			// caught before its queue overflows; both scores are in items,
+			// so they rank coherently against each other below.
+			totalPark += int(ti.overflow.Items())
+			backlog := int(ti.queued.Load())
+			totalBacklog += backlog
+			if backlog > r.opts.QueueLen/4 {
 				queued = true
 			}
 			cur := ti.processed.Load()
@@ -298,9 +305,9 @@ func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, 
 		if n >= p.MaxInstances {
 			continue
 		}
-		// Bottleneck: aggregate backlog.
-		if totalQueue >= p.QueueHighWater && totalQueue > bestQueue {
-			best, bestQueue, bestN = ts.def.Name, totalQueue, n
+		// Bottleneck: items parked behind a persistently full queue.
+		if totalPark >= p.QueueHighWater && totalPark > bestQueue {
+			best, bestQueue, bestN = ts.def.Name, totalPark, n
 			continue
 		}
 		// Straggler: one instance far below the fastest sibling while its
@@ -316,8 +323,8 @@ func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, 
 					min = d
 				}
 			}
-			if max > 0 && min*3 < max && totalQueue > bestQueue {
-				best, bestQueue, bestN = ts.def.Name, totalQueue, n
+			if max > 0 && min*3 < max && totalBacklog > bestQueue {
+				best, bestQueue, bestN = ts.def.Name, totalBacklog, n
 			}
 		}
 	}

@@ -10,7 +10,10 @@ import (
 type TEStats struct {
 	Name          string
 	Instances     int
-	Queued        int   // summed inbound items (queued + in-flight batch)
+	Queued        int   // summed inbound items on live instances (queued + in-flight batch)
+	Overflow      int   // items parked in overflow, including on dead instances
+	Backpressured bool  // live parked overflow at/over OverflowLen x live instances
+	Shed          int64 // externally offered items rejected by admission
 	Processed     int64 // items processed across instances
 	GatherPending int   // incomplete all-to-one waves across instances
 	Nodes         []int // hosting node ids
@@ -39,11 +42,18 @@ func (r *Runtime) Stats() Stats {
 	var out Stats
 	for _, ts := range r.tes {
 		ts.mu.RLock()
-		s := TEStats{Name: ts.def.Name, Instances: len(ts.insts)}
+		s := TEStats{Name: ts.def.Name, Instances: len(ts.insts), Shed: ts.shed.Load()}
+		liveParked, live := 0, 0
 		for _, ti := range ts.insts {
+			// Parked overflow is reported for dead instances too: that is
+			// where entry items keyed to a failed partition wait, and an
+			// operator must be able to see them.
+			s.Overflow += int(ti.overflow.Items())
 			if ti.killed.Load() {
 				continue
 			}
+			live++
+			liveParked += int(ti.overflow.Items())
 			s.Queued += int(ti.queued.Load())
 			s.Processed += ti.processed.Load()
 			if ti.gather != nil {
@@ -52,6 +62,7 @@ func (r *Runtime) Stats() Stats {
 			s.Nodes = append(s.Nodes, ti.node.ID)
 		}
 		ts.mu.RUnlock()
+		s.Backpressured = live > 0 && liveParked >= r.opts.OverflowLen*live
 		sort.Ints(s.Nodes)
 		out.TEs = append(out.TEs, s)
 	}

@@ -201,6 +201,21 @@ type Options struct {
 	CompactRatio float64
 	// QueueLen bounds per-instance queues (default 1024).
 	QueueLen int
+	// OverflowLen is the flow-control watermark in items (default
+	// 4 x QueueLen), applied per task element scaled by its live instance
+	// count: a task whose summed parked overflow reaches
+	// OverflowLen x instances is backpressured (revoking ingress credits
+	// graph-wide until it drains or gains instances), and an entry task
+	// whose backlog reaches the same bound stops admitting external items
+	// per InjectPolicy. Internal edges never drop or block regardless.
+	OverflowLen int
+	// InjectPolicy selects ingress admission behaviour under overload:
+	// InjectBlock (default) waits for capacity, InjectShed fails fast
+	// with ErrOverloaded.
+	InjectPolicy InjectPolicy
+	// InjectDeadline bounds how long InjectBlock waits before giving up
+	// with ErrOverloaded (0 = wait forever).
+	InjectDeadline time.Duration
 	// BatchSize sets the micro-batch target for the item hot path: workers
 	// coalesce up to this many queued items per dispatch and emissions
 	// buffer per edge until this many are pending. Batches flush on idle,
@@ -232,6 +247,9 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 	rt, err := runtime.Deploy(b.g, runtime.Options{
 		Cluster:          cl,
 		QueueLen:         opts.QueueLen,
+		OverflowLen:      opts.OverflowLen,
+		InjectPolicy:     opts.InjectPolicy,
+		InjectDeadline:   opts.InjectDeadline,
 		BatchSize:        opts.BatchSize,
 		Partitions:       opts.Partitions,
 		Mode:             opts.Mode,
@@ -249,9 +267,35 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 	return &System{rt: rt}, nil
 }
 
+// InjectPolicy selects ingress admission behaviour under overload.
+type InjectPolicy = runtime.InjectPolicy
+
+// Admission policies.
+const (
+	// InjectBlock waits for capacity (bounded by Options.InjectDeadline).
+	InjectBlock = runtime.InjectBlock
+	// InjectShed fails fast with ErrOverloaded instead of waiting.
+	InjectShed = runtime.InjectShed
+)
+
+// ErrOverloaded is returned by Inject/InjectBatch/Call when admission
+// control rejects the offered items (shed, deadline exceeded, or the target
+// entry instance is down).
+var ErrOverloaded = runtime.ErrOverloaded
+
+// InjectItem is one externally offered item for InjectBatch.
+type InjectItem = runtime.InjectItem
+
 // Inject delivers a fire-and-forget item to an entry task.
 func (s *System) Inject(task string, key uint64, value any) error {
 	return s.rt.Inject(task, key, value)
+}
+
+// InjectBatch delivers a batch of fire-and-forget items to an entry task
+// with one admission decision, one source-log append and one enqueue per
+// destination instance. Admission is all-or-nothing per batch.
+func (s *System) InjectBatch(task string, items []InjectItem) error {
+	return s.rt.InjectBatch(task, items)
 }
 
 // Call injects a request and waits for a task to Reply, recording latency.
