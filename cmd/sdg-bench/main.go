@@ -34,6 +34,10 @@ func main() {
 		bp        = flag.Bool("bp-bench", false, "measure offered load vs goodput under bounded admission and exit")
 		bpOut     = flag.String("bp-out", "BENCH_backpressure.json", "JSON output path for -bp-bench (empty = stdout table only)")
 		bpItems   = flag.Int("bp-items", 6_000, "items offered at load 1.0x for -bp-bench")
+		elastic   = flag.Bool("elastic-bench", false, "drive a load sawtooth against the auto-scaler (grow and shrink) and exit")
+		elOut     = flag.String("elastic-out", "BENCH_elasticity.json", "JSON output path for -elastic-bench (empty = stdout table only)")
+		elItems   = flag.Int("elastic-items", 2_000, "items per flood phase for -elastic-bench")
+		elCycles  = flag.Int("elastic-cycles", 2, "sawtooth cycles for -elastic-bench")
 	)
 	flag.Parse()
 
@@ -60,6 +64,16 @@ func main() {
 	if *bp {
 		err := experiments.WriteBPBench(os.Stdout,
 			experiments.BPBenchConfig{Items: *bpItems}, *bpOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *elastic {
+		err := experiments.WriteElasticBench(os.Stdout,
+			experiments.ElasticBenchConfig{Items: *elItems, Cycles: *elCycles}, *elOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)

@@ -45,6 +45,11 @@ func main() {
 		injectPolicy = flag.String("inject-policy", "block", "ingress admission policy under overload: block | shed")
 		injectDL     = flag.Duration("inject-deadline", 0, "max time block admission waits before shedding (0 = forever)")
 		overflowLen  = flag.Int("overflow-len", 0, "flow-control watermark in items (0 = 4 x queue length)")
+		autoscale    = flag.Duration("autoscale", 0, "auto-scaler scan interval (0 = off): grows bottlenecked tasks and retires idle instances")
+		minInst      = flag.Int("min-instances", 1, "auto-scaler shrink floor per task")
+		maxInst      = flag.Int("max-instances", 16, "auto-scaler growth bound per task")
+		highWater    = flag.Int("scale-high-water", 0, "parked-depth bottleneck threshold in items (0 = half the queue length)")
+		lowWater     = flag.Int("scale-low-water", 0, "backlog at or below this is idle; sustained idleness scales the task back in")
 		ftInterval   = flag.Duration("checkpoint", 10*time.Second, "checkpoint interval (0 = off)")
 		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
 		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
@@ -88,6 +93,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer store.Stop()
+
+	if *autoscale > 0 {
+		store.Runtime().StartAutoScale(*autoscale, runtime.ScalePolicy{
+			MinInstances:   *minInst,
+			MaxInstances:   *maxInst,
+			QueueHighWater: *highWater,
+			QueueLowWater:  *lowWater,
+		})
+	}
 
 	srv, err := cluster.Serve(*listen, func(req []byte) ([]byte, error) {
 		return handle(store, req), nil

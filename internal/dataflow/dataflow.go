@@ -182,6 +182,24 @@ func (d *Dedup) Watermarks() map[uint64]uint64 {
 	return out
 }
 
+// Fold raises the per-origin watermarks to at least the given values,
+// leaving higher local marks untouched. Scale-in uses it to fold a retired
+// instance's processed history into the survivors: after the retiring
+// partition's state merges in, items the retiree processed must read as
+// duplicates wherever the new routing sends them. Folding is only safe at
+// quiescence — with no undelivered items in flight, every seq at or below
+// the folded mark has been processed by some instance whose state effects
+// the survivors now hold.
+func (d *Dedup) Fold(w map[uint64]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for o, s := range w {
+		if cur, ok := d.last[o]; !ok || s > cur {
+			d.last[o] = s
+		}
+	}
+}
+
 // Restore resets the filter to the given watermarks.
 func (d *Dedup) Restore(w map[uint64]uint64) {
 	d.mu.Lock()

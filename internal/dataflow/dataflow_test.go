@@ -413,3 +413,28 @@ func TestRouteBatchMatchesRoute(t *testing.T) {
 		}()
 	}
 }
+
+// TestDedupFold: folding raises watermarks to at least the given values and
+// never lowers a higher local mark.
+func TestDedupFold(t *testing.T) {
+	d := NewDedup()
+	if !d.Fresh(core.Item{Origin: 1, Seq: 5}) || !d.Fresh(core.Item{Origin: 2, Seq: 9}) {
+		t.Fatal("seed items must be fresh")
+	}
+	d.Fold(map[uint64]uint64{1: 8, 2: 3, 7: 4})
+	if d.Fresh(core.Item{Origin: 1, Seq: 8}) {
+		t.Error("origin 1 seq 8 must be covered by the fold")
+	}
+	if !d.Fresh(core.Item{Origin: 1, Seq: 9}) {
+		t.Error("origin 1 seq 9 must stay fresh")
+	}
+	if d.Fresh(core.Item{Origin: 2, Seq: 9}) {
+		t.Error("fold must not lower origin 2's higher local mark")
+	}
+	if d.Fresh(core.Item{Origin: 7, Seq: 4}) {
+		t.Error("fold must introduce unseen origins")
+	}
+	if !d.Fresh(core.Item{Origin: 7, Seq: 5}) {
+		t.Error("origin 7 seq 5 must be fresh after the fold")
+	}
+}

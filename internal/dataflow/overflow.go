@@ -30,6 +30,13 @@ type Overflow struct {
 	batches [][]core.Item
 	head    int // index of the oldest parked batch
 	items   atomic.Int64
+	// peak is the high-water parked depth since the last TakePeak. The
+	// auto-scaler samples parked depth periodically, and a point sample can
+	// miss every burst: on a loaded single-core box the scan goroutine
+	// tends to be scheduled exactly when the worker has just drained its
+	// queue, so the instantaneous depth reads zero even though the lot was
+	// deep for most of the interval. Guarded by mu.
+	peak int64
 }
 
 // Offer hands a batch to the destination: it goes straight into ch when
@@ -46,7 +53,9 @@ func (o *Overflow) Offer(ch chan<- []core.Item, b []core.Item) (parked bool) {
 		}
 	}
 	o.batches = append(o.batches, b)
-	o.items.Add(int64(len(b)))
+	if n := o.items.Add(int64(len(b))); n > o.peak {
+		o.peak = n
+	}
 	return true
 }
 
@@ -94,3 +103,14 @@ func (o *Overflow) compact() {
 
 // Items reports the number of parked items.
 func (o *Overflow) Items() int64 { return o.items.Load() }
+
+// TakePeak reports the high-water parked depth since the previous call and
+// resets the mark to the current depth, so each scan interval is judged by
+// the worst it saw, not by the instant the sampler happened to run.
+func (o *Overflow) TakePeak() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p := o.peak
+	o.peak = o.items.Load()
+	return p
+}

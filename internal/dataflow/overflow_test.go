@@ -105,3 +105,27 @@ func TestOverflowItemCounting(t *testing.T) {
 		t.Fatalf("parked items = %d, want 5", got)
 	}
 }
+
+// TestOverflowTakePeak: the peak mark must report the interval's high-water
+// parked depth even after the lot fully drains — a point sample that runs
+// after the drain sees zero — and reset to the current depth on each read.
+func TestOverflowTakePeak(t *testing.T) {
+	ch := make(chan []core.Item, 1)
+	o := &Overflow{}
+	o.Offer(ch, batchOf(1))       // takes the channel slot
+	o.Offer(ch, batchOf(2, 3))    // parks: depth 2
+	o.Offer(ch, batchOf(4, 5, 6)) // parks: depth 5
+	<-ch                          // free the slot
+	for o.Promote(ch) > 0 {       // drain the lot entirely
+		<-ch
+	}
+	if got := o.Items(); got != 0 {
+		t.Fatalf("items after drain = %d", got)
+	}
+	if got := o.TakePeak(); got != 5 {
+		t.Fatalf("peak = %d, want 5 (burst must be visible after draining)", got)
+	}
+	if got := o.TakePeak(); got != 0 {
+		t.Fatalf("peak after reset = %d, want 0", got)
+	}
+}

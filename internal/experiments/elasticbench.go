@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// ElasticBenchConfig sizes the full-cycle elasticity measurement: a load
+// sawtooth — flood phases that bottleneck a keyed ingest TE, separated by
+// idle troughs — driven against the reactive auto-scaler with both the
+// grow and shrink sides enabled, so the instance count ratchets up under
+// load and retires back to the floor between bursts.
+type ElasticBenchConfig struct {
+	Items        int           // items per flood phase (default 2000)
+	Cycles       int           // sawtooth cycles (default 2)
+	WorkIters    int           // spin iterations per item (default 20000)
+	Burst        int           // items per InjectBatch burst (default 64)
+	QueueLen     int           // per-instance queue slots (default 8)
+	OverflowLen  int           // admission watermark in items (default 256)
+	MaxInstances int           // growth bound (default 3)
+	MinInstances int           // shrink floor (default 1)
+	Interval     time.Duration // auto-scale scan interval (default 2ms)
+	IdleWait     time.Duration // max wait for the trough to shrink (default 5s)
+}
+
+func (c ElasticBenchConfig) withDefaults() ElasticBenchConfig {
+	if c.Items <= 0 {
+		c.Items = 2000
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 2
+	}
+	if c.WorkIters <= 0 {
+		c.WorkIters = 20000
+	}
+	if c.Burst <= 0 {
+		c.Burst = 64
+	}
+	if c.QueueLen <= 0 {
+		// The queue holds micro-batches, not items: with a single slot every
+		// burst beyond the one in flight parks in the overflow, and parked
+		// depth is the auto-scaler's bottleneck signal.
+		c.QueueLen = 1
+	}
+	if c.OverflowLen <= 0 {
+		c.OverflowLen = 256
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 3
+	}
+	if c.MinInstances <= 0 {
+		c.MinInstances = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.IdleWait <= 0 {
+		c.IdleWait = 5 * time.Second
+	}
+	return c
+}
+
+// ElasticScaleEvent is one auto-scaler action on the timeline.
+type ElasticScaleEvent struct {
+	AtMs      int64  `json:"at_ms"`
+	TE        string `json:"te"`
+	Instances int    `json:"instances"`
+}
+
+// ElasticPhaseResult records one sawtooth phase. Goodput applies to flood
+// phases; trough phases record how long the scaler took to retire back to
+// the floor (0 items offered).
+type ElasticPhaseResult struct {
+	Cycle         int     `json:"cycle"`
+	Phase         string  `json:"phase"` // "flood" or "trough"
+	Offered       int     `json:"offered_items"`
+	Seconds       float64 `json:"seconds"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	InstancesEnd  int     `json:"instances_end"`
+}
+
+// ElasticBenchRecord is the JSON artefact: the phase timeline, every scale
+// event, merge-pause percentiles and the lossless-delivery invariant
+// counters (delivered == offered always holds — admission blocks, never
+// sheds, and scale-in retires instances only after they drain).
+type ElasticBenchRecord struct {
+	Phases          []ElasticPhaseResult `json:"phases"`
+	Events          []ElasticScaleEvent  `json:"events"`
+	PeakInstances   int                  `json:"peak_instances"`
+	FinalInstances  int                  `json:"final_instances"`
+	ScaleUps        int                  `json:"scale_ups"`
+	ScaleDowns      int                  `json:"scale_downs"`
+	MergePauses     int64                `json:"merge_pauses"`
+	MergePauseP50Ns int64                `json:"merge_pause_p50_ns"`
+	MergePauseMaxNs int64                `json:"merge_pause_max_ns"`
+	OfferedTotal    int64                `json:"offered_total"`
+	DeliveredTotal  int64                `json:"delivered_total"`
+}
+
+// RunElasticBench drives the sawtooth and returns the record.
+func RunElasticBench(cfg ElasticBenchConfig) (ElasticBenchRecord, error) {
+	cfg = cfg.withDefaults()
+	rt, err := runtime.Deploy(bpGraph(cfg.WorkIters), runtime.Options{
+		Partitions:  map[string]int{"ingest-store": cfg.MinInstances},
+		QueueLen:    cfg.QueueLen,
+		OverflowLen: cfg.OverflowLen,
+	})
+	if err != nil {
+		return ElasticBenchRecord{}, err
+	}
+	defer rt.Stop()
+
+	start := time.Now()
+	var rec ElasticBenchRecord
+	// The auto-scaler goroutine appends events concurrently with the phase
+	// loop; everything it touches stays behind evMu until the final copy.
+	var evMu sync.Mutex
+	var events []ElasticScaleEvent
+	peak := cfg.MinInstances
+	rt.StartAutoScale(cfg.Interval, runtime.ScalePolicy{
+		TEs:            []string{"ingest"},
+		QueueHighWater: cfg.Burst / 4,
+		QueueLowWater:  0,
+		ShrinkAfter:    4,
+		MinInstances:   cfg.MinInstances,
+		MaxInstances:   cfg.MaxInstances,
+		Cooldown:       4 * cfg.Interval,
+		OnScale: func(te string, n int) {
+			evMu.Lock()
+			events = append(events, ElasticScaleEvent{
+				AtMs: time.Since(start).Milliseconds(), TE: te, Instances: n,
+			})
+			if n > peak {
+				peak = n
+			}
+			evMu.Unlock()
+		},
+	})
+
+	value := []byte("v")
+	key := uint64(0)
+	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
+		// Flood: offer the phase's items in bursts as fast as blocking
+		// admission lets them in. The small queue turns the surplus into
+		// parked overflow, the bottleneck signal that grows the TE.
+		floodStart := time.Now()
+		before := rt.Processed("ingest")
+		for i := 0; i < cfg.Items; i += cfg.Burst {
+			n := cfg.Burst
+			if i+n > cfg.Items {
+				n = cfg.Items - i
+			}
+			batch := make([]runtime.InjectItem, n)
+			for j := range batch {
+				batch[j] = runtime.InjectItem{Key: key, Value: value}
+				key++
+			}
+			if err := rt.InjectBatch("ingest", batch); err != nil {
+				return ElasticBenchRecord{}, err
+			}
+		}
+		if !rt.Drain(120 * time.Second) {
+			return ElasticBenchRecord{}, fmt.Errorf("elastic bench: cycle %d flood did not drain", cycle)
+		}
+		floodSecs := time.Since(floodStart).Seconds()
+		delivered := rt.Processed("ingest") - before
+		rec.Phases = append(rec.Phases, ElasticPhaseResult{
+			Cycle: cycle, Phase: "flood", Offered: cfg.Items, Seconds: floodSecs,
+			GoodputPerSec: float64(delivered) / floodSecs,
+			InstancesEnd:  rt.Instances("ingest"),
+		})
+
+		// Trough: stay idle until the scaler retires the TE back to the
+		// floor (or the bounded wait elapses — recorded either way).
+		troughStart := time.Now()
+		deadline := troughStart.Add(cfg.IdleWait)
+		for rt.Instances("ingest") > cfg.MinInstances && time.Now().Before(deadline) {
+			time.Sleep(cfg.Interval)
+		}
+		rec.Phases = append(rec.Phases, ElasticPhaseResult{
+			Cycle: cycle, Phase: "trough",
+			Seconds:      time.Since(troughStart).Seconds(),
+			InstancesEnd: rt.Instances("ingest"),
+		})
+	}
+
+	evMu.Lock()
+	rec.Events = append([]ElasticScaleEvent(nil), events...)
+	rec.PeakInstances = peak
+	evMu.Unlock()
+	ups, downs := 0, 0
+	last := cfg.MinInstances
+	for _, ev := range rec.Events {
+		if ev.Instances > last {
+			ups++
+		} else if ev.Instances < last {
+			downs++
+		}
+		last = ev.Instances
+	}
+	pcts := rt.ScalePause.Percentiles(50)
+	rec.FinalInstances = rt.Instances("ingest")
+	rec.ScaleUps = ups
+	rec.ScaleDowns = downs
+	rec.MergePauses = rt.ScalePause.Count()
+	rec.MergePauseP50Ns = pcts[0]
+	rec.MergePauseMaxNs = rt.ScalePause.Max()
+	rec.OfferedTotal = int64(cfg.Items) * int64(cfg.Cycles)
+	rec.DeliveredTotal = rt.Processed("ingest")
+	if rec.DeliveredTotal != rec.OfferedTotal {
+		return rec, fmt.Errorf("elastic bench: delivered %d != offered %d (item lost or duplicated across rescale)",
+			rec.DeliveredTotal, rec.OfferedTotal)
+	}
+	return rec, nil
+}
+
+// WriteElasticBench runs the sawtooth, prints a summary table, and (when
+// outPath is non-empty) writes the structured record as JSON so CI tracks
+// full-cycle elasticity alongside the other perf records.
+func WriteElasticBench(w io.Writer, cfg ElasticBenchConfig, outPath string) error {
+	cfg = cfg.withDefaults()
+	rec, err := RunElasticBench(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title: "elasticity: load sawtooth vs instance count",
+		Note: fmt.Sprintf("%d items/flood x %d cycles, instances %d..%d, %d scale-ups / %d scale-downs, merge pause p50 %v max %v",
+			cfg.Items, cfg.Cycles, cfg.MinInstances, cfg.MaxInstances, rec.ScaleUps, rec.ScaleDowns,
+			time.Duration(rec.MergePauseP50Ns), time.Duration(rec.MergePauseMaxNs)),
+		Header: []string{"cycle", "phase", "offered", "seconds", "goodput/s", "instances"},
+	}
+	for _, p := range rec.Phases {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", p.Cycle),
+			p.Phase,
+			fmt.Sprintf("%d", p.Offered),
+			fmt.Sprintf("%.3f", p.Seconds),
+			fmt.Sprintf("%.0f", p.GoodputPerSec),
+			fmt.Sprintf("%d", p.InstancesEnd),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

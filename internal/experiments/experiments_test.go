@@ -477,6 +477,49 @@ func TestPipeBenchSmoke(t *testing.T) {
 	}
 }
 
+func TestElasticBenchSmoke(t *testing.T) {
+	// Tiny sawtooth: guards the CI record path and the full-cycle
+	// elasticity invariants — the scaler grows under the flood, retires
+	// back to the floor in the trough, and no admitted item is lost or
+	// duplicated across either transition. Pause times and goodput are
+	// wall-clock context, not asserted.
+	out := filepath.Join(t.TempDir(), "BENCH_elasticity.json")
+	// The flood must span many 2ms scan intervals or the scaler never sees
+	// the parked depth; default per-item work with a modest item count
+	// keeps it tens of milliseconds.
+	cfg := ElasticBenchConfig{Items: 600, Cycles: 1, MaxInstances: 2}
+	var buf strings.Builder
+	if err := WriteElasticBench(&buf, cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec ElasticBenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.DeliveredTotal != rec.OfferedTotal {
+		t.Fatalf("delivered %d != offered %d", rec.DeliveredTotal, rec.OfferedTotal)
+	}
+	if rec.PeakInstances < 2 {
+		t.Fatalf("flood never scaled up: peak = %d", rec.PeakInstances)
+	}
+	if rec.ScaleDowns < 1 || rec.FinalInstances != 1 {
+		t.Fatalf("trough never scaled in: downs = %d, final = %d", rec.ScaleDowns, rec.FinalInstances)
+	}
+	if rec.MergePauses < 1 {
+		t.Fatal("scale-in recorded no merge pause")
+	}
+	if len(rec.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(rec.Phases))
+	}
+	if !strings.Contains(buf.String(), "load sawtooth") {
+		t.Fatal("summary table missing")
+	}
+}
+
 func TestBPBenchSmoke(t *testing.T) {
 	// Tiny config: guards the CI perf-record path (table + JSON) and the
 	// flow-control invariants — every offered item is either accepted or

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 )
@@ -112,7 +113,14 @@ func (d *Distribution) Percentiles(ps ...float64) []int64 {
 		case p >= 100:
 			out[i] = sorted[len(sorted)-1]
 		default:
-			rank := int(p / 100 * float64(len(sorted)))
+			// Nearest-rank: the smallest sample whose cumulative frequency
+			// reaches p%, i.e. 1-based rank ceil(p*N/100). Truncating instead
+			// of ceiling would shift every non-boundary percentile one sample
+			// high (p50 of [1,2,3,4] would report 3, not 2).
+			rank := int(math.Ceil(p*float64(len(sorted))/100)) - 1
+			if rank < 0 {
+				rank = 0
+			}
 			if rank >= len(sorted) {
 				rank = len(sorted) - 1
 			}

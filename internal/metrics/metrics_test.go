@@ -219,6 +219,54 @@ func TestDistributionPercentiles(t *testing.T) {
 	}
 }
 
+// TestDistributionNearestRank pins the documented nearest-rank definition,
+// rank = ceil(p*N/100), on the boundary cases where the old truncating
+// formula landed one sample high (p50 of [1,2,3,4] reported 3, not 2).
+func TestDistributionNearestRank(t *testing.T) {
+	record := func(vals ...int64) *Distribution {
+		d := NewDistribution(256)
+		for _, v := range vals {
+			d.Record(v)
+		}
+		return d
+	}
+	// Even N: p50 is the N/2-th value.
+	if got := record(1, 2, 3, 4).Percentile(50); got != 2 {
+		t.Errorf("p50 of [1,2,3,4] = %d, want 2", got)
+	}
+	// Odd N: p50 is the middle value.
+	if got := record(1, 2, 3).Percentile(50); got != 2 {
+		t.Errorf("p50 of [1,2,3] = %d, want 2", got)
+	}
+	// N=100: p99 is the 99th value, not the 100th.
+	d := NewDistribution(256)
+	for i := int64(1); i <= 100; i++ {
+		d.Record(i)
+	}
+	if got := d.Percentile(99); got != 99 {
+		t.Errorf("p99 of 1..100 = %d, want 99", got)
+	}
+	if got := d.Percentile(50); got != 50 {
+		t.Errorf("p50 of 1..100 = %d, want 50", got)
+	}
+	// A single sample is every percentile.
+	if got := record(7).Percentile(50); got != 7 {
+		t.Errorf("p50 of [7] = %d, want 7", got)
+	}
+	// Tiny p never rounds below the first sample.
+	if got := record(1, 2, 3, 4).Percentile(1); got != 1 {
+		t.Errorf("p1 of [1,2,3,4] = %d, want 1", got)
+	}
+	// Agreement with Histogram's (already ceil-based) nearest rank.
+	h := NewHistogram(256)
+	for _, v := range []int64{1, 2, 3, 4} {
+		h.Record(time.Duration(v))
+	}
+	if hp, dp := h.Percentile(50), record(1, 2, 3, 4).Percentile(50); int64(hp) != dp {
+		t.Errorf("histogram p50 %d != distribution p50 %d", hp, dp)
+	}
+}
+
 func TestDistributionRecordSteadyStateNoAlloc(t *testing.T) {
 	// The runtime records one sample per micro-batch; the pre-allocated
 	// reservoir keeps that off the allocation profile it measures.

@@ -60,6 +60,11 @@ func (r *Runtime) CheckpointNow(seName string, idx int) (checkpoint.Result, erro
 	if err != nil {
 		return checkpoint.Result{}, err
 	}
+	// Held for the whole checkpoint so a concurrent scale-in cannot begin
+	// its destructive store rebuild between our instance fetch and our
+	// BeginDirty/Save (see seState.ckptGate).
+	ss.ckptGate.RLock()
+	defer ss.ckptGate.RUnlock()
 	ss.mu.RLock()
 	if idx < 0 || idx >= len(ss.insts) {
 		ss.mu.RUnlock()

@@ -82,6 +82,10 @@ type Options struct {
 	// BackupNodes is the number of backup nodes to provision when Backup is
 	// nil (default 2).
 	BackupNodes int
+	// ScaleDrainTimeout bounds how long ScaleDown waits for the graph to
+	// quiesce behind the ingress fence before giving up with ErrNotQuiesced
+	// (default 30s).
+	ScaleDrainTimeout time.Duration
 	// KVShards selects the lock-striped sharded backend for dictionary SEs:
 	// when > 0, every KVMap SE without a custom builder is backed by a
 	// ShardedKVMap with this many shards (rounded up to a power of two).
@@ -144,6 +148,12 @@ type Runtime struct {
 	// never low.
 	parked atomic.Int64
 
+	// scaleMu serialises scale-in operations: ScaleDown quiesces the graph
+	// with no other locks held, so two concurrent retirements (or the
+	// auto-scaler racing a manual call) must not interleave their fence /
+	// swap phases.
+	scaleMu sync.Mutex
+
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -157,6 +167,10 @@ type Runtime struct {
 	// injection waited for admission (0 for the uncontended fast path), so
 	// operators can see ingress pressure building before items shed.
 	AdmitLatency *metrics.Distribution
+	// ScalePause records, in nanoseconds, how long each ScaleDown held the
+	// ingress fence (quiesce wait + state merge) — the scale-in analogue of
+	// the checkpoint pause the paper measures.
+	ScalePause *metrics.Distribution
 }
 
 // teState tracks one task element and its live instances.
@@ -183,6 +197,17 @@ type teState struct {
 	injMu sync.Mutex
 	// shed counts externally offered items rejected by admission control.
 	shed atomic.Int64
+	// retiredSeqs remembers, per instance index, the output seq counter of
+	// instances retired by scale-in. A later scale-up reusing the index
+	// resumes numbering from there: the origin id is (TE, idx), and a fresh
+	// counter would emit seqs already recorded in downstream dedup
+	// watermarks, which would drop the new instance's output for good.
+	// Guarded by mu.
+	retiredSeqs map[int]uint64
+	// retiredProcessed accumulates the processed counters of retired
+	// instances so Processed/Stats stay monotonic across scale-in — their
+	// work happened, it must not vanish from the books with the worker.
+	retiredProcessed atomic.Int64
 
 	// instEpoch versions insts: every mutation (scale-up, repartition,
 	// recovery) bumps it under mu, invalidating the cached snapshot below.
@@ -287,6 +312,14 @@ type seState struct {
 	def   *core.SE
 	mu    sync.RWMutex
 	insts []*seInstance
+	// ckptGate excludes checkpoints from structural rebuilds: CheckpointNow
+	// read-holds it for the whole procedure (instance fetch through save and
+	// merge), and scale-in write-holds it across the destructive
+	// split/merge swap. Without it, a checkpoint goroutine that fetched its
+	// instance just before the swap could still flip the store dirty —
+	// mid-rebuild — or commit a stale pre-swap epoch after the post-merge
+	// base. Lock order: ckptGate before mu.
+	ckptGate sync.RWMutex
 }
 
 // seInstance is one SE partition or partial replica, colocated with the
@@ -330,6 +363,7 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		CallLatency:  metrics.NewHistogram(0),
 		BatchSizes:   metrics.NewDistribution(4096),
 		AdmitLatency: metrics.NewDistribution(4096),
+		ScalePause:   metrics.NewDistribution(1024),
 	}
 
 	// Backup store for checkpoints.
@@ -502,6 +536,11 @@ func (r *Runtime) newInstance(ts *teState, idx int, node *cluster.Node) *teInsta
 	ti.ectx = execCtx{r: r, ti: ti}
 	if ts.hasInAll {
 		ti.gather = dataflow.NewGather()
+	}
+	// Resume the seq numbering of a retired predecessor with the same origin
+	// id, so downstream watermarks never see this instance's output as stale.
+	if seq, ok := ts.retiredSeqs[idx]; ok {
+		ti.seqCtr.Store(seq)
 	}
 	return ti
 }

@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/state"
 )
@@ -91,26 +93,67 @@ func (r *Runtime) growPartial(ss *seState) error {
 func (r *Runtime) repartition(ss *seState) error {
 	accessing := r.graph.TEsAccessing(ss.def.ID)
 
-	// Pause the nodes hosting the SE so no TE mutates it mid-move.
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	k := len(ss.insts)
+	// Exclude checkpoints for the whole rebuild, exactly like scale-in's
+	// swap: Checkpoint(1) below reads only the base, so re-chunking a store
+	// that an in-flight async checkpoint holds dirty would silently drop
+	// every overlay write when the old store (where MergeDirty would have
+	// folded them) is discarded. The gate waits out in-flight checkpoints
+	// and blocks new ones. Lock order: ckptGate, then pause, then ss.mu —
+	// the same order CheckpointNow (gate → ss.mu; sync mode gate → pause)
+	// observes.
+	ss.ckptGate.Lock()
+	defer ss.ckptGate.Unlock()
+
+	// Pause the nodes hosting the SE so no TE mutates it mid-move. Pause
+	// locks must come BEFORE ss.mu: a worker holds its node's pause RLock
+	// while ctx.Store() takes ss.mu.RLock, so taking ss.mu first and then
+	// waiting for the pause lock deadlocks against any instance that is
+	// mid-item (three-way: repartition holds ss.mu waiting on pause, the
+	// worker holds pause waiting on ss.mu's pending writer). The node set
+	// is read under a read lock first and re-validated once everything is
+	// held; a concurrent topology change releases and retries.
 	var resumes []func()
-	paused := map[int]bool{}
-	for _, si := range ss.insts {
-		if paused[si.node.ID] {
-			continue
+	release := func() {
+		for i := len(resumes) - 1; i >= 0; i-- {
+			resumes[i]()
 		}
-		paused[si.node.ID] = true
-		mu := r.pauseFor(si.node)
-		mu.Lock()
-		resumes = append(resumes, mu.Unlock)
+		resumes = nil
 	}
-	defer func() {
-		for _, resume := range resumes {
-			resume()
+	for {
+		ss.mu.RLock()
+		nodes := make([]*cluster.Node, 0, len(ss.insts))
+		seen := map[int]bool{}
+		for _, si := range ss.insts {
+			if !seen[si.node.ID] {
+				seen[si.node.ID] = true
+				nodes = append(nodes, si.node)
+			}
 		}
-	}()
+		ss.mu.RUnlock()
+		// Deterministic order so two concurrent pausers cannot deadlock.
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		for _, node := range nodes {
+			mu := r.pauseFor(node)
+			mu.Lock()
+			resumes = append(resumes, mu.Unlock)
+		}
+		ss.mu.Lock()
+		same := true
+		for _, si := range ss.insts {
+			if !seen[si.node.ID] {
+				same = false
+				break
+			}
+		}
+		if same {
+			break
+		}
+		ss.mu.Unlock()
+		release()
+	}
+	defer ss.mu.Unlock()
+	defer release()
+	k := len(ss.insts)
 
 	// Collect one chunk per existing partition, split each k+1 ways and
 	// regroup — the same machinery the m-to-n restore uses.
@@ -182,6 +225,18 @@ type ScalePolicy struct {
 	// primary backpressure signal: senders only park once the channel is
 	// out of slots, so any sustained depth means the TE cannot keep up.
 	QueueHighWater int
+	// QueueLowWater: a watched TE whose summed backlog (queued + parked +
+	// in-flight items) stays at or below this threshold for ShrinkAfter
+	// consecutive scans is scaled back in. The default 0 means only fully
+	// idle TEs shrink.
+	QueueLowWater int
+	// ShrinkAfter is the number of consecutive low-water scans required
+	// before a scale-in fires (default 4) — the shrink-side observation
+	// window, so one idle tick between bursts cannot trigger a retirement.
+	ShrinkAfter int
+	// MinInstances floors scale-in per TE (default 1). Scale-in never runs
+	// for TEs already at the floor.
+	MinInstances int
 	// Cooldown between scaling actions.
 	Cooldown time.Duration
 	// MaxInstances bounds growth per TE.
@@ -189,9 +244,9 @@ type ScalePolicy struct {
 	// TEs restricts the controller to the named task elements; empty means
 	// all TEs are monitored.
 	TEs []string
-	// OnScale, if set, is invoked after each scaling action with the TE
-	// name and its new instance count (used by the Fig. 10 experiment to
-	// record the timeline).
+	// OnScale, if set, is invoked after each scaling action (up or down)
+	// with the TE name and its new instance count (used by the Fig. 10
+	// experiment and the elasticity bench to record the timeline).
 	OnScale func(te string, instances int)
 }
 
@@ -211,10 +266,30 @@ func (p ScalePolicy) watches(te string) bool {
 // TEs for bottlenecks (persistently full queues) and stragglers (an
 // instance whose processing rate falls far below its siblings' while items
 // keep queueing) and adds instances, mirroring §3.3's dynamic dataflow
-// approach.
+// approach. It also runs the shrink side of the loop: a watched TE whose
+// backlog stays at or below QueueLowWater for ShrinkAfter consecutive scans
+// is scaled back in via ScaleDown, never below MinInstances, so a load
+// spike no longer pins the post-spike instance count (and its checkpoint
+// and maintenance overhead) forever.
 func (r *Runtime) StartAutoScale(interval time.Duration, p ScalePolicy) {
 	if p.QueueHighWater <= 0 {
+		// Clamp to at least one item: with QueueLen <= 1 the derived default
+		// would be 0, and "parked depth >= 0" is true for an idle TE, which
+		// made the pre-clamp controller add an instance on every
+		// post-cooldown tick with zero load.
 		p.QueueHighWater = r.opts.QueueLen / 2
+		if p.QueueHighWater < 1 {
+			p.QueueHighWater = 1
+		}
+	}
+	if p.QueueLowWater < 0 {
+		p.QueueLowWater = 0
+	}
+	if p.ShrinkAfter <= 0 {
+		p.ShrinkAfter = 4
+	}
+	if p.MinInstances <= 0 {
+		p.MinInstances = 1
 	}
 	if p.MaxInstances <= 0 {
 		p.MaxInstances = 16
@@ -228,23 +303,55 @@ func (r *Runtime) StartAutoScale(interval time.Duration, p ScalePolicy) {
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		lastScale := time.Time{}
-		prev := map[uint64]int64{} // instance origin -> processed count
+		prev := map[uint64]int64{}    // instance origin -> processed count
+		lowStreak := map[string]int{} // TE name -> consecutive low-water scans
 		for {
 			select {
 			case <-r.stopped:
 				return
 			case <-ticker.C:
+				// One consolidated observation per tick: scanTEs consumes the
+				// interval's parked-depth peaks, so both decisions below (and
+				// the streak bookkeeping, which counts scans and therefore
+				// advances during cooldown too) judge the same snapshot.
+				scans := r.scanTEs(prev)
+				r.updateIdleStreaks(p, scans, lowStreak)
 				if time.Since(lastScale) < p.Cooldown {
-					// Still observe rates during cooldown.
-					r.observeRates(prev)
 					continue
 				}
-				if te, n := r.findBottleneck(p, prev); te != "" {
+				if te, n := findBottleneck(p, scans); te != "" {
 					if err := r.ScaleUp(te); err == nil {
 						lastScale = time.Now()
+						lowStreak[te] = 0
 						if p.OnScale != nil {
 							p.OnScale(te, n+1)
 						}
+					}
+					continue
+				}
+				// Growth takes priority; only a scan with no bottleneck may
+				// shrink.
+				if te, n := shrinkCandidate(p, scans, lowStreak); te != "" {
+					// Auto-initiated attempts get a scan-window-sized quiesce
+					// budget: a graph that cannot drain (cyclic, or loaded
+					// elsewhere) fails fast instead of fencing all ingress
+					// for the full manual ScaleDown timeout.
+					drain := time.Duration(p.ShrinkAfter) * interval
+					if min := 4 * interval; drain < min {
+						drain = min
+					}
+					if max := r.scaleDrainTimeout(); drain > max {
+						drain = max
+					}
+					err := r.scaleDown(te, drain)
+					// Space retries with the shared cooldown even when the
+					// attempt failed — repeated fence-and-fail cycles must
+					// not degrade ingress — and restart the observation
+					// window either way.
+					lastScale = time.Now()
+					lowStreak[te] = 0
+					if err == nil && p.OnScale != nil {
+						p.OnScale(te, n-1)
 					}
 				}
 			}
@@ -252,70 +359,123 @@ func (r *Runtime) StartAutoScale(interval time.Duration, p ScalePolicy) {
 	}()
 }
 
-func (r *Runtime) observeRates(prev map[uint64]int64) {
-	for _, ts := range r.tes {
-		ts.mu.RLock()
-		for _, ti := range ts.insts {
-			prev[ti.originID()] = ti.processed.Load()
-		}
-		ts.mu.RUnlock()
-	}
+// teScan is one TE's load observation for a controller tick.
+type teScan struct {
+	name     string
+	n        int     // instances, including killed ones (MaxInstances bound)
+	live     int     // live instances
+	parkPeak int     // peak parked overflow depth since the previous scan
+	backlog  int     // instantaneous queued items (channel + in-flight)
+	queued   bool    // some instance's backlog exceeds a quarter queue
+	deltas   []int64 // per-live-instance processed since the previous scan
 }
 
-// findBottleneck returns the name and current instance count of a TE that
-// needs another instance: either its queues are persistently full, or one
-// of its instances lags its siblings badly (a straggler) while work queues.
-func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, int) {
-	best := ""
-	bestQueue := 0
-	bestN := 0
+// scanTEs observes every TE once: parked-depth peaks (consumed, so each
+// interval is judged by the worst it saw — a point sample reliably misses
+// bursts that park and drain between ticks), instantaneous backlogs, and
+// per-origin processing rates. Dead origins are pruned from the rate map on
+// every scan; killed or replaced instances would otherwise leak one entry
+// per recover/rescale cycle forever.
+func (r *Runtime) scanTEs(prev map[uint64]int64) []teScan {
+	scans := make([]teScan, 0, len(r.tes))
+	seen := make(map[uint64]bool, len(prev))
 	for _, ts := range r.tes {
-		if !p.watches(ts.def.Name) {
-			continue
-		}
 		ts.mu.RLock()
-		n := len(ts.insts)
-		totalPark := 0
-		totalBacklog := 0
-		var deltas []int64
-		queued := false
+		sc := teScan{name: ts.def.Name, n: len(ts.insts)}
 		for _, ti := range ts.insts {
 			if ti.killed.Load() {
 				continue
 			}
-			// Backpressure acts on the overflow now, not on blocked
-			// senders: a batch only parks once the destination channel is
-			// out of slots, so parked depth is the direct, sustained
-			// measure of a TE that cannot keep up — the primary bottleneck
-			// input. The full item backlog (channel + parked + in-flight)
-			// still feeds the straggler heuristic so a lagging instance is
-			// caught before its queue overflows; both scores are in items,
-			// so they rank coherently against each other below.
-			totalPark += int(ti.overflow.Items())
+			sc.live++
+			seen[ti.originID()] = true
+			// Backpressure acts on the overflow, not on blocked senders: a
+			// batch only parks once the destination channel is out of
+			// slots, so parked depth is the direct, sustained measure of a
+			// TE that cannot keep up — the primary bottleneck input. The
+			// full item backlog (channel + parked + in-flight) still feeds
+			// the straggler heuristic so a lagging instance is caught
+			// before its queue overflows; both scores are in items, so
+			// they rank coherently against each other.
+			sc.parkPeak += int(ti.overflow.TakePeak())
 			backlog := int(ti.queued.Load())
-			totalBacklog += backlog
+			sc.backlog += backlog
 			if backlog > r.opts.QueueLen/4 {
-				queued = true
+				sc.queued = true
 			}
 			cur := ti.processed.Load()
-			deltas = append(deltas, cur-prev[ti.originID()])
+			sc.deltas = append(sc.deltas, cur-prev[ti.originID()])
 			prev[ti.originID()] = cur
 		}
 		ts.mu.RUnlock()
-		if n >= p.MaxInstances {
+		scans = append(scans, sc)
+	}
+	for o := range prev {
+		if !seen[o] {
+			delete(prev, o)
+		}
+	}
+	return scans
+}
+
+// updateIdleStreaks advances the per-TE count of consecutive scans at or
+// below the low-water mark, resetting it the moment load reappears. Both
+// the instantaneous backlog and the interval's parked peak must be low: a
+// burst that parked and fully drained between two ticks is load, not idle
+// time.
+func (r *Runtime) updateIdleStreaks(p ScalePolicy, scans []teScan, streak map[string]int) {
+	for _, sc := range scans {
+		if !p.watches(sc.name) {
 			continue
 		}
-		// Bottleneck: items parked behind a persistently full queue.
-		if totalPark >= p.QueueHighWater && totalPark > bestQueue {
-			best, bestQueue, bestN = ts.def.Name, totalPark, n
+		if sc.live > p.MinInstances && sc.backlog <= p.QueueLowWater && sc.parkPeak <= p.QueueLowWater {
+			streak[sc.name]++
+		} else {
+			streak[sc.name] = 0
+		}
+	}
+}
+
+// shrinkCandidate returns the watched TE with the longest completed
+// low-water streak (and its current live instance count), or "" when none
+// has stayed idle long enough.
+func shrinkCandidate(p ScalePolicy, scans []teScan, streak map[string]int) (string, int) {
+	best := ""
+	bestStreak := 0
+	bestN := 0
+	for _, sc := range scans {
+		s := streak[sc.name]
+		if s < p.ShrinkAfter || s <= bestStreak || sc.live <= p.MinInstances {
+			continue
+		}
+		best, bestStreak, bestN = sc.name, s, sc.live
+	}
+	return best, bestN
+}
+
+// findBottleneck returns the name and current instance count of a TE that
+// needs another instance: either items parked behind its persistently full
+// queues during the scan interval, or one of its instances lags its
+// siblings badly (a straggler) while work queues.
+func findBottleneck(p ScalePolicy, scans []teScan) (string, int) {
+	best := ""
+	bestQueue := 0
+	bestN := 0
+	for _, sc := range scans {
+		if !p.watches(sc.name) || sc.n >= p.MaxInstances {
+			continue
+		}
+		// Bottleneck: items parked behind a full queue at any point in the
+		// interval.
+		if sc.parkPeak >= p.QueueHighWater && sc.parkPeak > bestQueue {
+			best, bestQueue, bestN = sc.name, sc.parkPeak, sc.n
 			continue
 		}
 		// Straggler: one instance far below the fastest sibling while its
 		// queue builds (Fig. 10's second event). Needs at least 2 instances
-		// to compare, or a visible backlog on a single slow instance.
-		if queued && len(deltas) >= 2 {
-			var max, min int64 = deltas[0], deltas[0]
-			for _, d := range deltas[1:] {
+		// to compare.
+		if sc.queued && len(sc.deltas) >= 2 {
+			var max, min int64 = sc.deltas[0], sc.deltas[0]
+			for _, d := range sc.deltas[1:] {
 				if d > max {
 					max = d
 				}
@@ -323,8 +483,8 @@ func (r *Runtime) findBottleneck(p ScalePolicy, prev map[uint64]int64) (string, 
 					min = d
 				}
 			}
-			if max > 0 && min*3 < max && totalBacklog > bestQueue {
-				best, bestQueue, bestN = ts.def.Name, totalBacklog, n
+			if max > 0 && min*3 < max && sc.backlog > bestQueue {
+				best, bestQueue, bestN = sc.name, sc.backlog, sc.n
 			}
 		}
 	}

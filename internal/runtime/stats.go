@@ -14,7 +14,7 @@ type TEStats struct {
 	Overflow      int   // items parked in overflow, including on dead instances
 	Backpressured bool  // live parked overflow at/over OverflowLen x live instances
 	Shed          int64 // externally offered items rejected by admission
-	Processed     int64 // items processed across instances
+	Processed     int64 // items processed across instances, incl. retired ones
 	GatherPending int   // incomplete all-to-one waves across instances
 	Nodes         []int // hosting node ids
 }
@@ -42,7 +42,8 @@ func (r *Runtime) Stats() Stats {
 	var out Stats
 	for _, ts := range r.tes {
 		ts.mu.RLock()
-		s := TEStats{Name: ts.def.Name, Instances: len(ts.insts), Shed: ts.shed.Load()}
+		s := TEStats{Name: ts.def.Name, Instances: len(ts.insts), Shed: ts.shed.Load(),
+			Processed: ts.retiredProcessed.Load()}
 		liveParked, live := 0, 0
 		for _, ti := range ts.insts {
 			// Parked overflow is reported for dead instances too: that is
@@ -90,7 +91,7 @@ func (r *Runtime) Processed(teName string) int64 {
 	}
 	ts.mu.RLock()
 	defer ts.mu.RUnlock()
-	var total int64
+	total := ts.retiredProcessed.Load()
 	for _, ti := range ts.insts {
 		total += ti.processed.Load()
 	}

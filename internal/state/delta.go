@@ -100,6 +100,47 @@ func (t *deltaTrack) noteBase(base map[uint64][]byte) {
 	t.mu.Unlock()
 }
 
+// drain steals the full change window — live set plus any pending cut — and
+// resets the tracker. Merge uses it to move a retiring store's window into
+// the absorber; the pending set is folded in defensively so a cut whose save
+// was never resolved cannot drop keys across the merge.
+func (t *deltaTrack) drain() map[uint64]struct{} {
+	if !t.on.Load() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.changed
+	for k := range t.pending {
+		out[k] = struct{}{}
+	}
+	t.changed = make(map[uint64]struct{})
+	t.pending = nil
+	return out
+}
+
+// noteKeys folds a drained change window into the live set.
+func (t *deltaTrack) noteKeys(keys map[uint64]struct{}) {
+	if !t.on.Load() || len(keys) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for k := range keys {
+		t.changed[k] = struct{}{}
+	}
+	t.mu.Unlock()
+}
+
+// noteKey folds a single key into the live set.
+func (t *deltaTrack) noteKey(key uint64) {
+	if !t.on.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.changed[key] = struct{}{}
+	t.mu.Unlock()
+}
+
 // cut snapshots the tracked keys into the pending set and resets the live
 // set. An uncommitted earlier cut (a delta save that was never committed or
 // aborted) is folded in defensively so no change can be dropped. The caller

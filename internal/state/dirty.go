@@ -32,6 +32,11 @@ type dirtyCtl struct {
 	dirty atomic.Bool
 }
 
+// Dirty reports whether the store is in dirty mode (a checkpoint snapshot
+// is in flight). Embedding dirtyCtl exports this on every single-control
+// store; ShardedKVMap implements its own store-level view.
+func (c *dirtyCtl) Dirty() bool { return c.dirty.Load() }
+
 // beginDirty flips the store into dirty mode. Holding mu exclusively
 // guarantees no base write is in flight when the flag is set.
 func (c *dirtyCtl) beginDirty() error {

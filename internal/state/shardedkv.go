@@ -106,6 +106,9 @@ func (m *ShardedKVMap) shard(key uint64) *kvShard {
 // NumShards reports the stripe count.
 func (m *ShardedKVMap) NumShards() int { return len(m.shards) }
 
+// Dirty reports whether the store is in dirty mode (see dirtyCtl.Dirty).
+func (m *ShardedKVMap) Dirty() bool { return m.dirty.Load() }
+
 // Type reports TypeShardedKVMap.
 func (m *ShardedKVMap) Type() StoreType { return TypeShardedKVMap }
 

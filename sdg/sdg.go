@@ -231,6 +231,10 @@ type Options struct {
 	// > 0 sets the shard count (rounded up to a power of two), < 0 selects
 	// a GOMAXPROCS-derived default, 0 keeps the single-lock KVMap.
 	KVShards int
+	// ScaleDrainTimeout bounds how long ScaleDown waits for the graph to
+	// quiesce behind the ingress fence before failing with ErrNotQuiesced
+	// (default 30s).
+	ScaleDrainTimeout time.Duration
 }
 
 // System is a deployed SDG.
@@ -245,21 +249,22 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 		DiskReadBW:  opts.DiskBandwidth,
 	})
 	rt, err := runtime.Deploy(b.g, runtime.Options{
-		Cluster:          cl,
-		QueueLen:         opts.QueueLen,
-		OverflowLen:      opts.OverflowLen,
-		InjectPolicy:     opts.InjectPolicy,
-		InjectDeadline:   opts.InjectDeadline,
-		BatchSize:        opts.BatchSize,
-		Partitions:       opts.Partitions,
-		Mode:             opts.Mode,
-		Interval:         opts.Interval,
-		Chunks:           opts.Chunks,
-		BackupNodes:      opts.BackupNodes,
-		KVShards:         opts.KVShards,
-		DeltaCheckpoints: opts.DeltaCheckpoints,
-		CompactEvery:     opts.CompactEvery,
-		CompactRatio:     opts.CompactRatio,
+		Cluster:           cl,
+		QueueLen:          opts.QueueLen,
+		OverflowLen:       opts.OverflowLen,
+		InjectPolicy:      opts.InjectPolicy,
+		InjectDeadline:    opts.InjectDeadline,
+		BatchSize:         opts.BatchSize,
+		Partitions:        opts.Partitions,
+		Mode:              opts.Mode,
+		Interval:          opts.Interval,
+		Chunks:            opts.Chunks,
+		BackupNodes:       opts.BackupNodes,
+		KVShards:          opts.KVShards,
+		DeltaCheckpoints:  opts.DeltaCheckpoints,
+		CompactEvery:      opts.CompactEvery,
+		CompactRatio:      opts.CompactRatio,
+		ScaleDrainTimeout: opts.ScaleDrainTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -325,10 +330,32 @@ func (s *System) Recover(seName string, n int) error {
 // kind's semantics).
 func (s *System) ScaleUp(task string) error { return s.rt.ScaleUp(task) }
 
-// AutoScale starts the reactive bottleneck/straggler controller.
+// ScaleDown retires an instance of a task, draining it behind an ingress
+// fence and merging its partitioned state into the surviving instances.
+// Partial-state tasks are refused (replicas reconcile only through merge
+// computation); it also fails with ErrNotQuiesced when the graph cannot
+// drain within Options.ScaleDrainTimeout.
+func (s *System) ScaleDown(task string) error { return s.rt.ScaleDown(task) }
+
+// ScalePolicy tunes the auto-scaler: high/low water marks, cooldown,
+// MinInstances/MaxInstances bounds and the shrink observation window.
+type ScalePolicy = runtime.ScalePolicy
+
+// AutoScale starts the reactive bottleneck/straggler controller with
+// default policy (grow on sustained parked depth, shrink idle tasks back
+// to one instance).
 func (s *System) AutoScale(interval time.Duration) {
 	s.rt.StartAutoScale(interval, runtime.ScalePolicy{})
 }
+
+// AutoScaleWithPolicy starts the controller with an explicit policy.
+func (s *System) AutoScaleWithPolicy(interval time.Duration, p ScalePolicy) {
+	s.rt.StartAutoScale(interval, p)
+}
+
+// ErrNotQuiesced is returned by ScaleDown when the graph's queues do not
+// drain within the scale-in timeout.
+var ErrNotQuiesced = runtime.ErrNotQuiesced
 
 // Stats snapshots the live topology and counters.
 func (s *System) Stats() runtime.Stats { return s.rt.Stats() }
