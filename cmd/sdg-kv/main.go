@@ -10,6 +10,15 @@
 //
 //	sdg-kv -listen 127.0.0.1:7070 -partitions 4
 //	sdg-kv -demo            # start a server, run a scripted client, exit
+//
+// With -workers, the process runs as a distributed coordinator instead of
+// hosting the store itself: the graph is deployed to the listed sdg-worker
+// processes, requests route to workers by key, and checkpointing pulls
+// worker snapshots over the wire on the -checkpoint interval:
+//
+//	sdg-worker -listen 127.0.0.1:7071 &
+//	sdg-worker -listen 127.0.0.1:7072 &
+//	sdg-kv -listen 127.0.0.1:7070 -workers 127.0.0.1:7071,127.0.0.1:7072
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/apps/kv"
@@ -35,6 +45,96 @@ const (
 	respNotFound = 0x01
 	respError    = 0xff
 )
+
+// kvStore is the opcode handler's view of the kv deployment: either an
+// in-process runtime (kv.KV) or a coordinator fronting remote workers.
+type kvStore interface {
+	Put(key uint64, value []byte, timeout time.Duration) error
+	Get(key uint64, timeout time.Duration) ([]byte, error)
+	Delete(key uint64, timeout time.Duration) (bool, error)
+}
+
+// distStore adapts a Coordinator to the store interface.
+type distStore struct {
+	coord *runtime.Coordinator
+}
+
+func (d *distStore) Put(key uint64, value []byte, timeout time.Duration) error {
+	_, err := d.coord.Call("put", key, value, timeout)
+	return err
+}
+
+func (d *distStore) Get(key uint64, timeout time.Duration) ([]byte, error) {
+	v, err := d.coord.Call("get", key, nil, timeout)
+	if err != nil || v == nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+func (d *distStore) Delete(key uint64, timeout time.Duration) (bool, error) {
+	v, err := d.coord.Call("delete", key, nil, timeout)
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// newCoordinator dials every worker (one data and one control connection
+// each) and deploys the kv graph across them.
+func newCoordinator(workers string, partitions, shards, batch int, interval time.Duration) (*runtime.Coordinator, error) {
+	var eps []runtime.WorkerEndpoint
+	dial := func(addr string, timeout time.Duration) (*cluster.Client, error) {
+		c, err := cluster.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.SetCallTimeout(timeout)
+		return c, nil
+	}
+	for _, addr := range strings.Split(workers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		data, err := dial(addr, 30*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: %w", addr, err)
+		}
+		ctrl, err := dial(addr, 5*time.Second)
+		if err != nil {
+			data.Close()
+			return nil, fmt.Errorf("worker %s: %w", addr, err)
+		}
+		eps = append(eps, runtime.WorkerEndpoint{Data: data, Control: ctrl})
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("-workers lists no addresses")
+	}
+	coord, err := runtime.NewCoordinator("kv", eps, runtime.CoordOptions{
+		Partitions: map[string]int{"store": partitions},
+		KVShards:   shards,
+		BatchSize:  batch,
+		OnFailure: func(w int) {
+			fmt.Fprintf(os.Stderr, "sdg-kv: worker %d failed; its keys queue for replay until recovery\n", w)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if interval > 0 {
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := coord.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "sdg-kv: checkpoint:", err)
+				}
+			}
+		}()
+	}
+	return coord, nil
+}
 
 func main() {
 	var (
@@ -54,65 +154,82 @@ func main() {
 		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
 		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
 		compactRatio = flag.Float64("compact-ratio", 0, "force a full base once delta bytes exceed this fraction of base bytes (0 = default 0.5)")
+		workers      = flag.String("workers", "", "comma-separated sdg-worker addresses; when set, run as a distributed coordinator instead of hosting the store in-process")
 		demo         = flag.Bool("demo", false, "run a scripted demo client and exit")
 	)
 	flag.Parse()
 
-	mode := checkpoint.ModeAsync
-	if *ftInterval <= 0 {
-		mode = checkpoint.ModeOff
-		*ftInterval = time.Hour
-	}
-	var policy runtime.InjectPolicy
-	switch *injectPolicy {
-	case "block":
-		policy = runtime.InjectBlock
-	case "shed":
-		policy = runtime.InjectShed
-	default:
-		fmt.Fprintf(os.Stderr, "sdg-kv: unknown -inject-policy %q (want block or shed)\n", *injectPolicy)
-		os.Exit(2)
-	}
-	store, err := kv.New(kv.Config{
-		Partitions: *partitions,
-		Runtime: runtime.Options{
-			Mode:             mode,
-			Interval:         *ftInterval,
-			KVShards:         *shards,
-			BatchSize:        *batch,
-			InjectPolicy:     policy,
-			InjectDeadline:   *injectDL,
-			OverflowLen:      *overflowLen,
-			DeltaCheckpoints: *delta,
-			CompactEvery:     *compactEvery,
-			CompactRatio:     *compactRatio,
-		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sdg-kv:", err)
-		os.Exit(1)
-	}
-	defer store.Stop()
-
-	if *autoscale > 0 {
-		store.Runtime().StartAutoScale(*autoscale, runtime.ScalePolicy{
-			MinInstances:   *minInst,
-			MaxInstances:   *maxInst,
-			QueueHighWater: *highWater,
-			QueueLowWater:  *lowWater,
+	var st kvStore
+	var banner string
+	if *workers != "" {
+		coord, err := newCoordinator(*workers, *partitions, *shards, *batch, *ftInterval)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-kv:", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		st = &distStore{coord: coord}
+		banner = fmt.Sprintf("coordinating %d-partition store across %d workers (checkpoint interval: %v)",
+			*partitions, coord.Workers(), *ftInterval)
+	} else {
+		mode := checkpoint.ModeAsync
+		if *ftInterval <= 0 {
+			mode = checkpoint.ModeOff
+			*ftInterval = time.Hour
+		}
+		var policy runtime.InjectPolicy
+		switch *injectPolicy {
+		case "block":
+			policy = runtime.InjectBlock
+		case "shed":
+			policy = runtime.InjectShed
+		default:
+			fmt.Fprintf(os.Stderr, "sdg-kv: unknown -inject-policy %q (want block or shed)\n", *injectPolicy)
+			os.Exit(2)
+		}
+		store, err := kv.New(kv.Config{
+			Partitions: *partitions,
+			Runtime: runtime.Options{
+				Mode:             mode,
+				Interval:         *ftInterval,
+				KVShards:         *shards,
+				BatchSize:        *batch,
+				InjectPolicy:     policy,
+				InjectDeadline:   *injectDL,
+				OverflowLen:      *overflowLen,
+				DeltaCheckpoints: *delta,
+				CompactEvery:     *compactEvery,
+				CompactRatio:     *compactRatio,
+			},
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-kv:", err)
+			os.Exit(1)
+		}
+		defer store.Stop()
+
+		if *autoscale > 0 {
+			store.Runtime().StartAutoScale(*autoscale, runtime.ScalePolicy{
+				MinInstances:   *minInst,
+				MaxInstances:   *maxInst,
+				QueueHighWater: *highWater,
+				QueueLowWater:  *lowWater,
+			})
+		}
+		st = store
+		banner = fmt.Sprintf("serving %d-partition store (checkpointing: %v, delta: %v)",
+			*partitions, mode, *delta && mode == checkpoint.ModeAsync)
 	}
 
 	srv, err := cluster.Serve(*listen, func(req []byte) ([]byte, error) {
-		return handle(store, req), nil
+		return handle(st, req), nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdg-kv:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("sdg-kv: serving %d-partition store on %s (checkpointing: %v, delta: %v)\n",
-		*partitions, srv.Addr(), mode, *delta && mode == checkpoint.ModeAsync)
+	fmt.Printf("sdg-kv: %s on %s\n", banner, srv.Addr())
 
 	if *demo {
 		if err := runDemo(srv.Addr()); err != nil {
@@ -128,7 +245,7 @@ func main() {
 	fmt.Println("sdg-kv: shutting down")
 }
 
-func handle(store *kv.KV, req []byte) []byte {
+func handle(store kvStore, req []byte) []byte {
 	if len(req) < 9 {
 		return []byte{respError}
 	}

@@ -1,0 +1,53 @@
+// Command sdg-worker hosts one process's slice of a distributed SDG
+// deployment: it serves the coordinator wire protocol over TCP and runs
+// whatever graph the coordinator deploys to it. Graphs travel by registry
+// name, so this binary links every application package; a deployment is
+// coordinator-driven end to end — the worker takes no graph flags.
+//
+// Usage:
+//
+//	sdg-worker -listen 127.0.0.1:7070
+//
+// The resolved listen address is announced on stdout as
+// "sdg-worker: listening on <addr>" (with -listen :0, this is how a
+// supervisor learns the port). The process exits when the coordinator sends
+// Stop, or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+
+	// Each application package registers its graph builder from init.
+	_ "repro/internal/apps/counter"
+	_ "repro/internal/apps/kv"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP address to serve the worker wire protocol on (use :0 for an ephemeral port)")
+	flag.Parse()
+
+	w := runtime.NewWorker()
+	srv, err := cluster.Serve(*listen, w.Handler())
+	if err != nil {
+		log.Fatalf("sdg-worker: %v", err)
+	}
+	fmt.Printf("sdg-worker: listening on %s (graphs: %s)\n", srv.Addr(), strings.Join(runtime.RegisteredGraphs(), ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-w.Done():
+	case <-sig:
+	}
+	w.Close()
+	srv.Close()
+}

@@ -1,0 +1,46 @@
+// Package counter implements a partitioned increment-counter SDG used by the
+// distributed-mode tests. Unlike the kv store's put (idempotent: applying it
+// twice leaves the same value), an increment is a read-modify-write — every
+// lost or duplicated item shifts the final count, which makes this graph an
+// exact detector for the coordinator's no-loss/no-duplication guarantees
+// across failures.
+package counter
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/state"
+)
+
+func init() {
+	runtime.RegisterGraph("counter", Graph)
+}
+
+// Graph builds the counter SDG: one partitioned KVMap SE holding big-endian
+// uint64 counts, one keyed entry TE incrementing them.
+func Graph() *core.Graph {
+	g := core.NewGraph("counter")
+	counts := g.AddSE("counts", core.KindPartitioned, state.TypeKVMap, nil)
+	g.AddTE("inc", func(ctx core.Context, it core.Item) {
+		kvm := ctx.Store().(state.KV)
+		var n uint64
+		if v, ok := kvm.Get(it.Key); ok {
+			n = binary.BigEndian.Uint64(v)
+		}
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, n+1)
+		kvm.Put(it.Key, buf)
+		ctx.Reply(n + 1)
+	}, &core.Access{SE: counts, Mode: core.AccessByKey}, true)
+	return g
+}
+
+// Count decodes one stored counter value.
+func Count(v []byte) uint64 {
+	if len(v) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}

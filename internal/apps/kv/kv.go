@@ -16,6 +16,7 @@ import (
 
 func init() {
 	gob.Register([]byte{})
+	runtime.RegisterGraph("kv", Graph)
 }
 
 // Graph builds the KV SDG.

@@ -7,15 +7,29 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // This file provides the real-network layer: length-prefixed message
-// framing over TCP plus a minimal request/reply server. The KV store demo
-// (cmd/sdg-kv) serves the SDG runtime over it, demonstrating that the
-// in-process simulation and a wire deployment share the same protocols.
+// framing over TCP plus a minimal request/reply server. The distributed
+// worker mode (cmd/sdg-worker, internal/runtime's coordinator) and the KV
+// store demo (cmd/sdg-kv) run the SDG protocols over it, demonstrating that
+// the in-process simulation and a wire deployment share the same protocols.
+//
+// Frames are bare [4-byte big-endian length][payload]. Replies additionally
+// lead with one status byte inside the payload so an application-level
+// handler error comes back as an error reply on a healthy stream instead of
+// tearing the connection down (which the client could not distinguish from
+// a dead server).
 
 // MaxFrameSize bounds a single frame to protect against corrupt peers.
 const MaxFrameSize = 64 << 20
+
+// Reply status bytes (first payload byte of every reply frame).
+const (
+	statusOK  = 0x00
+	statusErr = 0x01
+)
 
 // ErrFrameTooLarge is returned when an inbound frame exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("cluster: frame exceeds maximum size")
@@ -27,6 +41,38 @@ var ErrFrameTooLarge = errors.New("cluster: frame exceeds maximum size")
 // parses. The client closes the connection on first error and every later
 // call fails fast with this sticky error; callers must Dial a fresh client.
 var ErrClientBroken = errors.New("cluster: client connection broken by earlier error")
+
+// ErrClientClosed is the sticky cause recorded when Close is called: a Call
+// racing (or following) Close reports ErrClientBroken wrapping this, rather
+// than a raw "use of closed network connection" from the socket.
+var ErrClientClosed = errors.New("cluster: client closed")
+
+// ErrCallTimeout wraps the network timeout error when a Call exceeds the
+// configured call timeout. The expiry leaves the stream mid-frame, so the
+// client is also poisoned (subsequent calls return ErrClientBroken).
+var ErrCallTimeout = errors.New("cluster: call timed out")
+
+// errEmptyReply marks a protocol violation: every reply frame must carry at
+// least the status byte.
+var errEmptyReply = errors.New("cluster: empty reply frame (missing status byte)")
+
+// RemoteError is an application-level error returned by the server's
+// handler, carried back in an error reply frame. The connection stays
+// healthy: only the request was rejected, the stream's framing is intact.
+type RemoteError struct {
+	Msg string
+}
+
+// Error renders the remote failure.
+func (e *RemoteError) Error() string { return "cluster: remote error: " + e.Msg }
+
+// Is reports errors.Is(err, ErrRemote) for any remote application error.
+func (e *RemoteError) Is(target error) bool { return target == ErrRemote }
+
+// ErrRemote matches any RemoteError via errors.Is, so callers can
+// distinguish "the server rejected this request" from transport failures
+// without string matching.
+var ErrRemote = errors.New("cluster: remote error")
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
@@ -40,6 +86,26 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	}
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("cluster: write frame body: %w", err)
+	}
+	return nil
+}
+
+// writeReplyFrame writes one reply frame: a length prefix covering the
+// status byte plus payload, then the status byte, then the payload. The
+// status rides inside the frame so the payload is never copied into a
+// status-prefixed slice.
+func writeReplyFrame(w io.Writer, status byte, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = status
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: write reply header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: write reply body: %w", err)
 	}
 	return nil
 }
@@ -61,7 +127,9 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// Handler processes one request frame and returns the reply frame.
+// Handler processes one request frame and returns the reply frame. A
+// non-nil error is reported to the client as an error reply on the same
+// connection; it does not terminate the connection.
 type Handler func(req []byte) ([]byte, error)
 
 // Server accepts framed request/reply connections on a TCP listener. Each
@@ -141,9 +209,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		resp, err := s.handler(req)
 		if err != nil {
-			return
+			// An application error is a reply, not a connection event: the
+			// stream's framing is intact, and dropping the connection would
+			// leave the client unable to tell a rejected request from a dead
+			// server (and would poison its healthy stream).
+			if werr := writeReplyFrame(conn, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
 		}
-		if err := WriteFrame(conn, resp); err != nil {
+		if err := writeReplyFrame(conn, statusOK, resp); err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The handler produced an unsendable reply; report that as an
+				// application error rather than killing the stream (no bytes
+				// were written for this frame yet).
+				if werr := writeReplyFrame(conn, statusErr, []byte(err.Error())); werr == nil {
+					continue
+				}
+			}
 			return
 		}
 	}
@@ -170,11 +253,18 @@ func (s *Server) Close() error {
 // callers over one connection. A call that fails mid-frame poisons the
 // stream: the connection is closed eagerly and every subsequent Call
 // returns a sticky ErrClientBroken instead of misparsing the next length
-// prefix out of leftover payload bytes.
+// prefix out of leftover payload bytes. Application errors reported by the
+// server (error replies) do not poison the stream.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	broken error // first framing error; nil while the stream is healthy
+	mu   sync.Mutex // serialises Call; held across the request/reply round trip
+	conn net.Conn
+
+	// stateMu guards broken and timeout. It is separate from mu so Close
+	// and SetCallTimeout never wait behind an in-flight network round trip
+	// (Close must be able to interrupt a hung Call by closing the socket).
+	stateMu sync.Mutex
+	broken  error // first framing error or ErrClientClosed; nil while healthy
+	timeout time.Duration
 }
 
 // Dial connects to a Server.
@@ -186,38 +276,115 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Call sends one request frame and waits for the reply frame.
+// SetCallTimeout bounds every subsequent Call's full round trip (request
+// write through reply read) via connection deadlines. A call that exceeds
+// it fails with ErrCallTimeout and poisons the stream — the peer is left
+// mid-frame, so the connection cannot be reused. Zero disables the bound.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.stateMu.Lock()
+	c.timeout = d
+	c.stateMu.Unlock()
+}
+
+// brokenErr reports the sticky failure, wrapped in ErrClientBroken, or nil.
+func (c *Client) brokenErr() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.broken == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+}
+
+// Call sends one request frame and waits for the reply frame. An error
+// reply from the server's handler is returned as a *RemoteError (matching
+// errors.Is(err, ErrRemote)) and leaves the stream healthy.
 func (c *Client) Call(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken != nil {
-		return nil, fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+	if err := c.brokenErr(); err != nil {
+		return nil, err
 	}
 	// An oversized request is rejected before any bytes hit the wire, so
 	// it does not poison the stream.
 	if len(req) > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	if err := c.poison(WriteFrame(c.conn, req)); err != nil {
-		return nil, err
+	c.stateMu.Lock()
+	timeout := c.timeout
+	c.stateMu.Unlock()
+	if timeout > 0 {
+		// One deadline spans the whole round trip: a server that accepts the
+		// request but never replies (hung or partitioned) must not block the
+		// caller forever while it holds c.mu, wedging every concurrent
+		// caller queued behind it.
+		c.conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := c.fail(WriteFrame(c.conn, req)); err != nil {
+		return nil, timeoutErr(err, timeout)
 	}
 	resp, err := ReadFrame(c.conn)
-	if err := c.poison(err); err != nil {
-		return nil, err
+	if err = c.fail(err); err != nil {
+		return nil, timeoutErr(err, timeout)
 	}
-	return resp, nil
+	if timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+	if len(resp) == 0 {
+		// Protocol violation: replies always carry a status byte. The stream
+		// position is no longer trustworthy.
+		return nil, c.fail(errEmptyReply)
+	}
+	if resp[0] != statusOK {
+		return nil, &RemoteError{Msg: string(resp[1:])}
+	}
+	return resp[1:], nil
 }
 
-// poison records the first mid-frame error, closing the connection so the
-// peer sees the failure immediately rather than on its next read. Called
-// under c.mu; returns err unchanged.
-func (c *Client) poison(err error) error {
-	if err != nil && c.broken == nil {
-		c.broken = err
-		c.conn.Close()
+// timeoutErr wraps deadline expiries in the typed ErrCallTimeout.
+func timeoutErr(err error, timeout time.Duration) error {
+	var ne net.Error
+	if timeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w after %v: %v", ErrCallTimeout, timeout, err)
 	}
 	return err
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// fail records the first mid-frame error, closing the connection so the
+// peer sees the failure immediately rather than on its next read. If the
+// client is already broken (an earlier error, or a concurrent Close), the
+// raw socket error is replaced by the documented sticky ErrClientBroken.
+// Returns nil when err is nil.
+func (c *Client) fail(err error) error {
+	if err == nil {
+		return nil
+	}
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.broken == nil {
+		c.broken = err
+		c.conn.Close()
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrClientBroken, c.broken)
+}
+
+// Close closes the connection and marks the client broken, so a Call racing
+// Close returns the sticky ErrClientBroken (wrapping ErrClientClosed)
+// instead of a raw "use of closed network connection". Closing the socket
+// also unblocks any in-flight round trip. Close is idempotent.
+func (c *Client) Close() error {
+	c.stateMu.Lock()
+	already := c.broken != nil
+	if !already {
+		c.broken = ErrClientClosed
+	}
+	c.stateMu.Unlock()
+	err := c.conn.Close()
+	if already {
+		// The connection was already closed when it broke (or by an earlier
+		// Close); the second close's error is noise.
+		return nil
+	}
+	return err
+}

@@ -137,3 +137,190 @@ func TestServerCloseAcceptRace(t *testing.T) {
 		wg.Wait()
 	}
 }
+
+// TestServerErrorReplyKeepsConnection is the regression for the dropped-
+// connection bug: a handler error used to make serveConn return, so the
+// client saw a bare EOF — indistinguishable from a server crash — and its
+// healthy stream was poisoned. The error must come back as an error reply
+// (typed *RemoteError) and the connection must keep serving requests.
+func TestServerErrorReplyKeepsConnection(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		if string(req) == "bad" {
+			return nil, errors.New("rejected: bad request")
+		}
+		return append([]byte("ok:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		_, err := c.Call([]byte("bad"))
+		if err == nil {
+			t.Fatalf("round %d: rejected request returned no error", i)
+		}
+		if !errors.Is(err, ErrRemote) {
+			t.Fatalf("round %d: got %v, want a remote error", i, err)
+		}
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Msg != "rejected: bad request" {
+			t.Fatalf("round %d: remote message = %v", i, err)
+		}
+		// The same connection must still serve healthy requests.
+		resp, err := c.Call([]byte("fine"))
+		if err != nil {
+			t.Fatalf("round %d: call after error reply: %v", i, err)
+		}
+		if string(resp) != "ok:fine" {
+			t.Fatalf("round %d: resp = %q", i, resp)
+		}
+	}
+}
+
+// TestClientCallTimeout is the regression for the unbounded-Call bug: a
+// server that accepts the request but never replies used to block the
+// caller forever while it held the client mutex, wedging every concurrent
+// caller behind it. With a call timeout set, the call must fail with the
+// typed ErrCallTimeout, the stream must be poisoned (the peer is left
+// mid-frame), and queued callers must drain promptly.
+func TestClientCallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn // read nothing, reply never
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(100 * time.Millisecond)
+
+	type res struct{ err error }
+	done := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Call([]byte("hello"))
+			done <- res{err}
+		}()
+	}
+	var errs []error
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			errs = append(errs, r.err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("caller still blocked: call timeout did not fire")
+		}
+	}
+	var timeouts, broken int
+	for _, err := range errs {
+		switch {
+		case errors.Is(err, ErrCallTimeout):
+			timeouts++
+		case errors.Is(err, ErrClientBroken):
+			broken++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if timeouts != 1 || broken != 1 {
+		t.Fatalf("got %d timeouts and %d broken, want exactly 1 and 1", timeouts, broken)
+	}
+	// The stream is poisoned: later calls fail fast with the sticky error.
+	if _, err := c.Call([]byte("again")); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("call after timeout: got %v, want ErrClientBroken", err)
+	}
+	if conn := <-accepted; conn != nil {
+		conn.Close()
+	}
+}
+
+// TestClientCloseMarksBroken is the regression for the Close race: Close
+// used to bypass the client state entirely, so a Call racing it surfaced a
+// raw "use of closed network connection" instead of the documented sticky
+// ErrClientBroken, and later calls touched the closed socket again.
+func TestClientCloseMarksBroken(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = conn // hold the connection open, never reply
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call([]byte("ping"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call reach the blocking read
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClientBroken) {
+			t.Fatalf("racing call: got %v, want ErrClientBroken", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call did not unblock on Close")
+	}
+	// Subsequent calls stay sticky, and Close is idempotent.
+	if _, err := c.Call([]byte("x")); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("call after close: got %v, want ErrClientBroken", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestLocalTransportMirrorsWireSemantics pins the Transport seam: the
+// in-process transport must surface handler errors as *RemoteError and fail
+// with ErrClientBroken after Close, exactly like the TCP client, so code
+// written against Transport behaves identically in both modes.
+func TestLocalTransportMirrorsWireSemantics(t *testing.T) {
+	tr := Local(func(req []byte) ([]byte, error) {
+		if string(req) == "bad" {
+			return nil, errors.New("nope")
+		}
+		return append([]byte("ok:"), req...), nil
+	}, 0)
+	resp, err := tr.Call([]byte("x"))
+	if err != nil || string(resp) != "ok:x" {
+		t.Fatalf("call = %q, %v", resp, err)
+	}
+	if _, err := tr.Call([]byte("bad")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("handler error: got %v, want remote error", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call([]byte("x")); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("call after close: got %v, want ErrClientBroken", err)
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Transport is one request/reply link to a peer process. It is the single
+// seam between the distributed deployment mode and its two carriers: the
+// TCP Client for real worker processes, and Local for in-process workers
+// (the fast test harness), so every protocol built on it — remote inject,
+// checkpoint streaming, heartbeats, recovery — runs identically in both
+// modes.
+type Transport interface {
+	// Call sends one request and waits for the reply. Application-level
+	// rejections surface as *RemoteError (errors.Is(err, ErrRemote)) and
+	// leave the link usable; any other error means the link is unusable and
+	// every subsequent Call fails with ErrClientBroken.
+	Call(req []byte) ([]byte, error)
+	// Close releases the link. In-flight and subsequent calls fail with
+	// ErrClientBroken.
+	Close() error
+}
+
+// Client (TCP) implements Transport.
+var _ Transport = (*Client)(nil)
+
+// localTransport delivers requests straight to a Handler in this process.
+type localTransport struct {
+	h       Handler
+	latency time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Local returns an in-process Transport that invokes h directly — the
+// simulator-mode counterpart of Dial. A non-zero latency is slept once per
+// call to model a network round trip.
+func Local(h Handler, latency time.Duration) Transport {
+	return &localTransport{h: h, latency: latency}
+}
+
+func (t *localTransport) Call(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, ErrClientBroken
+	}
+	if t.latency > 0 {
+		time.Sleep(t.latency)
+	}
+	resp, err := t.h(req)
+	if err != nil {
+		// Mirror the wire: handler errors come back as remote errors on a
+		// healthy link.
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+func (t *localTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,683 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/wire"
+)
+
+// WorkerEndpoint is one worker process reached over two transports. Data
+// carries the ordered stream of injections and calls; Control carries
+// heartbeats, snapshots and queries. The split matters for failure
+// detection: a worker exerting admission backpressure blocks the data link
+// for as long as ingress credit is revoked, and heartbeats queued behind
+// that block would time a healthy worker out.
+type WorkerEndpoint struct {
+	Data    cluster.Transport
+	Control cluster.Transport
+}
+
+func (ep WorkerEndpoint) close() {
+	if ep.Data != nil {
+		ep.Data.Close()
+	}
+	if ep.Control != nil {
+		ep.Control.Close()
+	}
+}
+
+// CoordOptions configures a distributed deployment.
+type CoordOptions struct {
+	// Partitions sets each worker's local SE partition counts.
+	Partitions map[string]int
+	// Worker runtime tuning, passed through in the Deploy message.
+	QueueLen    int
+	OverflowLen int
+	BatchSize   int
+	KVShards    int
+	WireCheck   bool
+	// CallTimeout bounds how long a worker waits for a dataflow reply on
+	// behalf of Call (default 10s).
+	CallTimeout time.Duration
+	// HeartbeatInterval paces liveness probes on the control link (default
+	// 1s); HeartbeatMisses consecutive failed probes mark the worker dead
+	// (default 3).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// SnapshotChunks is the checkpoint parallelism per store (default 2).
+	SnapshotChunks int
+	// OnFailure is called (on its own goroutine) when a worker is marked
+	// dead, once per death.
+	OnFailure func(worker int)
+}
+
+func (o *CoordOptions) defaults() {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.SnapshotChunks <= 0 {
+		o.SnapshotChunks = 2
+	}
+}
+
+// coordWorker is the coordinator's view of one worker.
+type coordWorker struct {
+	mu    sync.Mutex // guards ep and hbStop swaps across recoveries
+	ep    WorkerEndpoint
+	alive atomic.Bool
+	// snap is the last snapshot pulled from this worker; guarded by the
+	// coordinator's injMu (all snapshot/recovery flows hold it).
+	snap   *wire.Snapshot
+	hbStop chan struct{}
+}
+
+func (cw *coordWorker) endpoint() WorkerEndpoint {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.ep
+}
+
+// Coordinator drives a distributed SDG deployment: it owns the graph, the
+// external seq space, the per-worker replay logs and the checkpoint
+// snapshots, and routes injections to worker processes over the wire
+// protocol. Workers execute; the coordinator remembers.
+//
+// The injection mutex serialises seq assignment, replay logging and
+// transmission end to end — released between assignment and send, a later
+// seq could overtake an earlier one onto the same worker, and the worker's
+// per-origin dedup watermark would drop the overtaken item forever. It is
+// also held across checkpoints and recoveries, so replayed items can never
+// interleave with (and be overtaken by) fresh higher-seq injections.
+type Coordinator struct {
+	graphName string
+	g         *core.Graph
+	opts      CoordOptions
+	workers   []*coordWorker
+
+	entry map[string]bool // entry TE names
+	keyed map[string]bool // entry TEs routed by key (partitioned access)
+
+	injMu  sync.Mutex
+	extSeq uint64
+	// logs holds one replay log per (entry task, worker): every item sent
+	// (or queued for a dead worker) until a worker checkpoint covers it.
+	logs map[string][]*dataflow.OutputBuffer
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator validates the graph for distributed execution, deploys it
+// to every worker and starts failure detection.
+//
+// Multi-worker deployments are restricted to graphs without dataflow
+// edges: an item emitted inside worker A re-routes among A's local
+// instances only, so a graph whose edges must span the global instance set
+// would silently diverge from single-process semantics. Graphs with edges
+// deploy on exactly one worker (full remote execution); wider support
+// needs cross-worker edge routing, tracked in the roadmap.
+func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (*Coordinator, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("coordinator: no worker endpoints")
+	}
+	g, err := BuildGraph(graphName)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(eps) > 1 && len(g.Edges) > 0 {
+		return nil, fmt.Errorf("coordinator: graph %q has dataflow edges; multi-worker deployment supports edge-free graphs only (got %d workers)", graphName, len(eps))
+	}
+	opts.defaults()
+	c := &Coordinator{
+		graphName: graphName,
+		g:         g,
+		opts:      opts,
+		entry:     map[string]bool{},
+		keyed:     map[string]bool{},
+		logs:      map[string][]*dataflow.OutputBuffer{},
+		stopped:   make(chan struct{}),
+	}
+	for _, te := range g.TEs {
+		if !te.Entry {
+			continue
+		}
+		c.entry[te.Name] = true
+		c.keyed[te.Name] = te.Access != nil && te.Access.Mode == core.AccessByKey
+		bufs := make([]*dataflow.OutputBuffer, len(eps))
+		for i := range bufs {
+			bufs[i] = &dataflow.OutputBuffer{}
+		}
+		c.logs[te.Name] = bufs
+	}
+	for i, ep := range eps {
+		cw := &coordWorker{ep: ep}
+		cw.alive.Store(true)
+		c.workers = append(c.workers, cw)
+		if err := c.deployTo(cw); err != nil {
+			// Unwind: close everything already connected.
+			for _, w := range c.workers {
+				w.endpoint().close()
+			}
+			return nil, fmt.Errorf("coordinator: deploy to worker %d: %w", i, err)
+		}
+	}
+	for i, cw := range c.workers {
+		c.startHeartbeat(i, cw)
+	}
+	return c, nil
+}
+
+// deployTo sends the Deploy message over the worker's data link.
+func (c *Coordinator) deployTo(cw *coordWorker) error {
+	frame, err := wire.Encode(wire.MsgDeploy, wire.Deploy{
+		Graph:       c.graphName,
+		Partitions:  c.opts.Partitions,
+		QueueLen:    c.opts.QueueLen,
+		OverflowLen: c.opts.OverflowLen,
+		BatchSize:   c.opts.BatchSize,
+		KVShards:    c.opts.KVShards,
+		WireCheck:   c.opts.WireCheck,
+	})
+	if err != nil {
+		return err
+	}
+	var ack wire.DeployAck
+	return call(cw.endpoint().Data, frame, wire.MsgDeployAck, &ack)
+}
+
+// call sends one encoded request over a transport and decodes the expected
+// reply type.
+func call(tr cluster.Transport, frame []byte, want byte, out any) error {
+	resp, err := tr.Call(frame)
+	if err != nil {
+		return err
+	}
+	return wire.Expect(resp, want, out)
+}
+
+// route picks the worker for an item: partitioned-access tasks route by
+// key (agreeing with every worker's local partitioning, which uses the
+// same hash), anything else rotates by seq.
+func (c *Coordinator) route(task string, it core.Item) int {
+	if c.keyed[task] {
+		return statePartition(it.Key, len(c.workers))
+	}
+	return int(it.Seq % uint64(len(c.workers)))
+}
+
+// Inject delivers one fire-and-forget item.
+func (c *Coordinator) Inject(task string, key uint64, value any) error {
+	return c.InjectBatch(task, []InjectItem{{Key: key, Value: value}})
+}
+
+// InjectBatch assigns seqs, logs and transmits a batch of items. Items
+// routed to a dead worker are logged and delivered by the recovery replay —
+// the distributed mirror of in-process injection parking items for a failed
+// partition — so accepted items are never lost. A transport failure
+// mid-send marks the worker dead and leaves the sub-batch queued the same
+// way; only an application-level rejection (admission shed, unknown task)
+// returns an error, and those items are the caller's to retry.
+func (c *Coordinator) InjectBatch(task string, items []InjectItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	logs, ok := c.logs[task]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotEntry, task)
+	}
+	// Assign seqs and group per worker, preserving seq order within each
+	// group.
+	subs := make([][]core.Item, len(c.workers))
+	for _, in := range items {
+		c.extSeq++
+		it := core.Item{Origin: externalOrigin, Seq: c.extSeq, Key: in.Key, Value: in.Value}
+		w := c.route(task, it)
+		subs[w] = append(subs[w], it)
+	}
+	var rejected error
+	for w, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		cw := c.workers[w]
+		if !cw.alive.Load() {
+			logs[w].AppendBatch(sub) // queued; recovery replays
+			continue
+		}
+		frame, err := wire.Encode(wire.MsgInject, wire.Inject{Task: task, Items: sub})
+		if err != nil {
+			return err
+		}
+		var ack wire.InjectAck
+		err = call(cw.endpoint().Data, frame, wire.MsgInjectAck, &ack)
+		switch {
+		case err == nil:
+			logs[w].AppendBatch(sub)
+		case errors.Is(err, cluster.ErrRemote):
+			// The worker is healthy and said no (shed, unknown task): the
+			// items never entered and must not be replayed later.
+			rejected = err
+		default:
+			// Transport failure: delivery is ambiguous, so log the items
+			// anyway — if the worker did enqueue them, the replay duplicates
+			// are filtered by seq; if not, the replay is the delivery.
+			logs[w].AppendBatch(sub)
+			c.markDead(w)
+		}
+	}
+	return rejected
+}
+
+// Call injects a request item to its worker and waits for the dataflow's
+// reply. Successful (and transport-ambiguous) calls are logged for replay;
+// application-level failures are not — with one documented gap: a call
+// that times out worker-side reports an error but may still have been
+// applied, and is not replayed. Idempotent request paths (as in the kv
+// store) are immune.
+func (c *Coordinator) Call(task string, key uint64, value any, timeout time.Duration) (any, error) {
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	logs, ok := c.logs[task]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotEntry, task)
+	}
+	c.extSeq++
+	it := core.Item{Origin: externalOrigin, Seq: c.extSeq, Key: key, Value: value}
+	w := c.route(task, it)
+	cw := c.workers[w]
+	if !cw.alive.Load() {
+		return nil, fmt.Errorf("coordinator: worker %d is down", w)
+	}
+	if timeout <= 0 {
+		timeout = c.opts.CallTimeout
+	}
+	frame, err := wire.Encode(wire.MsgCall, wire.Call{Task: task, Item: it, TimeoutMs: timeout.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cw.endpoint().Data.Call(frame)
+	if err != nil {
+		if errors.Is(err, cluster.ErrRemote) {
+			return nil, err
+		}
+		// Ambiguous transport failure: the worker may have applied the
+		// item, so it must survive into the replay log before the caller
+		// hears anything.
+		logs[w].AppendBatch([]core.Item{it})
+		c.markDead(w)
+		return nil, err
+	}
+	var reply wire.CallReply
+	if err := wire.Expect(resp, wire.MsgCallReply, &reply); err != nil {
+		return nil, err
+	}
+	logs[w].AppendBatch([]core.Item{it})
+	return reply.Value, nil
+}
+
+// startHeartbeat probes one worker on its control link until it dies or
+// the coordinator stops. The stop channel is per incarnation: recovery
+// starts a fresh loop against the replacement endpoint.
+func (c *Coordinator) startHeartbeat(w int, cw *coordWorker) {
+	stop := make(chan struct{})
+	cw.mu.Lock()
+	cw.hbStop = stop
+	cw.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.opts.HeartbeatInterval)
+		defer ticker.Stop()
+		misses := 0
+		var seq uint64
+		for {
+			select {
+			case <-c.stopped:
+				return
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			seq++
+			frame, err := wire.Encode(wire.MsgHeartbeat, wire.Heartbeat{Seq: seq})
+			if err != nil {
+				return
+			}
+			var ack wire.HeartbeatAck
+			if err := call(cw.endpoint().Control, frame, wire.MsgHeartbeatAck, &ack); err != nil || ack.Seq != seq {
+				misses++
+				if misses >= c.opts.HeartbeatMisses {
+					c.markDead(w)
+					return
+				}
+				continue
+			}
+			misses = 0
+		}
+	}()
+}
+
+// markDead transitions a worker to dead exactly once: closes its transports
+// (failing in-flight and future sends fast, which is also how a hung — not
+// crashed — worker stops wedging the data link), stops its heartbeat loop
+// and fires the failure callback.
+func (c *Coordinator) markDead(w int) {
+	cw := c.workers[w]
+	if !cw.alive.Swap(false) {
+		return
+	}
+	cw.mu.Lock()
+	ep := cw.ep
+	stop := cw.hbStop
+	cw.mu.Unlock()
+	ep.close()
+	if stop != nil {
+		close(stop)
+	}
+	if c.opts.OnFailure != nil {
+		go c.opts.OnFailure(w)
+	}
+}
+
+// WorkerAlive reports the failure detector's view of a worker.
+func (c *Coordinator) WorkerAlive(w int) bool {
+	return w >= 0 && w < len(c.workers) && c.workers[w].alive.Load()
+}
+
+// Workers reports the deployment width.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// Checkpoint pulls a consistent snapshot from every live worker, stores it
+// as that worker's recovery point, and trims the replay logs the snapshot
+// covers (§5: upstream buffers drop items older than all downstream
+// checkpoints). Held under the injection mutex so the snapshot's
+// watermarks and the log contents cannot shear.
+func (c *Coordinator) Checkpoint() error {
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	var firstErr error
+	for w, cw := range c.workers {
+		if !cw.alive.Load() {
+			continue
+		}
+		frame, err := wire.Encode(wire.MsgSnapshotReq, wire.SnapshotReq{Chunks: c.opts.SnapshotChunks})
+		if err != nil {
+			return err
+		}
+		var snap wire.Snapshot
+		if err := call(cw.endpoint().Control, frame, wire.MsgSnapshot, &snap); err != nil {
+			if !errors.Is(err, cluster.ErrRemote) {
+				c.markDead(w)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("coordinator: snapshot worker %d: %w", w, err)
+			}
+			continue
+		}
+		cw.snap = &snap
+		c.trimLogs(w, &snap)
+	}
+	return firstErr
+}
+
+// trimLogs drops replay-log items the worker's snapshot durably covers:
+// for each entry task, the per-origin minimum watermark across every one
+// of the worker's instances of that task (an origin missing from any
+// instance's map cannot be trimmed — that instance may still need those
+// items replayed, mirroring the in-process trim rule).
+func (c *Coordinator) trimLogs(w int, snap *wire.Snapshot) {
+	byTask := map[string][]wire.TESnap{}
+	for _, t := range snap.TEs {
+		byTask[t.TE] = append(byTask[t.TE], t)
+	}
+	for task, bufs := range c.logs {
+		snaps := byTask[task]
+		if len(snaps) == 0 {
+			continue
+		}
+		var min map[uint64]uint64
+		for i, t := range snaps {
+			if i == 0 {
+				min = make(map[uint64]uint64, len(t.Watermarks))
+				for o, s := range t.Watermarks {
+					min[o] = s
+				}
+				continue
+			}
+			for o := range min {
+				s, ok := t.Watermarks[o]
+				if !ok {
+					delete(min, o)
+				} else if s < min[o] {
+					min[o] = s
+				}
+			}
+		}
+		if len(min) > 0 {
+			bufs[w].Trim(min)
+		}
+	}
+}
+
+// PendingReplay reports the replay-log depth for one task and worker —
+// the items a recovery of that worker would re-deliver.
+func (c *Coordinator) PendingReplay(task string, w int) int {
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	bufs, ok := c.logs[task]
+	if !ok || w < 0 || w >= len(bufs) {
+		return 0
+	}
+	return bufs[w].Len()
+}
+
+// replayChunk bounds the items per replay Inject message so a long log
+// never exceeds the frame size bound.
+const replayChunk = 256
+
+// RecoverWorker brings a dead worker slot back on a replacement endpoint:
+// deploy the graph, restore the last pulled snapshot, replay the logged
+// items its watermarks do not cover, and resume routing and failure
+// detection. The injection mutex is held throughout, so no fresh injection
+// can slip ahead of the replay and trip the dedup watermark over items
+// still in flight.
+func (c *Coordinator) RecoverWorker(w int, ep WorkerEndpoint) error {
+	if w < 0 || w >= len(c.workers) {
+		return fmt.Errorf("coordinator: no worker %d", w)
+	}
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	cw := c.workers[w]
+	if cw.alive.Load() {
+		return fmt.Errorf("coordinator: worker %d is still alive", w)
+	}
+	cw.mu.Lock()
+	cw.ep = ep
+	cw.mu.Unlock()
+	fail := func(err error) error {
+		ep.close()
+		return err
+	}
+	if err := c.deployTo(cw); err != nil {
+		return fail(fmt.Errorf("coordinator: redeploy worker %d: %w", w, err))
+	}
+	if cw.snap != nil {
+		frame, err := wire.Encode(wire.MsgRestore, wire.Restore{Snap: *cw.snap})
+		if err != nil {
+			return fail(err)
+		}
+		var ack wire.RestoreAck
+		if err := call(ep.Data, frame, wire.MsgRestoreAck, &ack); err != nil {
+			return fail(fmt.Errorf("coordinator: restore worker %d: %w", w, err))
+		}
+	}
+	for task, bufs := range c.logs {
+		items := bufs[w].Replay()
+		for start := 0; start < len(items); start += replayChunk {
+			end := start + replayChunk
+			if end > len(items) {
+				end = len(items)
+			}
+			frame, err := wire.Encode(wire.MsgInject, wire.Inject{Task: task, Items: items[start:end]})
+			if err != nil {
+				return fail(err)
+			}
+			var ack wire.InjectAck
+			if err := call(ep.Data, frame, wire.MsgInjectAck, &ack); err != nil {
+				return fail(fmt.Errorf("coordinator: replay %q to worker %d: %w", task, w, err))
+			}
+		}
+	}
+	cw.alive.Store(true)
+	c.startHeartbeat(w, cw)
+	return nil
+}
+
+// queryLive runs one request against every live worker's control link.
+func (c *Coordinator) queryLive(frame []byte, want byte, each func(w int, payload []byte) error) error {
+	for w, cw := range c.workers {
+		if !cw.alive.Load() {
+			continue
+		}
+		resp, err := cw.endpoint().Control.Call(frame)
+		if err != nil {
+			return fmt.Errorf("coordinator: worker %d: %w", w, err)
+		}
+		t, payload, err := wire.Decode(resp)
+		if err != nil {
+			return err
+		}
+		if t != want {
+			return fmt.Errorf("%w: got %s, want %s", wire.ErrUnexpectedType, wire.MsgName(t), wire.MsgName(want))
+		}
+		if err := each(w, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpKV returns the union of a dictionary SE's contents across live
+// workers. Keys are disjoint across workers under keyed routing, so the
+// union is exactly the global store.
+func (c *Coordinator) DumpKV(seName string) (map[uint64][]byte, error) {
+	frame, err := wire.Encode(wire.MsgDumpReq, wire.DumpReq{SE: seName})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64][]byte)
+	err = c.queryLive(frame, wire.MsgDump, func(_ int, payload []byte) error {
+		var dump wire.Dump
+		if err := wire.Unmarshal(payload, &dump); err != nil {
+			return err
+		}
+		for _, e := range dump.Entries {
+			out[e.Key] = e.Value
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FoldedWatermarks folds (max per origin) one task's dedup watermarks
+// across all live workers — the distributed counterpart of
+// Runtime.FoldedWatermarks.
+func (c *Coordinator) FoldedWatermarks(task string) (map[uint64]uint64, error) {
+	frame, err := wire.Encode(wire.MsgStatsReq, wire.StatsReq{})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]uint64)
+	err = c.queryLive(frame, wire.MsgStats, func(_ int, payload []byte) error {
+		var stats wire.Stats
+		if err := wire.Unmarshal(payload, &stats); err != nil {
+			return err
+		}
+		for o, s := range stats.Watermarks[task] {
+			if cur, ok := out[o]; !ok || s > cur {
+				out[o] = s
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Processed sums one task's processed counters across live workers.
+func (c *Coordinator) Processed(task string) (int64, error) {
+	frame, err := wire.Encode(wire.MsgStatsReq, wire.StatsReq{})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	err = c.queryLive(frame, wire.MsgStats, func(_ int, payload []byte) error {
+		var stats wire.Stats
+		if err := wire.Unmarshal(payload, &stats); err != nil {
+			return err
+		}
+		total += stats.Processed[task]
+		return nil
+	})
+	return total, err
+}
+
+// Drain asks every live worker to quiesce, reporting whether all did
+// within the timeout.
+func (c *Coordinator) Drain(timeout time.Duration) bool {
+	frame, err := wire.Encode(wire.MsgDrainReq, wire.DrainReq{TimeoutMs: timeout.Milliseconds()})
+	if err != nil {
+		return false
+	}
+	all := true
+	err = c.queryLive(frame, wire.MsgDrainAck, func(_ int, payload []byte) error {
+		var ack wire.DrainAck
+		if err := wire.Unmarshal(payload, &ack); err != nil {
+			return err
+		}
+		all = all && ack.Quiesced
+		return nil
+	})
+	return err == nil && all
+}
+
+// Close stops failure detection, asks live workers to shut down
+// (best-effort) and closes every transport. Idempotent.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() {
+		close(c.stopped)
+		c.wg.Wait()
+		frame, err := wire.Encode(wire.MsgStop, wire.Stop{})
+		for _, cw := range c.workers {
+			if cw.alive.Load() && err == nil {
+				var ack wire.StopAck
+				_ = call(cw.endpoint().Data, frame, wire.MsgStopAck, &ack)
+			}
+			cw.endpoint().close()
+		}
+	})
+}

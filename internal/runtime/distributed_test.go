@@ -1,0 +1,409 @@
+package runtime_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps/counter"
+	"repro/internal/apps/kv"
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+)
+
+// newTCPWorker serves a fresh worker over real localhost TCP and returns its
+// endpoint (data + control connections to the same server).
+func newTCPWorker(t *testing.T) (*runtime.Worker, runtime.WorkerEndpoint) {
+	t.Helper()
+	w := runtime.NewWorker()
+	srv, err := cluster.Serve("127.0.0.1:0", w.Handler())
+	if err != nil {
+		t.Fatalf("serve worker: %v", err)
+	}
+	t.Cleanup(func() { srv.Close(); w.Close() })
+	dial := func() *cluster.Client {
+		c, err := cluster.Dial(srv.Addr())
+		if err != nil {
+			t.Fatalf("dial worker: %v", err)
+		}
+		c.SetCallTimeout(10 * time.Second)
+		return c
+	}
+	return w, runtime.WorkerEndpoint{Data: dial(), Control: dial()}
+}
+
+// TestDistributedEquivalence runs one deterministic mixed workload twice —
+// through a coordinator and two TCP workers, and through a single in-process
+// runtime — and requires identical store contents, identical call replies,
+// and identical per-task dedup watermarks. Both paths assign external seqs
+// from the same monotone counter, so any divergence is a transport or
+// routing bug, not schedule noise.
+func TestDistributedEquivalence(t *testing.T) {
+	_, ep0 := newTCPWorker(t)
+	_, ep1 := newTCPWorker(t)
+	coord, err := runtime.NewCoordinator("kv", []runtime.WorkerEndpoint{ep0, ep1}, runtime.CoordOptions{
+		Partitions: map[string]int{"store": 2},
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	ref, err := runtime.Deploy(kv.Graph(), runtime.Options{Partitions: map[string]int{"store": 2}})
+	if err != nil {
+		t.Fatalf("deploy reference: %v", err)
+	}
+	defer ref.Stop()
+
+	const ops = 400
+	const keys = 50
+	for i := 0; i < ops; i++ {
+		key := uint64(i % keys)
+		switch i % 5 {
+		case 0, 1: // synchronous put
+			val := []byte(fmt.Sprintf("v%d@%d", key, i))
+			if _, err := coord.Call("put", key, val, 5*time.Second); err != nil {
+				t.Fatalf("op %d: distributed put: %v", i, err)
+			}
+			if _, err := ref.Call("put", key, val, 5*time.Second); err != nil {
+				t.Fatalf("op %d: reference put: %v", i, err)
+			}
+		case 2: // get: replies must agree too
+			dv, err := coord.Call("get", key, nil, 5*time.Second)
+			if err != nil {
+				t.Fatalf("op %d: distributed get: %v", i, err)
+			}
+			rv, err := ref.Call("get", key, nil, 5*time.Second)
+			if err != nil {
+				t.Fatalf("op %d: reference get: %v", i, err)
+			}
+			db, _ := dv.([]byte)
+			rb, _ := rv.([]byte)
+			if !bytes.Equal(db, rb) {
+				t.Fatalf("op %d: get(%d) diverged: distributed %q, reference %q", i, key, db, rb)
+			}
+		case 3: // delete
+			if _, err := coord.Call("delete", key, nil, 5*time.Second); err != nil {
+				t.Fatalf("op %d: distributed delete: %v", i, err)
+			}
+			if _, err := ref.Call("delete", key, nil, 5*time.Second); err != nil {
+				t.Fatalf("op %d: reference delete: %v", i, err)
+			}
+		case 4: // asynchronous put
+			val := []byte(fmt.Sprintf("a%d@%d", key, i))
+			if err := coord.Inject("put", key, val); err != nil {
+				t.Fatalf("op %d: distributed inject: %v", i, err)
+			}
+			if err := ref.Inject("put", key, val); err != nil {
+				t.Fatalf("op %d: reference inject: %v", i, err)
+			}
+		}
+	}
+
+	if !coord.Drain(10 * time.Second) {
+		t.Fatal("distributed deployment did not quiesce")
+	}
+	if !ref.Drain(10 * time.Second) {
+		t.Fatal("reference runtime did not quiesce")
+	}
+
+	dist, err := coord.DumpKV("store")
+	if err != nil {
+		t.Fatalf("distributed dump: %v", err)
+	}
+	local, err := ref.DumpKV("store")
+	if err != nil {
+		t.Fatalf("reference dump: %v", err)
+	}
+	if len(dist) != len(local) {
+		t.Fatalf("store size diverged: distributed %d keys, reference %d", len(dist), len(local))
+	}
+	for k, rv := range local {
+		if dv, ok := dist[k]; !ok || !bytes.Equal(dv, rv) {
+			t.Fatalf("key %d diverged: distributed %q, reference %q", k, dist[k], rv)
+		}
+	}
+
+	for _, task := range []string{"put", "get", "delete"} {
+		dwm, err := coord.FoldedWatermarks(task)
+		if err != nil {
+			t.Fatalf("distributed watermarks %q: %v", task, err)
+		}
+		rwm, err := ref.FoldedWatermarks(task)
+		if err != nil {
+			t.Fatalf("reference watermarks %q: %v", task, err)
+		}
+		if len(dwm) != len(rwm) {
+			t.Fatalf("%q watermark origins diverged: %v vs %v", task, dwm, rwm)
+		}
+		for o, s := range rwm {
+			if dwm[o] != s {
+				t.Fatalf("%q watermark for origin %d diverged: distributed %d, reference %d", task, o, dwm[o], s)
+			}
+		}
+	}
+}
+
+// TestDistributedKillWorkerRecovery kills one of two workers mid-stream and
+// requires the recovered deployment to account for every increment exactly
+// once. The counter graph makes the check exact: a lost item leaves a count
+// short, a duplicated replay overshoots — neither can hide the way an
+// idempotent put would.
+func TestDistributedKillWorkerRecovery(t *testing.T) {
+	w0 := runtime.NewWorker()
+	defer w0.Close()
+	w1 := runtime.NewWorker()
+	defer w1.Close()
+	// Local transports: closing them below simulates the crash cutting the
+	// coordinator's links.
+	ep0 := runtime.WorkerEndpoint{Data: cluster.Local(w0.Handler(), 0), Control: cluster.Local(w0.Handler(), 0)}
+	ep1 := runtime.WorkerEndpoint{Data: cluster.Local(w1.Handler(), 0), Control: cluster.Local(w1.Handler(), 0)}
+
+	failed := make(chan int, 4)
+	coord, err := runtime.NewCoordinator("counter", []runtime.WorkerEndpoint{ep0, ep1}, runtime.CoordOptions{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   2,
+		OnFailure:         func(w int) { failed <- w },
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	const keys = 20
+	const perPhase = 300
+	inject := func(phase int) {
+		t.Helper()
+		for i := 0; i < perPhase; i++ {
+			if err := coord.Inject("inc", uint64(i%keys), nil); err != nil {
+				t.Fatalf("phase %d inject %d: %v", phase, i, err)
+			}
+		}
+	}
+
+	inject(1)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	inject(2) // applied on w1 but newer than its snapshot: must come back via replay
+
+	// Crash worker 1: its runtime dies with its process, the coordinator's
+	// links break.
+	w1.Close()
+	ep1.Data.Close()
+	ep1.Control.Close()
+
+	inject(3) // items routed to the dead worker queue in the replay log
+
+	select {
+	case idx := <-failed:
+		if idx != 1 {
+			t.Fatalf("failure detector blamed worker %d, want 1", idx)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure detector never fired")
+	}
+	if coord.WorkerAlive(1) {
+		t.Fatal("worker 1 still marked alive after failure")
+	}
+
+	w1b := runtime.NewWorker()
+	defer w1b.Close()
+	ep1b := runtime.WorkerEndpoint{Data: cluster.Local(w1b.Handler(), 0), Control: cluster.Local(w1b.Handler(), 0)}
+	if err := coord.RecoverWorker(1, ep1b); err != nil {
+		t.Fatalf("RecoverWorker: %v", err)
+	}
+	if !coord.WorkerAlive(1) {
+		t.Fatal("worker 1 not alive after recovery")
+	}
+
+	inject(4)
+
+	if !coord.Drain(10 * time.Second) {
+		t.Fatal("deployment did not quiesce after recovery")
+	}
+	dump, err := coord.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	const total = 4 * perPhase
+	var sum uint64
+	for k := uint64(0); k < keys; k++ {
+		n := counter.Count(dump[k])
+		sum += n
+		if n != total/keys {
+			t.Errorf("key %d: count %d, want %d", k, n, total/keys)
+		}
+	}
+	if sum != total {
+		t.Fatalf("counted %d increments, want exactly %d (lost or duplicated items)", sum, total)
+	}
+
+	// A checkpoint over the quiesced deployment must trim every replay log:
+	// the snapshot watermarks now cover everything ever sent.
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	for w := 0; w < coord.Workers(); w++ {
+		if n := coord.PendingReplay("inc", w); n != 0 {
+			t.Errorf("worker %d replay log not trimmed: %d items", w, n)
+		}
+	}
+}
+
+// startWorkerProc launches one sdg-worker process and returns its command
+// handle and listen address.
+func startWorkerProc(t *testing.T, bin string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := strings.TrimSpace(line[i+len("listening on "):])
+				addrCh <- strings.Fields(rest)[0]
+				break
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			t.Fatal("worker process exited before announcing its address")
+		}
+		return cmd, addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker process never announced its address")
+	}
+	return nil, ""
+}
+
+func dialWorker(t *testing.T, addr string) runtime.WorkerEndpoint {
+	t.Helper()
+	dial := func(timeout time.Duration) *cluster.Client {
+		c, err := cluster.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		c.SetCallTimeout(timeout)
+		return c
+	}
+	return runtime.WorkerEndpoint{Data: dial(10 * time.Second), Control: dial(2 * time.Second)}
+}
+
+// TestDistributedTCPProcesses is the full distributed smoke test: a
+// coordinator driving two sdg-worker OS processes over localhost TCP, one of
+// which is SIGKILLed mid-stream and replaced by a third. Exact increment
+// accounting must survive the process boundary. Skipped under -short (it
+// spawns processes); CI runs it with SDG_WORKER_BIN pointing at a prebuilt
+// race-enabled binary, and it builds the binary itself when the variable is
+// unset.
+func TestDistributedTCPProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; skipped in -short")
+	}
+	bin := os.Getenv("SDG_WORKER_BIN")
+	if bin == "" {
+		bin = filepath.Join(t.TempDir(), "sdg-worker")
+		out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/sdg-worker").CombinedOutput()
+		if err != nil {
+			t.Fatalf("build sdg-worker: %v\n%s", err, out)
+		}
+	}
+
+	proc0, addr0 := startWorkerProc(t, bin)
+	proc1, addr1 := startWorkerProc(t, bin)
+	_ = proc0
+
+	failed := make(chan int, 4)
+	coord, err := runtime.NewCoordinator("counter",
+		[]runtime.WorkerEndpoint{dialWorker(t, addr0), dialWorker(t, addr1)},
+		runtime.CoordOptions{
+			HeartbeatInterval: 50 * time.Millisecond,
+			HeartbeatMisses:   2,
+			OnFailure:         func(w int) { failed <- w },
+		})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	const keys = 10
+	const perPhase = 200
+	inject := func(phase int) {
+		t.Helper()
+		for i := 0; i < perPhase; i++ {
+			if err := coord.Inject("inc", uint64(i%keys), nil); err != nil {
+				t.Fatalf("phase %d inject %d: %v", phase, i, err)
+			}
+		}
+	}
+
+	inject(1)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	inject(2)
+
+	if err := proc1.Process.Kill(); err != nil {
+		t.Fatalf("kill worker process: %v", err)
+	}
+	proc1.Wait()
+
+	inject(3)
+	select {
+	case idx := <-failed:
+		if idx != 1 {
+			t.Fatalf("failure detector blamed worker %d, want 1", idx)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("failure detector never fired after process kill")
+	}
+
+	_, addr2 := startWorkerProc(t, bin)
+	if err := coord.RecoverWorker(1, dialWorker(t, addr2)); err != nil {
+		t.Fatalf("RecoverWorker: %v", err)
+	}
+	inject(4)
+
+	if !coord.Drain(15 * time.Second) {
+		t.Fatal("deployment did not quiesce after process recovery")
+	}
+	dump, err := coord.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	const total = 4 * perPhase
+	var sum uint64
+	for k := uint64(0); k < keys; k++ {
+		n := counter.Count(dump[k])
+		sum += n
+		if n != total/keys {
+			t.Errorf("key %d: count %d, want %d", k, n, total/keys)
+		}
+	}
+	if sum != total {
+		t.Fatalf("counted %d increments, want exactly %d across the process kill", sum, total)
+	}
+}

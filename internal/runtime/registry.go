@@ -1,0 +1,57 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Graphs travel between coordinator and worker processes by name: task
+// functions are code and cannot cross the wire, so both binaries link the
+// application packages, each of which registers its graph builder here from
+// an init function. A Deploy message then carries only the registry name.
+var (
+	graphMu sync.RWMutex
+	graphs  = map[string]func() *core.Graph{}
+)
+
+// RegisterGraph makes a graph builder available to distributed deployments
+// under the given name. It panics on duplicate registration — two packages
+// claiming one name is a build-layout bug that must not wait for a worker
+// process to trip over it.
+func RegisterGraph(name string, build func() *core.Graph) {
+	if build == nil {
+		panic(fmt.Sprintf("runtime: RegisterGraph(%q) with nil builder", name))
+	}
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if _, ok := graphs[name]; ok {
+		panic(fmt.Sprintf("runtime: graph %q registered twice", name))
+	}
+	graphs[name] = build
+}
+
+// BuildGraph constructs a registered graph by name.
+func BuildGraph(name string) (*core.Graph, error) {
+	graphMu.RLock()
+	build, ok := graphs[name]
+	graphMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: graph %q not registered (known: %v)", name, RegisteredGraphs())
+	}
+	return build(), nil
+}
+
+// RegisteredGraphs lists the registered graph names, sorted.
+func RegisteredGraphs() []string {
+	graphMu.RLock()
+	defer graphMu.RUnlock()
+	names := make([]string, 0, len(graphs))
+	for n := range graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// Worker hosts one process's slice of a distributed SDG deployment: it
+// answers the coordinator's wire protocol over any cluster.Handler carrier
+// (a TCP server in cmd/sdg-worker, an in-process Local transport in tests)
+// and drives a local Runtime built from the graph registry. The local
+// runtime always runs with checkpointing off — the coordinator owns
+// checkpoints, because a snapshot stored inside the worker process dies
+// with it.
+type Worker struct {
+	mu    sync.Mutex
+	rt    *Runtime
+	graph string
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWorker returns an idle worker awaiting a Deploy message.
+func NewWorker() *Worker {
+	return &Worker{done: make(chan struct{})}
+}
+
+// Handler returns the wire-protocol dispatcher, ready to serve as a
+// cluster.Server handler. Returned errors become error replies on the
+// connection (they never kill it), so the coordinator sees rejections as
+// *cluster.RemoteError.
+func (w *Worker) Handler() cluster.Handler { return w.handle }
+
+// Done is closed when a Stop message has been processed; process mains use
+// it to exit.
+func (w *Worker) Done() <-chan struct{} { return w.done }
+
+// Close stops the hosted runtime (idempotent); transports are the caller's.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	rt := w.rt
+	w.mu.Unlock()
+	if rt != nil {
+		rt.Stop()
+	}
+	w.stopOnce.Do(func() { close(w.done) })
+}
+
+// runtime returns the deployed runtime or an error before deployment.
+func (w *Worker) runtime() (*Runtime, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.rt == nil {
+		return nil, fmt.Errorf("worker: no graph deployed")
+	}
+	return w.rt, nil
+}
+
+// handle dispatches one wire envelope.
+func (w *Worker) handle(req []byte) ([]byte, error) {
+	msgType, payload, err := wire.Decode(req)
+	if err != nil {
+		return nil, err
+	}
+	switch msgType {
+	case wire.MsgDeploy:
+		var m wire.Deploy
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.deploy(m)
+	case wire.MsgInject:
+		var m wire.Inject
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.InjectLogged(m.Task, m.Items); err != nil {
+			return nil, err
+		}
+		return wire.Encode(wire.MsgInjectAck, wire.InjectAck{Accepted: len(m.Items)})
+	case wire.MsgCall:
+		var m wire.Call
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		timeout := time.Duration(m.TimeoutMs) * time.Millisecond
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		v, err := rt.CallItem(m.Task, m.Item, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Encode(wire.MsgCallReply, wire.CallReply{Value: v})
+	case wire.MsgHeartbeat:
+		var m wire.Heartbeat
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		ack := wire.HeartbeatAck{Seq: m.Seq}
+		if rt, err := w.runtime(); err == nil {
+			ack.Queued = rt.QueuedTotal()
+		}
+		return wire.Encode(wire.MsgHeartbeatAck, ack)
+	case wire.MsgSnapshotReq:
+		var m wire.SnapshotReq
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		snap, err := rt.SnapshotAll(m.Chunks)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Encode(wire.MsgSnapshot, snap)
+	case wire.MsgRestore:
+		var m wire.Restore
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.ImportSnapshot(m.Snap); err != nil {
+			return nil, err
+		}
+		return wire.Encode(wire.MsgRestoreAck, wire.RestoreAck{})
+	case wire.MsgDumpReq:
+		var m wire.DumpReq
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		kvs, err := rt.DumpKV(m.SE)
+		if err != nil {
+			return nil, err
+		}
+		dump := wire.Dump{Entries: make([]wire.KVEntry, 0, len(kvs))}
+		for k, v := range kvs {
+			dump.Entries = append(dump.Entries, wire.KVEntry{Key: k, Value: v})
+		}
+		return wire.Encode(wire.MsgDump, dump)
+	case wire.MsgStatsReq:
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		stats := wire.Stats{
+			Processed:  make(map[string]int64),
+			Watermarks: make(map[string]map[uint64]uint64),
+		}
+		for _, ts := range rt.tes {
+			name := ts.def.Name
+			stats.Processed[name] = rt.Processed(name)
+			if wm, err := rt.FoldedWatermarks(name); err == nil {
+				stats.Watermarks[name] = wm
+			}
+		}
+		return wire.Encode(wire.MsgStats, stats)
+	case wire.MsgDrainReq:
+		var m wire.DrainReq
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		timeout := time.Duration(m.TimeoutMs) * time.Millisecond
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		return wire.Encode(wire.MsgDrainAck, wire.DrainAck{Quiesced: rt.Drain(timeout)})
+	case wire.MsgStop:
+		w.Close()
+		return wire.Encode(wire.MsgStopAck, wire.StopAck{})
+	default:
+		return nil, fmt.Errorf("worker: unhandled message %s", wire.MsgName(msgType))
+	}
+}
+
+// deploy builds the named graph from the registry and starts the local
+// runtime. Re-deploying replaces the previous runtime (stopping it first),
+// so a coordinator can repurpose a live worker.
+func (w *Worker) deploy(m wire.Deploy) ([]byte, error) {
+	g, err := BuildGraph(m.Graph)
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Mode:        checkpoint.ModeOff,
+		QueueLen:    m.QueueLen,
+		OverflowLen: m.OverflowLen,
+		BatchSize:   m.BatchSize,
+		KVShards:    m.KVShards,
+		WireCheck:   m.WireCheck,
+		Partitions:  m.Partitions,
+	}
+	rt, err := Deploy(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	old := w.rt
+	w.rt = rt
+	w.graph = m.Graph
+	w.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	return wire.Encode(wire.MsgDeployAck, wire.DeployAck{Graph: m.Graph, TEs: len(g.TEs), SEs: len(g.SEs)})
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Message type bytes. Requests flow coordinator -> worker; each has one
+// reply type the worker answers with (application failures come back as
+// cluster error replies instead). The zero byte is deliberately unassigned
+// so an empty or zeroed buffer never parses as a valid message.
+const (
+	MsgDeploy       byte = 0x01 // Deploy        -> MsgDeployAck
+	MsgDeployAck    byte = 0x02 // DeployAck
+	MsgInject       byte = 0x03 // Inject        -> MsgInjectAck
+	MsgInjectAck    byte = 0x04 // InjectAck
+	MsgCall         byte = 0x05 // Call          -> MsgCallReply
+	MsgCallReply    byte = 0x06 // CallReply
+	MsgHeartbeat    byte = 0x07 // Heartbeat     -> MsgHeartbeatAck
+	MsgHeartbeatAck byte = 0x08 // HeartbeatAck
+	MsgSnapshotReq  byte = 0x09 // SnapshotReq   -> MsgSnapshot
+	MsgSnapshot     byte = 0x0a // Snapshot
+	MsgRestore      byte = 0x0b // Restore       -> MsgRestoreAck
+	MsgRestoreAck   byte = 0x0c // RestoreAck
+	MsgDumpReq      byte = 0x0d // DumpReq       -> MsgDump
+	MsgDump         byte = 0x0e // Dump
+	MsgStatsReq     byte = 0x0f // StatsReq      -> MsgStats
+	MsgStats        byte = 0x10 // Stats
+	MsgDrainReq     byte = 0x11 // DrainReq      -> MsgDrainAck
+	MsgDrainAck     byte = 0x12 // DrainAck
+	MsgStop         byte = 0x13 // Stop          -> MsgStopAck
+	MsgStopAck      byte = 0x14 // StopAck
+)
+
+// msgNames is the registry of known message types; Decode rejects a type
+// byte absent from it with ErrUnknownType.
+var msgNames = map[byte]string{
+	MsgDeploy:       "Deploy",
+	MsgDeployAck:    "DeployAck",
+	MsgInject:       "Inject",
+	MsgInjectAck:    "InjectAck",
+	MsgCall:         "Call",
+	MsgCallReply:    "CallReply",
+	MsgHeartbeat:    "Heartbeat",
+	MsgHeartbeatAck: "HeartbeatAck",
+	MsgSnapshotReq:  "SnapshotReq",
+	MsgSnapshot:     "Snapshot",
+	MsgRestore:      "Restore",
+	MsgRestoreAck:   "RestoreAck",
+	MsgDumpReq:      "DumpReq",
+	MsgDump:         "Dump",
+	MsgStatsReq:     "StatsReq",
+	MsgStats:        "Stats",
+	MsgDrainReq:     "DrainReq",
+	MsgDrainAck:     "DrainAck",
+	MsgStop:         "Stop",
+	MsgStopAck:      "StopAck",
+}
+
+// Deploy instructs a worker to build and start its local slice of the named
+// graph. Task functions cannot cross the wire, so both binaries link the
+// application packages and the graph travels by registry name (see
+// runtime.RegisterGraph).
+type Deploy struct {
+	Graph string
+	// Partitions sets the worker-local SE partition counts.
+	Partitions map[string]int
+	// Runtime tuning, mirroring the matching runtime.Options fields.
+	QueueLen    int
+	OverflowLen int
+	BatchSize   int
+	KVShards    int
+	WireCheck   bool
+}
+
+// DeployAck confirms a deployment.
+type DeployAck struct {
+	Graph string
+	TEs   int
+	SEs   int
+}
+
+// Inject delivers externally injected items to one entry task. Items carry
+// coordinator-assigned (Origin, Seq) timestamps: the coordinator owns the
+// external seq space so dedup watermarks and replay logs stay coherent
+// across worker restarts, and the worker must never re-stamp them.
+type Inject struct {
+	Task  string
+	Items []core.Item
+}
+
+// InjectAck confirms the items were admitted and enqueued (not processed).
+type InjectAck struct {
+	Accepted int
+}
+
+// Call is a request/reply injection: the worker waits for the dataflow's
+// Reply and sends it back. The item's ReqID is assigned worker-locally;
+// the coordinator leaves it zero.
+type Call struct {
+	Task      string
+	Item      core.Item
+	TimeoutMs int64
+}
+
+// CallReply carries the dataflow's reply value.
+type CallReply struct {
+	Value any
+}
+
+// Heartbeat probes liveness on the control link. Seq echoes back so an ack
+// delayed across a probe boundary cannot be credited to the wrong probe.
+type Heartbeat struct {
+	Seq uint64
+}
+
+// HeartbeatAck answers a probe with a load hint.
+type HeartbeatAck struct {
+	Seq    uint64
+	Queued int64
+}
+
+// SnapshotReq asks the worker for a consistent snapshot of its state and
+// recovery metadata.
+type SnapshotReq struct {
+	// Chunks is the checkpoint parallelism m per store (default 2).
+	Chunks int
+}
+
+// SESnap is one SE instance's checkpoint chunks.
+type SESnap struct {
+	SE     string
+	Index  int
+	Chunks []state.Chunk
+}
+
+// TESnap is one TE instance's recovery metadata, captured in the same
+// consistent cut as the SE chunks: the dedup watermarks decide which
+// replayed items the restored instance must drop, OutSeq continues the
+// output numbering under the same origin identity, and Buffered carries the
+// per-out-edge replay log for graphs with dataflow edges.
+type TESnap struct {
+	TE         string
+	Index      int
+	Watermarks map[uint64]uint64
+	OutSeq     uint64
+	Buffered   [][]core.Item
+}
+
+// Snapshot is a worker's full state: every SE instance's chunks plus every
+// TE instance's recovery metadata.
+type Snapshot struct {
+	SEs []SESnap
+	TEs []TESnap
+}
+
+// Restore loads a snapshot into a freshly deployed worker.
+type Restore struct {
+	Snap Snapshot
+}
+
+// RestoreAck confirms a restore.
+type RestoreAck struct{}
+
+// DumpReq asks for the full contents of a dictionary SE.
+type DumpReq struct {
+	SE string
+}
+
+// KVEntry is one dictionary entry in a dump.
+type KVEntry struct {
+	Key   uint64
+	Value []byte
+}
+
+// Dump returns a dictionary SE's contents across the worker's partitions.
+type Dump struct {
+	Entries []KVEntry
+}
+
+// StatsReq asks for processing counters and watermarks.
+type StatsReq struct{}
+
+// Stats reports per-task processed counts and per-task dedup watermarks
+// folded (max per origin) across the worker's instances.
+type Stats struct {
+	Processed  map[string]int64
+	Watermarks map[string]map[uint64]uint64
+}
+
+// DrainReq asks the worker to wait until its queues quiesce.
+type DrainReq struct {
+	TimeoutMs int64
+}
+
+// DrainAck reports whether the worker quiesced within the timeout.
+type DrainAck struct {
+	Quiesced bool
+}
+
+// Stop shuts the worker's runtime down.
+type Stop struct{}
+
+// StopAck confirms shutdown; the worker process exits after sending it.
+type StopAck struct{}
+
+func init() {
+	// Dynamic payload types that ride inside interface-typed fields
+	// (Item.Value, CallReply.Value) in every deployment. Applications
+	// register their own payload types the same way.
+	Register(false)
+	Register(int(0))
+	Register(int64(0))
+	Register(uint64(0))
+	Register("")
+	Register([]byte(nil))
+	Register(core.Collection{})
+}

@@ -1,0 +1,242 @@
+// Package wire is the versioned message codec of the distributed deployment
+// mode. Every payload crossing a process boundary travels inside a framed
+// envelope:
+//
+//	[0] message type byte (Msg* constants)
+//	[1] protocol version (Version)
+//	[2:] gob-encoded payload struct
+//
+// The envelope rides inside the cluster package's length-prefixed frames;
+// this package is only concerned with what the frame bytes mean.
+//
+// Like labgob, the codec validates types at registration and encode time:
+// gob silently drops unexported struct fields, which in a replicated state
+// system turns into state divergence that surfaces long after the bug. Any
+// value whose type (or dynamic payload) carries a lower-case field is
+// rejected loudly instead. Checked types are cached, so steady-state
+// encoding pays one map lookup, not a reflect walk.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Version is the protocol revision carried in every envelope. Bump it on
+// any incompatible message change; peers reject mismatched envelopes with a
+// *VersionError instead of misdecoding them.
+const Version byte = 1
+
+// Typed decode errors. Decode and Unmarshal never panic on hostile input.
+var (
+	// ErrShortFrame: the frame ends before the two-byte envelope header.
+	ErrShortFrame = errors.New("wire: frame too short for envelope header")
+	// ErrUnknownType: the type byte names no registered message.
+	ErrUnknownType = errors.New("wire: unknown message type")
+	// ErrUnexpectedType: a reply carried a valid but different message type
+	// than the protocol step expects.
+	ErrUnexpectedType = errors.New("wire: unexpected message type")
+	// ErrBadPayload: the gob payload does not decode into the target.
+	ErrBadPayload = errors.New("wire: malformed payload")
+	// ErrVersion matches any *VersionError via errors.Is.
+	ErrVersion = errors.New("wire: protocol version mismatch")
+)
+
+// VersionError reports an envelope from an incompatible peer.
+type VersionError struct {
+	Got, Want byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version mismatch: got %d, want %d", e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrVersion) match.
+func (e *VersionError) Is(target error) bool { return target == ErrVersion }
+
+// Register validates v's type and registers it with gob, so it can travel
+// inside interface-typed fields (e.g. Item.Value). It panics on types gob
+// would corrupt silently — registration happens in init functions, where
+// failing loudly at startup beats diverging state at runtime.
+func Register(v any) {
+	if err := checkValue(reflect.ValueOf(v)); err != nil {
+		panic(err)
+	}
+	gob.Register(v)
+}
+
+// Encode wraps a payload struct in a versioned envelope. The payload (and
+// every dynamic value reachable through its interface fields) is validated
+// before encoding: a type gob would silently truncate fails here, at the
+// sender, where the bug is.
+func Encode(msgType byte, v any) ([]byte, error) {
+	if _, ok := msgNames[msgType]; !ok {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, msgType)
+	}
+	if err := checkValue(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(msgType)
+	buf.WriteByte(Version)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode %s: %w", MsgName(msgType), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode splits an envelope into its message type and payload bytes,
+// checking the header. The payload is not parsed; pass it to Unmarshal once
+// the type byte has selected the target struct.
+func Decode(frame []byte) (msgType byte, payload []byte, err error) {
+	if len(frame) < 2 {
+		return 0, nil, fmt.Errorf("%w: %d byte(s)", ErrShortFrame, len(frame))
+	}
+	if frame[1] != Version {
+		return 0, nil, &VersionError{Got: frame[1], Want: Version}
+	}
+	if _, ok := msgNames[frame[0]]; !ok {
+		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, frame[0])
+	}
+	return frame[0], frame[2:], nil
+}
+
+// Unmarshal decodes payload bytes (from Decode) into v.
+func Unmarshal(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return nil
+}
+
+// Expect decodes a complete envelope that must carry the given message
+// type — the reply-parsing path, where the protocol step fixes the type.
+func Expect(frame []byte, want byte, v any) error {
+	t, payload, err := Decode(frame)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("%w: got %s, want %s", ErrUnexpectedType, MsgName(t), MsgName(want))
+	}
+	return Unmarshal(payload, v)
+}
+
+// MsgName names a message type byte for error messages and logs.
+func MsgName(t byte) string {
+	if n, ok := msgNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(0x%02x)", t)
+}
+
+// checkResult caches the verdict for one type: err is the static rejection
+// (unexported field, unencodable kind); clean means no interface is
+// reachable, so values of the type never need a dynamic walk.
+type checkResult struct {
+	err   error
+	clean bool
+}
+
+var checked sync.Map // reflect.Type -> checkResult
+
+// checkValue validates that gob will encode v faithfully. Static structure
+// is checked once per type and cached; only types with reachable interface
+// fields descend into the actual values, and only through those fields.
+func checkValue(v reflect.Value) error {
+	if !v.IsValid() {
+		return nil // nil interface: gob encodes the zero value faithfully
+	}
+	t := v.Type()
+	var cr checkResult
+	if r, ok := checked.Load(t); ok {
+		cr = r.(checkResult)
+	} else {
+		cr.err, cr.clean = checkType(t, map[reflect.Type]bool{})
+		checked.Store(t, cr)
+	}
+	if cr.err != nil {
+		return cr.err
+	}
+	if cr.clean {
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Interface, reflect.Pointer:
+		if v.IsNil() {
+			return nil
+		}
+		return checkValue(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if err := checkValue(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := checkValue(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		iter := v.MapRange()
+		for iter.Next() {
+			if err := checkValue(iter.Key()); err != nil {
+				return err
+			}
+			if err := checkValue(iter.Value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkType walks a type's static structure. seen breaks recursive types;
+// a type already on the walk path is treated as clean here, its own entry
+// settles the verdict.
+func checkType(t reflect.Type, seen map[reflect.Type]bool) (err error, clean bool) {
+	if seen[t] {
+		return nil, true
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return fmt.Errorf("wire: type %v cannot cross the wire (kind %v)", t, t.Kind()), false
+	case reflect.Interface:
+		return nil, false // dynamic value checked per encode
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		return checkType(t.Elem(), seen)
+	case reflect.Map:
+		kerr, kclean := checkType(t.Key(), seen)
+		if kerr != nil {
+			return kerr, false
+		}
+		verr, vclean := checkType(t.Elem(), seen)
+		if verr != nil {
+			return verr, false
+		}
+		return nil, kclean && vclean
+	case reflect.Struct:
+		clean = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				return fmt.Errorf("wire: type %v has unexported field %q (gob drops it silently)", t, f.Name), false
+			}
+			ferr, fclean := checkType(f.Type, seen)
+			if ferr != nil {
+				return ferr, false
+			}
+			clean = clean && fclean
+		}
+		return nil, clean
+	default:
+		return nil, true
+	}
+}

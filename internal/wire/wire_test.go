@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// TestEnvelopeRoundTrip pins the codec on representative messages from
+// every protocol area: control, data, and snapshot streaming.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	t.Run("inject", func(t *testing.T) {
+		in := Inject{
+			Task: "put",
+			Items: []core.Item{
+				{Origin: ^uint64(0), Seq: 1, Key: 42, Value: []byte("v1")},
+				{Origin: ^uint64(0), Seq: 2, Key: 43, Value: nil},
+			},
+		}
+		frame, err := Encode(MsgInject, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Inject
+		if err := Expect(frame, MsgInject, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Task != "put" || len(out.Items) != 2 {
+			t.Fatalf("round trip lost data: %+v", out)
+		}
+		if string(out.Items[0].Value.([]byte)) != "v1" || out.Items[1].Value != nil {
+			t.Fatalf("payload values corrupted: %+v", out.Items)
+		}
+		if out.Items[0].Seq != 1 || out.Items[0].Origin != ^uint64(0) {
+			t.Fatalf("timestamps corrupted: %+v", out.Items[0])
+		}
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		in := Snapshot{
+			SEs: []SESnap{{SE: "store", Index: 1, Chunks: []state.Chunk{
+				{Type: state.TypeKVMap, Index: 0, Of: 2, Data: []byte{1, 2, 3}},
+			}}},
+			TEs: []TESnap{{TE: "put", Index: 1, Watermarks: map[uint64]uint64{7: 99}, OutSeq: 12}},
+		}
+		frame, err := Encode(MsgSnapshot, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Snapshot
+		if err := Expect(frame, MsgSnapshot, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.SEs) != 1 || out.SEs[0].Chunks[0].Of != 2 {
+			t.Fatalf("SE chunks corrupted: %+v", out.SEs)
+		}
+		if out.TEs[0].Watermarks[7] != 99 || out.TEs[0].OutSeq != 12 {
+			t.Fatalf("TE metadata corrupted: %+v", out.TEs)
+		}
+	})
+	t.Run("empty structs", func(t *testing.T) {
+		frame, err := Encode(MsgStop, Stop{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Stop
+		if err := Expect(frame, MsgStop, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDecodeMalformed tables the hostile-envelope space: truncated headers,
+// version mismatches, unknown types, and garbage payloads must all return
+// the documented typed errors, never panic or misparse.
+func TestDecodeMalformed(t *testing.T) {
+	good, err := Encode(MsgHeartbeat, Heartbeat{Seq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrShortFrame},
+		{"one byte", []byte{MsgHeartbeat}, ErrShortFrame},
+		{"version zero", []byte{MsgHeartbeat, 0x00, 0x01}, ErrVersion},
+		{"version future", []byte{MsgHeartbeat, Version + 1, 0x01}, ErrVersion},
+		{"unknown type", []byte{0xee, Version, 0x01}, ErrUnknownType},
+		{"zero type", []byte{0x00, Version}, ErrUnknownType},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode(tc.frame)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Decode(%x) error = %v, want %v", tc.frame, err, tc.want)
+			}
+		})
+	}
+
+	t.Run("version error detail", func(t *testing.T) {
+		_, _, err := Decode([]byte{MsgHeartbeat, Version + 3, 0x01})
+		var ve *VersionError
+		if !errors.As(err, &ve) || ve.Got != Version+3 || ve.Want != Version {
+			t.Fatalf("error = %v, want *VersionError with got/want", err)
+		}
+	})
+	t.Run("garbage payload", func(t *testing.T) {
+		frame := []byte{MsgHeartbeat, Version, 0xde, 0xad, 0xbe, 0xef}
+		var hb Heartbeat
+		if err := Expect(frame, MsgHeartbeat, &hb); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("garbage payload: got %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		var hb Heartbeat
+		if err := Expect(good[:len(good)-2], MsgHeartbeat, &hb); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("truncated payload: got %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("wrong message type", func(t *testing.T) {
+		var s Stats
+		if err := Expect(good, MsgStats, &s); !errors.Is(err, ErrUnexpectedType) {
+			t.Fatalf("type mismatch: got %v, want ErrUnexpectedType", err)
+		}
+	})
+}
+
+// TestEncodeRejectsUnencodableTypes is the labgob-style guard: gob silently
+// zeroes unexported fields and chokes on channels; both must fail loudly at
+// the sender, including when the bad type hides behind an interface field.
+func TestEncodeRejectsUnencodableTypes(t *testing.T) {
+	type sneaky struct {
+		Visible int
+		hidden  int //nolint:unused // the point: gob would drop it silently
+	}
+	if _, err := Encode(MsgCall, sneaky{Visible: 1}); err == nil {
+		t.Fatal("struct with unexported field encoded without error")
+	}
+	type nested struct {
+		Inner sneaky
+	}
+	if _, err := Encode(MsgCall, nested{}); err == nil {
+		t.Fatal("nested unexported field encoded without error")
+	}
+	type chans struct {
+		C chan int
+	}
+	if _, err := Encode(MsgCall, chans{}); err == nil {
+		t.Fatal("channel field encoded without error")
+	}
+	// The dynamic path: a clean envelope type carrying a dirty payload
+	// through an interface field.
+	bad := Call{Task: "put", Item: core.Item{Value: sneaky{Visible: 2}}}
+	if _, err := Encode(MsgCall, bad); err == nil {
+		t.Fatal("unexported field behind interface encoded without error")
+	}
+	// And the checked-type cache must not poison the healthy path.
+	if _, err := Encode(MsgCall, Call{Task: "put", Item: core.Item{Value: []byte("ok")}}); err != nil {
+		t.Fatalf("healthy call after rejections: %v", err)
+	}
+}
+
+// TestEncodeUnknownType: the sender-side registry check.
+func TestEncodeUnknownType(t *testing.T) {
+	if _, err := Encode(0xee, Heartbeat{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("got %v, want ErrUnknownType", err)
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the envelope parser: it must return
+// a typed error or a (type, payload) pair consistent with the input —
+// never panic.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{MsgInject, Version})
+	f.Add([]byte{MsgInject, Version, 0xff, 0x00})
+	f.Add([]byte{0xee, Version, 0x01})
+	f.Add([]byte{MsgHeartbeat, 0x00, 0x01})
+	if frame, err := Encode(MsgHeartbeat, Heartbeat{Seq: 3}); err == nil {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgType, payload, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrUnknownType) {
+				t.Fatalf("Decode(%x): untyped error %v", data, err)
+			}
+			return
+		}
+		if _, ok := msgNames[msgType]; !ok {
+			t.Fatalf("Decode accepted unknown type 0x%02x", msgType)
+		}
+		if len(payload) != len(data)-2 {
+			t.Fatalf("payload length %d, want %d", len(payload), len(data)-2)
+		}
+		// Unmarshal into a generic target must error or succeed, not panic.
+		var hb Heartbeat
+		_ = Unmarshal(payload, &hb)
+	})
+}

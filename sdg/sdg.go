@@ -235,6 +235,12 @@ type Options struct {
 	// quiesce behind the ingress fence before failing with ErrNotQuiesced
 	// (default 30s).
 	ScaleDrainTimeout time.Duration
+	// WireCheck round-trips every delivered payload through the wire codec,
+	// verifying the location-independence restriction of the paper (§4.1):
+	// a payload that could not cross a real process boundary fails loudly
+	// instead of silently sharing memory. Recommended while developing a
+	// graph destined for distributed deployment.
+	WireCheck bool
 }
 
 // System is a deployed SDG.
@@ -265,6 +271,7 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 		CompactEvery:      opts.CompactEvery,
 		CompactRatio:      opts.CompactRatio,
 		ScaleDrainTimeout: opts.ScaleDrainTimeout,
+		WireCheck:         opts.WireCheck,
 	})
 	if err != nil {
 		return nil, err
