@@ -38,8 +38,36 @@ func main() {
 		elOut     = flag.String("elastic-out", "BENCH_elasticity.json", "JSON output path for -elastic-bench (empty = stdout table only)")
 		elItems   = flag.Int("elastic-items", 2_000, "items per flood phase for -elastic-bench")
 		elCycles  = flag.Int("elastic-cycles", 2, "sawtooth cycles for -elastic-bench")
+		wireB     = flag.Bool("wire-bench", false, "measure gob vs flat wire codec cost (bytes, allocs, ns per message) and exit")
+		wireOut   = flag.String("wire-out", "BENCH_wire.json", "JSON output path for -wire-bench (empty = stdout table only)")
+		wireIters = flag.Int("wire-iters", 2_000, "codec round trips per scenario for -wire-bench")
+		ledger    = flag.String("ledger", "", "update this rolling perf ledger from the BENCH_*.json records in the current directory and exit")
+		ledgerPR  = flag.Int("ledger-pr", 0, "PR number the ledger entry records (required with -ledger)")
 	)
 	flag.Parse()
+
+	if *ledger != "" {
+		if *ledgerPR <= 0 {
+			fmt.Fprintln(os.Stderr, "sdg-bench: -ledger requires -ledger-pr")
+			os.Exit(2)
+		}
+		if err := experiments.UpdateLedger(*ledger, *ledgerPR, "."); err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ledger %s: recorded PR %d\n", *ledger, *ledgerPR)
+		return
+	}
+
+	if *wireB {
+		err := experiments.WriteWireBench(os.Stdout,
+			experiments.WireBenchConfig{Iters: *wireIters}, *wireOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ckpt {
 		err := experiments.WriteCheckpointBench(os.Stdout,

@@ -154,6 +154,7 @@ func main() {
 		delta        = flag.Bool("delta", true, "incremental (delta) checkpoints: serialise only keys changed since the last epoch")
 		compactEvery = flag.Int("compact-every", 0, "force a full base checkpoint after this many deltas (0 = default 8)")
 		compactRatio = flag.Float64("compact-ratio", 0, "force a full base once delta bytes exceed this fraction of base bytes (0 = default 0.5)")
+		compressBase = flag.Bool("compress-base", false, "flate-compress base checkpoint chunks before they reach the backup disks (deltas stay raw)")
 		workers      = flag.String("workers", "", "comma-separated sdg-worker addresses; when set, run as a distributed coordinator instead of hosting the store in-process")
 		demo         = flag.Bool("demo", false, "run a scripted demo client and exit")
 	)
@@ -200,6 +201,7 @@ func main() {
 				DeltaCheckpoints: *delta,
 				CompactEvery:     *compactEvery,
 				CompactRatio:     *compactRatio,
+				CompressBase:     *compressBase,
 			},
 		})
 		if err != nil {

@@ -22,8 +22,9 @@ package checkpoint
 
 import (
 	"bytes"
-	"encoding/gob"
+	"compress/flate"
 	"fmt"
+	"io"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/wire/flat"
 )
 
 // Mode selects the fault-tolerance strategy.
@@ -136,6 +138,13 @@ type Backup struct {
 	cl      *cluster.Cluster
 	targets []*cluster.Node
 
+	// CompressBase flate-compresses base (full) chunk payloads before they
+	// hit the backup disks; delta chunks stay raw — they are already small
+	// and their write rate is the hot path. Set before the first Save (it
+	// is read concurrently by chunk writers); restores auto-detect either
+	// way from the chunk header, so the setting can change across epochs.
+	CompressBase bool
+
 	mu        sync.Mutex
 	manifests map[string]Meta
 }
@@ -234,19 +243,48 @@ func (b *Backup) Save(meta Meta, chunks []state.Chunk) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: encode buffers: %w", err)
 	}
-	var chunkBytes int64
-	for _, c := range chunks {
-		chunkBytes += int64(len(c.Data))
-	}
+	// chunkBytes counts payload bytes as stored (post-compression), so
+	// Result.Bytes and the chain's compaction-ratio accounting both see
+	// what the disks and the network actually carried.
+	var written atomic.Int64
 	runBounded(len(chunks), ioPool(len(chunks), len(b.targets)), func(i int) {
 		c := chunks[i]
 		target := b.targets[i%len(b.targets)]
-		hdr := chunkHeader(c)
-		b.cl.Transfer(int64(len(hdr)) + int64(len(c.Data)))
-		// The 9-byte header is written as a separate part so the payload is
-		// never re-copied into a fresh header+data slice.
-		target.Disk.WriteParts(chunkName(meta.SE, meta.Epoch, i), hdr[:], c.Data)
+		name := chunkName(meta.SE, meta.Epoch, i)
+		data := c.Data
+		var fe *flateEnc
+		if b.CompressBase && !c.Delta && len(data) >= compressMinSize {
+			fe = flatePool.Get().(*flateEnc)
+			fe.buf.Reset()
+			fe.w.Reset(&fe.buf)
+			// Writes to a bytes.Buffer cannot fail; a compressed result no
+			// smaller than the input is simply not worth the restore cost.
+			fe.w.Write(data)
+			fe.w.Close()
+			if fe.buf.Len() < len(data) {
+				data = fe.buf.Bytes()
+			} else {
+				flatePool.Put(fe)
+				fe = nil
+			}
+		}
+		// The header is written as a separate disk part so the payload is
+		// never re-copied into a contiguous header+data slice; WriteParts
+		// copies both parts, so a pooled compression buffer is immediately
+		// reusable afterwards.
+		if fe != nil {
+			hdr := chunkHeaderV2(c, chunkFlagFlate)
+			b.cl.Transfer(int64(len(hdr)) + int64(len(data)))
+			target.Disk.WriteParts(name, hdr[:], data)
+			flatePool.Put(fe)
+		} else {
+			hdr := chunkHeader(c)
+			b.cl.Transfer(int64(len(hdr)) + int64(len(data)))
+			target.Disk.WriteParts(name, hdr[:], data)
+		}
+		written.Add(int64(len(data)))
 	})
+	chunkBytes := written.Load()
 	// Output buffers ride with the first target.
 	b.cl.Transfer(int64(len(bufBytes)))
 	b.targets[0].Disk.Write(bufName(meta.SE, meta.Epoch), bufBytes)
@@ -456,27 +494,74 @@ func (b *Backup) Forget(se string) {
 	}
 }
 
-// Chunk wire format on backup disks: a 9-byte header — store type (with the
-// high bit marking a delta chunk), index, of — followed by the chunk data.
-// The header is written as a separate disk part so the payload never needs
-// to be copied into a contiguous header+data slice.
-const chunkDeltaFlag = 0x80
+// Chunk wire format on backup disks. Two header versions coexist:
+//
+//	v1 (9 bytes):  [type|0x80 delta][index:4][of:4] data
+//	v2 (10 bytes): [type|0x80 delta|0x40 v2][index:4][of:4][flags] data
+//
+// The v2 marker rides in byte 0 next to the delta bit (StoreType values are
+// tiny, both high bits are free), and the flags byte says how the data is
+// stored — currently only chunkFlagFlate. Writers emit v2 only when flags
+// are non-zero, so uncompressed chunks stay byte-identical to v1 and old
+// chunks restore unchanged. The header is written as a separate disk part
+// so the payload never needs to be copied into a contiguous header+data
+// slice.
+const (
+	chunkDeltaFlag = 0x80
+	chunkV2Flag    = 0x40
 
-func chunkHeader(c state.Chunk) [9]byte {
-	var h [9]byte
+	// chunkFlagFlate: the data is a flate stream of the chunk payload.
+	chunkFlagFlate = 0x01
+)
+
+// compressMinSize skips compression for chunks too small to amortise the
+// flate stream overhead.
+const compressMinSize = 128
+
+// flateEnc pairs a flate writer with its output buffer so both recycle
+// together; chunk writers run concurrently, so the pair is pooled.
+type flateEnc struct {
+	buf bytes.Buffer
+	w   *flate.Writer
+}
+
+var flatePool = sync.Pool{New: func() any {
+	fe := &flateEnc{}
+	fe.w, _ = flate.NewWriter(&fe.buf, flate.BestSpeed)
+	return fe
+}}
+
+func chunkByte0(c state.Chunk) byte {
 	t := byte(c.Type)
 	if c.Delta {
 		t |= chunkDeltaFlag
 	}
-	h[0] = t
-	h[1] = byte(c.Index >> 24)
-	h[2] = byte(c.Index >> 16)
-	h[3] = byte(c.Index >> 8)
-	h[4] = byte(c.Index)
-	h[5] = byte(c.Of >> 24)
-	h[6] = byte(c.Of >> 16)
-	h[7] = byte(c.Of >> 8)
-	h[8] = byte(c.Of)
+	return t
+}
+
+func putChunkIndexOf(h []byte, c state.Chunk) {
+	h[0] = byte(c.Index >> 24)
+	h[1] = byte(c.Index >> 16)
+	h[2] = byte(c.Index >> 8)
+	h[3] = byte(c.Index)
+	h[4] = byte(c.Of >> 24)
+	h[5] = byte(c.Of >> 16)
+	h[6] = byte(c.Of >> 8)
+	h[7] = byte(c.Of)
+}
+
+func chunkHeader(c state.Chunk) [9]byte {
+	var h [9]byte
+	h[0] = chunkByte0(c)
+	putChunkIndexOf(h[1:], c)
+	return h
+}
+
+func chunkHeaderV2(c state.Chunk, flags byte) [10]byte {
+	var h [10]byte
+	h[0] = chunkByte0(c) | chunkV2Flag
+	putChunkIndexOf(h[1:], c)
+	h[9] = flags
 	return h
 }
 
@@ -484,29 +569,103 @@ func decodeChunk(payload []byte) (state.Chunk, error) {
 	if len(payload) < 9 {
 		return state.Chunk{}, state.ErrBadChunk
 	}
-	return state.Chunk{
-		Type:  state.StoreType(payload[0] &^ chunkDeltaFlag),
+	c := state.Chunk{
+		Type:  state.StoreType(payload[0] &^ (chunkDeltaFlag | chunkV2Flag)),
 		Delta: payload[0]&chunkDeltaFlag != 0,
 		Index: int(payload[1])<<24 | int(payload[2])<<16 | int(payload[3])<<8 | int(payload[4]),
 		Of:    int(payload[5])<<24 | int(payload[6])<<16 | int(payload[7])<<8 | int(payload[8]),
-		Data:  payload[9:],
-	}, nil
+	}
+	data := payload[9:]
+	if payload[0]&chunkV2Flag != 0 {
+		if len(payload) < 10 {
+			return state.Chunk{}, state.ErrBadChunk
+		}
+		flags := payload[9]
+		data = payload[10:]
+		if flags&^byte(chunkFlagFlate) != 0 {
+			// An unknown storage flag means a future writer: refuse rather
+			// than misparse the data.
+			return state.Chunk{}, state.ErrBadChunk
+		}
+		if flags&chunkFlagFlate != 0 {
+			r := flate.NewReader(bytes.NewReader(data))
+			var buf bytes.Buffer
+			if _, err := io.Copy(&buf, r); err != nil {
+				return state.Chunk{}, state.ErrBadChunk
+			}
+			r.Close()
+			data = buf.Bytes()
+		}
+	}
+	c.Data = data
+	return c, nil
 }
 
-// Output buffers are gob-encoded; applications must gob.Register their
-// payload types (the runtime does so for the built-in applications).
+// Output buffers use the flat item codec (uvarint map/slice counts, tagged
+// values); payload types outside the flat tag table ride its gob fallback,
+// so applications register them exactly as before.
 func encodeBuffers(buffered map[int][][]core.Item) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(buffered); err != nil {
-		return nil, err
+	e := flat.GetEncoder()
+	defer flat.PutEncoder(e)
+	e.Uvarint(uint64(len(buffered)))
+	for id, edges := range buffered {
+		e.Varint(int64(id))
+		e.Uvarint(uint64(len(edges)))
+		for _, items := range edges {
+			e.Uvarint(uint64(len(items)))
+			for i := range items {
+				if err := e.Item(items[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
 }
 
 func decodeBuffers(payload []byte) (map[int][][]core.Item, error) {
-	var out map[int][][]core.Item
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&out); err != nil {
+	// Copy-mode decode: the disk hands back its stored slice, which must
+	// survive the decoded items.
+	d := flat.NewDecoder(payload)
+	nTE := d.Uvarint()
+	// Every TE entry costs at least two bytes (id + edge count); a larger
+	// claim is hostile — reject before the map allocation sized by it.
+	if nTE > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("checkpoint: buffer TE count %d exceeds payload", nTE)
+	}
+	out := make(map[int][][]core.Item, nTE)
+	for t := uint64(0); t < nTE && d.Err() == nil; t++ {
+		id := int(d.Varint())
+		nEdges := d.Uvarint()
+		// Every edge costs at least its one-byte count; a larger claim is
+		// hostile — reject before allocating.
+		if nEdges > uint64(d.Remaining()) {
+			return nil, fmt.Errorf("checkpoint: buffer edge count %d exceeds payload", nEdges)
+		}
+		edges := make([][]core.Item, nEdges)
+		for ei := uint64(0); ei < nEdges && d.Err() == nil; ei++ {
+			nItems := d.Uvarint()
+			if nItems > uint64(d.Remaining()) {
+				return nil, fmt.Errorf("checkpoint: buffer item count %d exceeds payload", nItems)
+			}
+			if nItems == 0 {
+				continue
+			}
+			items := make([]core.Item, 0, nItems)
+			for i := uint64(0); i < nItems && d.Err() == nil; i++ {
+				items = append(items, d.Item())
+			}
+			edges[ei] = items
+		}
+		out[id] = edges
+	}
+	if err := d.Err(); err != nil {
 		return nil, err
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("checkpoint: %d trailing buffer byte(s)", d.Remaining())
 	}
 	return out, nil
 }

@@ -51,7 +51,13 @@ func (t *localTransport) Call(req []byte) ([]byte, error) {
 	if t.latency > 0 {
 		time.Sleep(t.latency)
 	}
-	resp, err := t.h(req)
+	// Mirror TCP framing's ownership transfer: a frame read off a socket is
+	// a fresh allocation the handler may retain (flat decode borrows item
+	// payloads from it), while senders reuse their encode buffers as soon
+	// as Call returns. Handing req through directly would alias the two.
+	own := make([]byte, len(req))
+	copy(own, req)
+	resp, err := t.h(own)
 	if err != nil {
 		// Mirror the wire: handler errors come back as remote errors on a
 		// healthy link.

@@ -60,6 +60,10 @@ type CheckpointBenchResult struct {
 	DeltaLockNs        int64   `json:"delta_lock_ns_per_epoch"`
 	FullAllocsPerOp    uint64  `json:"full_allocs_per_epoch"`
 	DeltaAllocsPerOp   uint64  `json:"delta_allocs_per_epoch"`
+	// Compressed-base figures: the full-checkpoint loop re-run with
+	// Backup.CompressBase, measuring stored bytes after flate.
+	CompressedBaseBytes int64   `json:"compressed_base_bytes_per_epoch"`
+	BaseCompressRatio   float64 `json:"base_to_compressed_bytes_ratio"`
 }
 
 // allocsAround runs fn and returns the heap allocations it performed, so
@@ -181,8 +185,40 @@ func RunCheckpointBench(cfg CheckpointBenchConfig, backend string) (CheckpointBe
 		res.DeltaAllocsPerOp = allocs / uint64(cfg.Epochs)
 	}
 
+	// Compressed bases: the full-checkpoint loop with flate on, proving the
+	// compression pays for itself in stored (and transferred) bytes and
+	// that a compressed chain still restores.
+	{
+		st := newStore()
+		st.EnableDeltaTracking()
+		fill(st)
+		bk := newBackup()
+		bk.CompressBase = true
+		epoch := uint64(1)
+		if _, err := checkpoint.Async(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk); err != nil {
+			return res, err
+		}
+		var bytes int64
+		for e := 0; e < cfg.Epochs; e++ {
+			churn(st, e)
+			epoch++
+			r, err := checkpoint.Async(st, checkpoint.Meta{SE: "bench/0", Epoch: epoch}, cfg.Chunks, bk)
+			if err != nil {
+				return res, err
+			}
+			bytes += r.Bytes
+		}
+		if _, _, err := bk.Restore("bench/0", 1); err != nil {
+			return res, fmt.Errorf("compressed base restore: %w", err)
+		}
+		res.CompressedBaseBytes = bytes / int64(cfg.Epochs)
+	}
+
 	if res.DeltaBytesPerEpoch > 0 {
 		res.BytesRatio = float64(res.FullBytesPerEpoch) / float64(res.DeltaBytesPerEpoch)
+	}
+	if res.CompressedBaseBytes > 0 {
+		res.BaseCompressRatio = float64(res.FullBytesPerEpoch) / float64(res.CompressedBaseBytes)
 	}
 	return res, nil
 }
@@ -203,7 +239,7 @@ func WriteCheckpointBench(w io.Writer, cfg CheckpointBenchConfig, outPath string
 		Title: "checkpoint bytes/epoch: full vs delta",
 		Note: fmt.Sprintf("%d keys x %d B, %.1f%% churn/epoch, %d epochs",
 			results[0].Keys, results[0].ValueBytes, results[0].ChurnPerEpoch*100, results[0].Epochs),
-		Header: []string{"backend", "full B/epoch", "delta B/epoch", "ratio", "full lock", "delta lock"},
+		Header: []string{"backend", "full B/epoch", "delta B/epoch", "ratio", "flate base B", "flate", "full lock", "delta lock"},
 	}
 	for _, r := range results {
 		tbl.Rows = append(tbl.Rows, []string{
@@ -211,6 +247,8 @@ func WriteCheckpointBench(w io.Writer, cfg CheckpointBenchConfig, outPath string
 			fmt.Sprintf("%d", r.FullBytesPerEpoch),
 			fmt.Sprintf("%d", r.DeltaBytesPerEpoch),
 			fmt.Sprintf("%.1fx", r.BytesRatio),
+			fmt.Sprintf("%d", r.CompressedBaseBytes),
+			fmt.Sprintf("%.1fx", r.BaseCompressRatio),
 			time.Duration(r.FullLockNs).String(),
 			time.Duration(r.DeltaLockNs).String(),
 		})

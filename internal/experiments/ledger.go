@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The rolling perf ledger commits one entry per PR so re-anchors can see
+// the trajectory instead of digging BENCH_*.json records out of expired CI
+// artifact stores. Each entry embeds the raw bench records verbatim,
+// keyed by bench name ("wire" for BENCH_wire.json), so the ledger needs no
+// schema change when a bench gains a field.
+
+// ledgerSchema versions the ledger file layout itself.
+const ledgerSchema = 1
+
+// LedgerEntry is one PR's bench records.
+type LedgerEntry struct {
+	PR      int                        `json:"pr"`
+	Benches map[string]json.RawMessage `json:"benches"`
+}
+
+// Ledger is the committed perf history.
+type Ledger struct {
+	Schema  int           `json:"schema"`
+	Entries []LedgerEntry `json:"entries"`
+}
+
+// ReadLedger loads a ledger file; a missing file is an empty ledger.
+func ReadLedger(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Ledger{Schema: ledgerSchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("ledger %s: %w", path, err)
+	}
+	if l.Schema != ledgerSchema {
+		return nil, fmt.Errorf("ledger %s: schema %d, want %d", path, l.Schema, ledgerSchema)
+	}
+	return &l, nil
+}
+
+// UpdateLedger collects every BENCH_*.json in dir into the entry for pr —
+// replacing that PR's entry if it exists, appending otherwise — and writes
+// the ledger back sorted by PR, so re-running a PR's benches is idempotent.
+func UpdateLedger(path string, pr int, dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("ledger: no BENCH_*.json records in %s", dir)
+	}
+	entry := LedgerEntry{PR: pr, Benches: make(map[string]json.RawMessage, len(matches))}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			return err
+		}
+		var compact json.RawMessage
+		if err := json.Unmarshal(data, &compact); err != nil {
+			return fmt.Errorf("ledger: %s is not JSON: %w", m, err)
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		entry.Benches[name] = compact
+	}
+	l, err := ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range l.Entries {
+		if l.Entries[i].PR == pr {
+			l.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		l.Entries = append(l.Entries, entry)
+	}
+	sort.Slice(l.Entries, func(i, j int) bool { return l.Entries[i].PR < l.Entries[j].PR })
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

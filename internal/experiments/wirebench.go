@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// WireBenchConfig sizes the gob-vs-flat wire codec measurement.
+type WireBenchConfig struct {
+	Iters      int // codec round trips per scenario (default 2000)
+	ValueBytes int // payload bytes per item value (default 32)
+}
+
+func (c WireBenchConfig) withDefaults() WireBenchConfig {
+	if c.Iters <= 0 {
+		c.Iters = 2000
+	}
+	if c.ValueBytes <= 0 {
+		// Generous for the kv demo's ~8-byte values but small enough that
+		// the measurement tracks codec overhead rather than the raw value
+		// payload both encodings must carry.
+		c.ValueBytes = 32
+	}
+	return c
+}
+
+// WireBenchResult compares the two payload encodings for one message
+// shape. Bytes per message and allocs per op are deterministic; ns/op is
+// context (single-core CI boxes make wall-clock ratios unstable, per the
+// repo's measurement policy).
+type WireBenchResult struct {
+	Scenario        string  `json:"scenario"`
+	Items           int     `json:"items_per_msg"`
+	ValueBytes      int     `json:"value_bytes"`
+	GobBytesPerMsg  int     `json:"gob_bytes_per_msg"`
+	FlatBytesPerMsg int     `json:"flat_bytes_per_msg"`
+	BytesRatio      float64 `json:"gob_to_flat_bytes_ratio"`
+	GobNsPerOp      int64   `json:"gob_ns_per_op"`
+	FlatNsPerOp     int64   `json:"flat_ns_per_op"`
+	GobAllocsPerOp  float64 `json:"gob_allocs_per_op"`
+	FlatAllocsPerOp float64 `json:"flat_allocs_per_op"`
+	AllocsRatio     float64 `json:"gob_to_flat_allocs_ratio"`
+}
+
+// Codec performance floors, enforced on the Inject and Call scenarios so a
+// regression fails the bench run loudly instead of silently eroding the
+// reason the flat path exists.
+const (
+	wireBytesFloor  = 3.0 // flat must use >= 3x fewer bytes/message
+	wireAllocsFloor = 5.0 // flat must make >= 5x fewer allocs/op
+)
+
+// measureCodec runs fn iters times and reports mean ns/op and allocs/op.
+// Like the checkpoint bench it counts Mallocs around the loop — the
+// testing.Benchmark harness insists on wall-clock-driven iteration counts,
+// which this box's measurement policy bans relying on.
+func measureCodec(iters int, fn func() error) (nsPerOp int64, allocsPerOp float64, err error) {
+	goruntime.GC()
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err = fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	goruntime.ReadMemStats(&after)
+	return elapsed.Nanoseconds() / int64(iters), float64(after.Mallocs-before.Mallocs) / float64(iters), nil
+}
+
+// wireScenario is one message shape under test.
+type wireScenario struct {
+	name    string
+	msgType byte
+	// reply decodes the encoded frame into a fresh target of the right type.
+	decode func(frame []byte) error
+	value  any
+	items  int
+}
+
+// RunWireBench measures one scenario: the same message is encoded and
+// decoded through the gob (v1) and flat (v2) payload paths.
+func RunWireBench(cfg WireBenchConfig) ([]WireBenchResult, error) {
+	cfg = cfg.withDefaults()
+	value := make([]byte, cfg.ValueBytes)
+	mkItems := func(n int) []core.Item {
+		items := make([]core.Item, n)
+		for i := range items {
+			items[i] = core.Item{Origin: ^uint64(0), Seq: uint64(i + 1), Key: uint64(i), Value: value}
+		}
+		return items
+	}
+	scenarios := []struct {
+		name    string
+		msgType byte
+		msg     any
+		items   int
+		decode  func(p wire.Payload) error
+	}{
+		{
+			name: "inject1", msgType: wire.MsgInject, items: 1,
+			msg: wire.Inject{Task: "put", Items: mkItems(1)},
+			decode: func(p wire.Payload) error {
+				var m wire.Inject
+				return wire.Unmarshal(p, &m)
+			},
+		},
+		{
+			name: "call", msgType: wire.MsgCall, items: 1,
+			msg: wire.Call{Task: "get", Item: core.Item{Origin: ^uint64(0), Seq: 9, Key: 7, Value: value}, TimeoutMs: 10_000},
+			decode: func(p wire.Payload) error {
+				var m wire.Call
+				return wire.Unmarshal(p, &m)
+			},
+		},
+		{
+			name: "inject64", msgType: wire.MsgInject, items: 64,
+			msg: wire.Inject{Task: "put", Items: mkItems(64)},
+			decode: func(p wire.Payload) error {
+				var m wire.Inject
+				return wire.Unmarshal(p, &m)
+			},
+		},
+	}
+
+	var results []WireBenchResult
+	for _, sc := range scenarios {
+		res := WireBenchResult{Scenario: sc.name, Items: sc.items, ValueBytes: cfg.ValueBytes}
+
+		gobFrame, err := wire.EncodeGob(sc.msgType, sc.msg)
+		if err != nil {
+			return nil, fmt.Errorf("wire bench %s: gob encode: %w", sc.name, err)
+		}
+		flatFrame, err := wire.Encode(sc.msgType, sc.msg)
+		if err != nil {
+			return nil, fmt.Errorf("wire bench %s: flat encode: %w", sc.name, err)
+		}
+		if flatFrame[1] != wire.VersionFlat {
+			return nil, fmt.Errorf("wire bench %s: expected flat envelope, got version %d", sc.name, flatFrame[1])
+		}
+		res.GobBytesPerMsg = len(gobFrame)
+		res.FlatBytesPerMsg = len(flatFrame)
+		res.BytesRatio = float64(len(gobFrame)) / float64(len(flatFrame))
+
+		roundTrip := func(encode func() ([]byte, error)) func() error {
+			return func() error {
+				frame, err := encode()
+				if err != nil {
+					return err
+				}
+				_, p, err := wire.Decode(frame)
+				if err != nil {
+					return err
+				}
+				return sc.decode(p)
+			}
+		}
+		res.GobNsPerOp, res.GobAllocsPerOp, err = measureCodec(cfg.Iters,
+			roundTrip(func() ([]byte, error) { return wire.EncodeGob(sc.msgType, sc.msg) }))
+		if err != nil {
+			return nil, fmt.Errorf("wire bench %s: gob round trip: %w", sc.name, err)
+		}
+		res.FlatNsPerOp, res.FlatAllocsPerOp, err = measureCodec(cfg.Iters,
+			roundTrip(func() ([]byte, error) { return wire.Encode(sc.msgType, sc.msg) }))
+		if err != nil {
+			return nil, fmt.Errorf("wire bench %s: flat round trip: %w", sc.name, err)
+		}
+		if res.FlatAllocsPerOp > 0 {
+			res.AllocsRatio = res.GobAllocsPerOp / res.FlatAllocsPerOp
+		}
+		results = append(results, res)
+	}
+
+	// Enforce the floors on the single-message hot paths. The 64-item batch
+	// amortises the gob type dictionary, so its bytes ratio is reported as
+	// context only.
+	for _, r := range results {
+		if r.Scenario != "inject1" && r.Scenario != "call" {
+			continue
+		}
+		if r.BytesRatio < wireBytesFloor {
+			return results, fmt.Errorf("wire bench %s: flat saves only %.2fx bytes/message (floor %.1fx): gob %d B, flat %d B",
+				r.Scenario, r.BytesRatio, wireBytesFloor, r.GobBytesPerMsg, r.FlatBytesPerMsg)
+		}
+		if r.AllocsRatio < wireAllocsFloor {
+			return results, fmt.Errorf("wire bench %s: flat saves only %.2fx allocs/op (floor %.1fx): gob %.1f, flat %.1f",
+				r.Scenario, r.AllocsRatio, wireAllocsFloor, r.GobAllocsPerOp, r.FlatAllocsPerOp)
+		}
+	}
+	return results, nil
+}
+
+// WriteWireBench runs the wire codec benchmark, prints a summary table, and
+// (when outPath is non-empty) writes the structured results as JSON so CI
+// records the perf trajectory.
+func WriteWireBench(w io.Writer, cfg WireBenchConfig, outPath string) error {
+	results, err := RunWireBench(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		Title:  "wire codec: gob (v1) vs flat (v2), full round trip",
+		Note:   fmt.Sprintf("%d iterations/scenario, %d B values", cfg.Iters, cfg.ValueBytes),
+		Header: []string{"scenario", "gob B/msg", "flat B/msg", "bytes", "gob allocs", "flat allocs", "allocs", "gob ns", "flat ns"},
+	}
+	for _, r := range results {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%d", r.GobBytesPerMsg),
+			fmt.Sprintf("%d", r.FlatBytesPerMsg),
+			fmt.Sprintf("%.1fx", r.BytesRatio),
+			fmt.Sprintf("%.1f", r.GobAllocsPerOp),
+			fmt.Sprintf("%.1f", r.FlatAllocsPerOp),
+			fmt.Sprintf("%.1fx", r.AllocsRatio),
+			fmt.Sprintf("%d", r.GobNsPerOp),
+			fmt.Sprintf("%d", r.FlatNsPerOp),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -79,6 +79,11 @@ type Options struct {
 	// bytes exceed this fraction of the base checkpoint's bytes
 	// (default 0.5).
 	CompactRatio float64
+	// CompressBase flate-compresses base (full) checkpoint chunks before
+	// they reach the backup disks; delta chunks stay raw. Applies to the
+	// runtime-provisioned backup store only — a caller-supplied Backup
+	// keeps its own setting.
+	CompressBase bool
 	// BackupNodes is the number of backup nodes to provision when Backup is
 	// nil (default 2).
 	BackupNodes int
@@ -375,6 +380,7 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 			targets[i] = cl.AddNode()
 		}
 		r.bk = checkpoint.NewBackup(cl, targets)
+		r.bk.CompressBase = opts.CompressBase
 	}
 
 	// Allocation per §3.3; nodes are created on demand to honour it.

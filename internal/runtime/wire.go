@@ -1,25 +1,16 @@
 package runtime
 
 import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
+	"repro/internal/wire/flat"
 )
 
-// wireRoundTrip gob-encodes and decodes a payload, returning the decoded
-// copy. Used by the WireCheck option to prove that every value crossing a
-// TE boundary could cross a real network link — the paper's location
-// independence restriction (§4.1). Payload types must be gob-registered.
+// wireRoundTrip deep-copies a payload through the flat value codec,
+// returning the decoded copy. Used by the WireCheck option to prove that
+// every value crossing a TE boundary could cross a real network link — the
+// paper's location independence restriction (§4.1). Common payload types
+// take the tag table; anything else rides the gob fallback, so payload
+// types outside it must be gob-registered and a type that cannot cross the
+// wire (chan, func) errors here, at the boundary it would have broken.
 func wireRoundTrip(v any) (any, error) {
-	var buf bytes.Buffer
-	// Encode through an interface wrapper so the concrete type tag rides
-	// along, exactly as the checkpoint buffer encoding does.
-	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
-		return nil, fmt.Errorf("encode: %w", err)
-	}
-	var out any
-	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decode: %w", err)
-	}
-	return out, nil
+	return flat.RoundTripValue(v)
 }

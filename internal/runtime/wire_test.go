@@ -32,6 +32,22 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireRoundTripAllocs pins the deep-copy cost on the WireCheck path:
+// the flat codec round-trips a []byte payload in three allocations (input
+// boxing, the copied value, result boxing), where the old gob
+// encoder+decoder pair cost hundreds. A regression here makes WireCheck
+// deployments unusable for perf comparisons.
+func TestWireRoundTripAllocs(t *testing.T) {
+	v := []byte("some payload bytes")
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := wireRoundTrip(v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 3 {
+		t.Fatalf("wireRoundTrip([]byte) = %.1f allocs/op, want <= 3", allocs)
+	}
+}
+
 func TestWireCheckEndToEnd(t *testing.T) {
 	// The KV graph runs correctly with every payload forced through gob,
 	// proving the built-in applications satisfy location independence.

@@ -1,0 +1,282 @@
+package flat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// gobOnly exercises the TagGob fallback: a registered struct outside the
+// flat tag table.
+type gobOnly struct {
+	A int
+	B string
+}
+
+func init() {
+	gob.Register(gobOnly{})
+}
+
+// equalValue compares decoded values structurally: NaN floats by bits,
+// []byte and Collection including their nil-ness (the codec promises exact
+// nil round trips).
+func equalValue(a, b any) bool {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && math.Float64bits(x) == math.Float64bits(y)
+	case []byte:
+		y, ok := b.([]byte)
+		return ok && (x == nil) == (y == nil) && bytes.Equal(x, y)
+	case core.Collection:
+		y, ok := b.(core.Collection)
+		if !ok || len(x) != len(y) || (x == nil) != (y == nil) {
+			return false
+		}
+		for i := range x {
+			if !equalValue(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+// TestValueRoundTrip pins every tag in the table plus the gob fallback.
+func TestValueRoundTrip(t *testing.T) {
+	values := []any{
+		nil,
+		false,
+		true,
+		uint64(0),
+		uint64(7),
+		^uint64(0),
+		int64(-5),
+		int64(1 << 40),
+		int(42),
+		int(-1),
+		float64(3.5),
+		math.NaN(),
+		math.Inf(-1),
+		"",
+		"hello",
+		[]byte(nil),
+		[]byte{},
+		[]byte("data"),
+		core.Collection(nil),
+		core.Collection{},
+		core.Collection{uint64(1), "two", []byte{3}, nil},
+		core.Collection{core.Collection{core.Collection{int64(-9)}}},
+		gobOnly{A: 9, B: "fallback"},
+	}
+	for _, v := range values {
+		got, err := RoundTripValue(v)
+		if err != nil {
+			t.Fatalf("RoundTripValue(%#v): %v", v, err)
+		}
+		if !equalValue(v, got) {
+			t.Fatalf("RoundTripValue(%#v) = %#v", v, got)
+		}
+	}
+}
+
+// TestItemRoundTrip pins the item layout and the origin rotation: the
+// external-injection sentinel ^uint64(0) must cost one byte, not ten.
+func TestItemRoundTrip(t *testing.T) {
+	items := []core.Item{
+		{Origin: ^uint64(0), Seq: 1, Key: 42, ReqID: 7, Parts: 2, Value: []byte("v")},
+		{Origin: 3, Seq: 900, Key: 0, Value: nil},
+		{Origin: 0, Seq: 0, Key: 0, Parts: -1, Value: core.Collection{uint64(1)}},
+	}
+	for _, it := range items {
+		var e Encoder
+		if err := e.Item(it); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDecoder(e.Bytes())
+		got := d.Item()
+		if err := d.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Done() {
+			t.Fatalf("item %+v: %d trailing bytes", it, d.Remaining())
+		}
+		if got.Origin != it.Origin || got.Seq != it.Seq || got.Key != it.Key ||
+			got.ReqID != it.ReqID || got.Parts != it.Parts || !equalValue(it.Value, got.Value) {
+			t.Fatalf("item round trip: got %+v, want %+v", got, it)
+		}
+	}
+
+	var e Encoder
+	if err := e.Item(core.Item{Origin: ^uint64(0), Seq: 1, Key: 1, Value: nil}); err != nil {
+		t.Fatal(err)
+	}
+	// origin(1) + seq(1) + key(1) + reqID(1) + parts(1) + nil tag(1).
+	if e.Len() != 6 {
+		t.Fatalf("sentinel-origin item encodes to %d bytes, want 6", e.Len())
+	}
+}
+
+// TestEncodeDepthLimit: a collection nested past MaxDepth must fail loudly
+// instead of recursing away.
+func TestEncodeDepthLimit(t *testing.T) {
+	v := core.Collection{uint64(1)}
+	for i := 0; i < MaxDepth+1; i++ {
+		v = core.Collection{v}
+	}
+	var e Encoder
+	if err := e.Value(v); !errors.Is(err, ErrDepth) {
+		t.Fatalf("deep encode error = %v, want ErrDepth", err)
+	}
+}
+
+// TestDecodeDepthLimit: the decode side must reject a hostile buffer of
+// nested collection tags without exhausting the stack.
+func TestDecodeDepthLimit(t *testing.T) {
+	var buf []byte
+	for i := 0; i < MaxDepth+8; i++ {
+		buf = append(buf, TagCollection, 2) // one-element collection
+	}
+	buf = append(buf, TagNil)
+	d := NewDecoder(buf)
+	d.Value()
+	if !errors.Is(d.Err(), ErrDepth) {
+		t.Fatalf("deep decode error = %v, want ErrDepth", d.Err())
+	}
+}
+
+// TestDecodeHostile tables truncations and lies: every case must produce a
+// sticky typed error — no panic, no allocation sized by the hostile count.
+func TestDecodeHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"unknown tag", []byte{0x00}},
+		{"unassigned high tag", []byte{0xff}},
+		{"truncated uint64", []byte{TagUint64, 0x80}},
+		{"truncated float", []byte{TagFloat64, 1, 2, 3}},
+		{"string length past end", []byte{TagString, 200, 'x'}},
+		{"bytes length past end", []byte{TagBytes, 90, 'x'}},
+		{"huge bytes length", []byte{TagBytes, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"collection count past end", []byte{TagCollection, 200, TagNil}},
+		{"collection truncated element", []byte{TagCollection, 3, TagNil}},
+		{"gob length past end", []byte{TagGob, 50, 1, 2}},
+		{"gob garbage", []byte{TagGob, 3, 0xde, 0xad, 0xbe}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(tc.buf)
+			if v := d.Value(); d.Err() == nil {
+				t.Fatalf("hostile input decoded to %#v", v)
+			}
+			// The error is sticky: further reads stay zero-valued.
+			if d.Byte() != 0 || d.Uvarint() != 0 {
+				t.Fatal("reads after failure returned data")
+			}
+		})
+	}
+}
+
+// TestBorrowVsCopy: borrow mode aliases the input buffer, copy mode
+// detaches from it.
+func TestBorrowVsCopy(t *testing.T) {
+	var e Encoder
+	if err := e.Value([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), e.Bytes()...)
+
+	borrowed := NewBorrowDecoder(buf).Value().([]byte)
+	copied := NewDecoder(buf).Value().([]byte)
+	buf[len(buf)-1] = 'Z'
+	if string(borrowed) != "abcZ" {
+		t.Fatalf("borrow mode did not alias the input: %q", borrowed)
+	}
+	if string(copied) != "abcd" {
+		t.Fatalf("copy mode aliased the input: %q", copied)
+	}
+}
+
+// TestEncodeRejectsWireUnsafe: the gob fallback must refuse values gob
+// would corrupt, at the sender.
+func TestEncodeRejectsWireUnsafe(t *testing.T) {
+	var e Encoder
+	if err := e.Value(make(chan int)); err == nil {
+		t.Fatal("channel encoded without error")
+	}
+	type sneaky struct {
+		Visible int
+		hidden  int //nolint:unused // the point: gob would drop it silently
+	}
+	e.Reset(nil)
+	if err := e.Value(sneaky{Visible: 1}); err == nil {
+		t.Fatal("unexported field encoded without error")
+	}
+}
+
+// TestPooledEncoder: pooled encoders come back empty and oversized buffers
+// are not retained.
+func TestPooledEncoder(t *testing.T) {
+	e := GetEncoder()
+	e.Str("some leftover data")
+	PutEncoder(e)
+	e2 := GetEncoder()
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: %d bytes", e2.Len())
+	}
+	e2.Blob(make([]byte, maxPooledBuf+1))
+	PutEncoder(e2)
+	e3 := GetEncoder()
+	defer PutEncoder(e3)
+	if cap(e3.buf) > maxPooledBuf {
+		t.Fatalf("pool retained %d-byte buffer (cap %d)", cap(e3.buf), maxPooledBuf)
+	}
+}
+
+// FuzzValue throws arbitrary bytes at the value decoder: it must return a
+// value or a typed error, never panic — and anything it accepts must
+// re-encode and decode to the same value.
+func FuzzValue(f *testing.F) {
+	seed := func(v any) {
+		var e Encoder
+		if err := e.Value(v); err == nil {
+			f.Add(append([]byte(nil), e.Bytes()...))
+		}
+	}
+	seed(nil)
+	seed(uint64(77))
+	seed(math.NaN())
+	seed("seed")
+	seed([]byte{1, 2, 3})
+	seed(core.Collection{uint64(1), core.Collection{"x"}, nil})
+	seed(gobOnly{A: 1, B: "g"})
+	f.Add([]byte{TagCollection, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		v := d.Value()
+		if d.Err() != nil {
+			return
+		}
+		var e Encoder
+		if err := e.Value(v); err != nil {
+			t.Fatalf("decoded value %#v does not re-encode: %v", v, err)
+		}
+		d2 := NewDecoder(e.Bytes())
+		v2 := d2.Value()
+		if err := d2.Err(); err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if !equalValue(v, v2) {
+			t.Fatalf("value changed across re-encode: %#v -> %#v", v, v2)
+		}
+	})
+}

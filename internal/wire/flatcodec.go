@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire/flat"
+)
+
+// This file binds the flat codec to the data-plane message types. A type
+// is on the fast path when it dominates steady-state traffic: every
+// injected item, every request/reply call and every liveness probe crosses
+// here, while Deploy/Snapshot/Stats stay on gob (rare, structurally rich,
+// not worth a hand-rolled layout).
+//
+// Layouts (after the two-byte envelope header):
+//
+//	Inject:       str task, uvarint count, count× item
+//	InjectAck:    varint accepted
+//	Call:         str task, varint timeoutMs, item
+//	CallReply:    value
+//	Heartbeat:    fixed64 seq
+//	HeartbeatAck: fixed64 seq, fixed64 queued
+//	item:         uvarint origin/seq/key/reqID, varint parts, value
+//
+// Heartbeats use fixed-width seqs so the frame size is constant: the
+// coordinator pre-encodes the frame once and patches the seq bytes in
+// place every beat.
+
+// flatCapable reports whether this peer flat-encodes the message type — and
+// therefore whether it can parse a VersionFlat envelope carrying it.
+func flatCapable(msgType byte) bool {
+	switch msgType {
+	case MsgInject, MsgInjectAck, MsgCall, MsgCallReply, MsgHeartbeat, MsgHeartbeatAck:
+		return true
+	}
+	return false
+}
+
+// encodeFlat appends the full envelope (header + flat payload) for v when
+// its concrete type matches a fast-path message type; ok=false defers to
+// gob. A mismatched msgType/value pair falls through too — the gob path's
+// validation owns that rejection.
+func encodeFlat(e *flat.Encoder, msgType byte, v any) (ok bool, err error) {
+	switch m := v.(type) {
+	case Inject:
+		if msgType != MsgInject {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Str(m.Task)
+		e.Uvarint(uint64(len(m.Items)))
+		for i := range m.Items {
+			if err := e.Item(m.Items[i]); err != nil {
+				return false, err
+			}
+		}
+	case InjectAck:
+		if msgType != MsgInjectAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Varint(int64(m.Accepted))
+	case Call:
+		if msgType != MsgCall {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Str(m.Task)
+		e.Varint(m.TimeoutMs)
+		if err := e.Item(m.Item); err != nil {
+			return false, err
+		}
+	case CallReply:
+		if msgType != MsgCallReply {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		if err := e.Value(m.Value); err != nil {
+			return false, err
+		}
+	case Heartbeat:
+		if msgType != MsgHeartbeat {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Seq)
+	case HeartbeatAck:
+		if msgType != MsgHeartbeatAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Seq)
+		e.Fixed64(uint64(m.Queued))
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// decodeFlat parses a flat payload body into v; ok=false means v's type has
+// no flat layout (the payload came from an incompatible peer — Decode
+// normally catches this earlier via flatCapable). Trailing bytes after a
+// complete payload are malformed: they would mean a layout disagreement.
+func decodeFlat(body []byte, v any) (ok bool, err error) {
+	d := flat.NewBorrowDecoder(body)
+	switch m := v.(type) {
+	case *Inject:
+		m.Task = d.Str()
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			return true, fmt.Errorf("%w: item count %d exceeds payload", ErrBadPayload, n)
+		}
+		if d.Err() == nil {
+			m.Items = make([]core.Item, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Items = append(m.Items, d.Item())
+				if d.Err() != nil {
+					break
+				}
+			}
+		}
+	case *InjectAck:
+		m.Accepted = int(d.Varint())
+	case *Call:
+		m.Task = d.Str()
+		m.TimeoutMs = d.Varint()
+		m.Item = d.Item()
+	case *CallReply:
+		m.Value = d.Value()
+	case *Heartbeat:
+		m.Seq = d.Fixed64()
+	case *HeartbeatAck:
+		m.Seq = d.Fixed64()
+		m.Queued = int64(d.Fixed64())
+	default:
+		return false, nil
+	}
+	if err := d.Err(); err != nil {
+		return true, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if !d.Done() {
+		return true, fmt.Errorf("%w: %d trailing byte(s)", ErrBadPayload, d.Remaining())
+	}
+	return true, nil
+}

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzPayload exercises the TagGob fallback inside flat frames.
+type fuzzPayload struct {
+	N int
+	S string
+}
+
+func init() {
+	gob.Register(fuzzPayload{})
+}
+
+// TestGobV1Interop: a v2 peer must keep reading v1 (gob) envelopes for
+// every message type — mixed-version clusters exist during a rolling
+// upgrade — and EncodeGob must keep producing them.
+func TestGobV1Interop(t *testing.T) {
+	msgs := []struct {
+		msgType byte
+		in      any
+		decode  func(p Payload) (any, error)
+	}{
+		{MsgInject, Inject{Task: "put", Items: []core.Item{{Origin: ^uint64(0), Seq: 1, Key: 2, Value: []byte("v")}}},
+			func(p Payload) (any, error) { var m Inject; err := Unmarshal(p, &m); return m, err }},
+		{MsgCall, Call{Task: "get", Item: core.Item{Key: 9}, TimeoutMs: 100},
+			func(p Payload) (any, error) { var m Call; err := Unmarshal(p, &m); return m, err }},
+		{MsgHeartbeat, Heartbeat{Seq: 77},
+			func(p Payload) (any, error) { var m Heartbeat; err := Unmarshal(p, &m); return m, err }},
+	}
+	for _, m := range msgs {
+		frame, err := EncodeGob(m.msgType, m.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[1] != VersionGob {
+			t.Fatalf("EncodeGob emitted version %d", frame[1])
+		}
+		msgType, payload, err := Decode(frame)
+		if err != nil || msgType != m.msgType {
+			t.Fatalf("v1 frame rejected: type %d err %v", msgType, err)
+		}
+		got, err := m.decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m.in) {
+			t.Fatalf("v1 round trip: got %+v, want %+v", got, m.in)
+		}
+	}
+}
+
+// TestFlatEnvelopeForGobOnlyTypeFails: the other interop direction. A flat
+// envelope carrying a type this peer only knows as gob means the sender
+// runs a future protocol — the failure must be the loud, typed VersionError
+// rather than a misparse.
+func TestFlatEnvelopeForGobOnlyTypeFails(t *testing.T) {
+	_, _, err := Decode([]byte{MsgSnapshot, VersionFlat, 0x01, 0x02})
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error = %v, want *VersionError", err)
+	}
+	if ve.Got != VersionFlat || ve.Want != VersionGob {
+		t.Fatalf("VersionError got/want = %d/%d", ve.Got, ve.Want)
+	}
+}
+
+// TestEncodeAllocs pins the allocation contract of the hot-path encoders:
+// Encode costs at most the one exact-size result copy, and EncodeAppend
+// into a buffer with capacity costs nothing. A regression here silently
+// re-inflates the per-item dispatch cost the flat codec exists to remove.
+func TestEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; exact counts only hold in normal builds")
+	}
+	// Box the messages once: converting a struct to `any` at the call site
+	// costs one allocation that belongs to the caller, not the encoder
+	// under test.
+	var hb any = Heartbeat{Seq: 1}
+	var inj any = Inject{Task: "put", Items: []core.Item{{Origin: ^uint64(0), Seq: 1, Key: 2, Value: []byte("value")}}}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Encode(MsgHeartbeat, hb); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 1 {
+		t.Fatalf("Encode(heartbeat) = %.1f allocs/op, want <= 1", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Encode(MsgInject, inj); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 1 {
+		t.Fatalf("Encode(inject) = %.1f allocs/op, want <= 1", allocs)
+	}
+
+	buf := make([]byte, 0, 256)
+	if allocs := testing.AllocsPerRun(200, func() {
+		frame, err := EncodeAppend(buf[:0], MsgHeartbeat, hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = frame[:0]
+	}); allocs != 0 {
+		t.Fatalf("EncodeAppend(heartbeat) = %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		frame, err := EncodeAppend(buf[:0], MsgInject, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = frame[:0]
+	}); allocs != 0 {
+		t.Fatalf("EncodeAppend(inject) = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// normalizeValue rewrites float64s to their bit patterns so NaN payloads
+// (which the fuzzer reaches trivially through TagFloat64) compare equal
+// across a re-encode.
+func normalizeValue(v any) any {
+	switch x := v.(type) {
+	case float64:
+		return math.Float64bits(x)
+	case core.Collection:
+		out := make(core.Collection, len(x))
+		for i, el := range x {
+			out[i] = normalizeValue(el)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func normalizeMsg(v any) any {
+	switch m := v.(type) {
+	case Inject:
+		items := make([]core.Item, len(m.Items))
+		for i, it := range m.Items {
+			it.Value = normalizeValue(it.Value)
+			items[i] = it
+		}
+		m.Items = items
+		return m
+	case Call:
+		m.Item.Value = normalizeValue(m.Item.Value)
+		return m
+	case CallReply:
+		m.Value = normalizeValue(m.Value)
+		return m
+	default:
+		return v
+	}
+}
+
+// FuzzFlatRoundTrip covers every flat-encoded message type, including items
+// whose values ride the gob fallback: any frame the decoder accepts must
+// re-encode and decode to the same message, and nothing may panic.
+func FuzzFlatRoundTrip(f *testing.F) {
+	seed := func(msgType byte, v any) {
+		if frame, err := Encode(msgType, v); err == nil {
+			f.Add(frame)
+		}
+	}
+	seed(MsgInject, Inject{Task: "put", Items: []core.Item{
+		{Origin: ^uint64(0), Seq: 1, Key: 42, Value: []byte("v1")},
+		{Origin: 3, Seq: 2, Key: 43, ReqID: 9, Parts: 2, Value: core.Collection{uint64(7), "x", nil}},
+	}})
+	seed(MsgInject, Inject{Task: "g", Items: []core.Item{{Value: fuzzPayload{N: 5, S: "gob"}}}})
+	seed(MsgInjectAck, InjectAck{Accepted: 17})
+	seed(MsgCall, Call{Task: "get", Item: core.Item{Key: 7, Value: nil}, TimeoutMs: 10_000})
+	seed(MsgCallReply, CallReply{Value: []byte("reply")})
+	seed(MsgCallReply, CallReply{Value: math.Pi})
+	seed(MsgHeartbeat, Heartbeat{Seq: 9})
+	seed(MsgHeartbeatAck, HeartbeatAck{Seq: 9, Queued: 3})
+	f.Add([]byte{MsgInject, VersionFlat, 0x01, 'p', 0xff})
+
+	decodeByType := func(msgType byte, p Payload) (any, error) {
+		switch msgType {
+		case MsgInject:
+			var m Inject
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgInjectAck:
+			var m InjectAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgCall:
+			var m Call
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgCallReply:
+			var m CallReply
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgHeartbeat:
+			var m Heartbeat
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgHeartbeatAck:
+			var m HeartbeatAck
+			err := Unmarshal(p, &m)
+			return m, err
+		}
+		return nil, nil
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgType, payload, err := Decode(data)
+		if err != nil || payload.Ver != VersionFlat {
+			return
+		}
+		m1, err := decodeByType(msgType, payload)
+		if err != nil || m1 == nil {
+			return // malformed flat payloads are rejected, which is the contract
+		}
+		frame2, err := Encode(msgType, m1)
+		if err != nil {
+			t.Fatalf("accepted message %+v does not re-encode: %v", m1, err)
+		}
+		if frame2[1] != VersionFlat {
+			t.Fatalf("re-encode of flat message fell back to version %d", frame2[1])
+		}
+		msgType2, payload2, err := Decode(frame2)
+		if err != nil || msgType2 != msgType {
+			t.Fatalf("re-encoded frame rejected: type %d err %v", msgType2, err)
+		}
+		m2, err := decodeByType(msgType, payload2)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeMsg(m1), normalizeMsg(m2)) {
+			t.Fatalf("message changed across re-encode:\n  %#v\n  %#v", m1, m2)
+		}
+	})
+}

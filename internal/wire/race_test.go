@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this binary.
+// Its runtime adds bookkeeping allocations that the exact-count encoder
+// guards cannot distinguish from real regressions.
+const raceEnabled = true

@@ -3,18 +3,25 @@
 // envelope:
 //
 //	[0] message type byte (Msg* constants)
-//	[1] protocol version (Version)
-//	[2:] gob-encoded payload struct
+//	[1] payload version (VersionGob or VersionFlat)
+//	[2:] encoded payload struct
 //
 // The envelope rides inside the cluster package's length-prefixed frames;
 // this package is only concerned with what the frame bytes mean.
 //
-// Like labgob, the codec validates types at registration and encode time:
-// gob silently drops unexported struct fields, which in a replicated state
-// system turns into state divergence that surfaces long after the bug. Any
-// value whose type (or dynamic payload) carries a lower-case field is
-// rejected loudly instead. Checked types are cached, so steady-state
-// encoding pays one map lookup, not a reflect walk.
+// Two payload encodings coexist. Data-plane messages (Inject/InjectAck,
+// Call/CallReply, Heartbeat/HeartbeatAck) encode flat (internal/wire/flat):
+// hand-rolled uvarint/fixed fields with no reflection and no per-frame type
+// dictionary. Control-plane messages (Deploy, Snapshot, Stats, ...) stay on
+// gob — they are rare and structurally rich. Decode accepts both versions,
+// so a v2 peer reads v1 frames; a v1-only peer rejects v2 frames with a
+// *VersionError instead of misdecoding them.
+//
+// Like labgob, the gob path validates types at registration and encode
+// time: gob silently drops unexported struct fields, which in a replicated
+// state system turns into state divergence that surfaces long after the
+// bug. Any value whose type (or dynamic payload) carries a lower-case field
+// is rejected loudly instead (flat.CheckWireSafe; verdicts are cached).
 package wire
 
 import (
@@ -22,14 +29,20 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"reflect"
-	"sync"
+
+	"repro/internal/wire/flat"
 )
 
-// Version is the protocol revision carried in every envelope. Bump it on
-// any incompatible message change; peers reject mismatched envelopes with a
-// *VersionError instead of misdecoding them.
-const Version byte = 1
+// Payload versions. VersionGob frames carry a gob-encoded struct,
+// VersionFlat frames carry the flat encoding; Version is what this peer
+// emits for flat-capable message types and doubles as the protocol
+// revision reported in version errors. Bump VersionFlat (and add a case to
+// Decode) on any incompatible flat layout change.
+const (
+	VersionGob  byte = 1
+	VersionFlat byte = 2
+	Version     byte = VersionFlat
+)
 
 // Typed decode errors. Decode and Unmarshal never panic on hostile input.
 var (
@@ -40,7 +53,7 @@ var (
 	// ErrUnexpectedType: a reply carried a valid but different message type
 	// than the protocol step expects.
 	ErrUnexpectedType = errors.New("wire: unexpected message type")
-	// ErrBadPayload: the gob payload does not decode into the target.
+	// ErrBadPayload: the payload does not decode into the target.
 	ErrBadPayload = errors.New("wire: malformed payload")
 	// ErrVersion matches any *VersionError via errors.Is.
 	ErrVersion = errors.New("wire: protocol version mismatch")
@@ -58,56 +71,132 @@ func (e *VersionError) Error() string {
 // Is makes errors.Is(err, ErrVersion) match.
 func (e *VersionError) Is(target error) bool { return target == ErrVersion }
 
+// Payload is an envelope's body plus the version that tells Unmarshal how
+// to parse it. Body may alias the decoded frame; see Unmarshal for the
+// ownership contract.
+type Payload struct {
+	Ver  byte
+	Body []byte
+}
+
 // Register validates v's type and registers it with gob, so it can travel
 // inside interface-typed fields (e.g. Item.Value). It panics on types gob
 // would corrupt silently — registration happens in init functions, where
 // failing loudly at startup beats diverging state at runtime.
 func Register(v any) {
-	if err := checkValue(reflect.ValueOf(v)); err != nil {
+	if err := flat.CheckWireSafe(v); err != nil {
 		panic(err)
 	}
 	gob.Register(v)
 }
 
-// Encode wraps a payload struct in a versioned envelope. The payload (and
-// every dynamic value reachable through its interface fields) is validated
-// before encoding: a type gob would silently truncate fails here, at the
-// sender, where the bug is.
+// Encode wraps a payload struct in a versioned envelope, taking the flat
+// fast path for data-plane types and gob for everything else. The result is
+// a fresh allocation (one exact-size copy off a pooled encoder on the flat
+// path); use EncodeAppend to reuse a caller-owned buffer instead.
 func Encode(msgType byte, v any) ([]byte, error) {
 	if _, ok := msgNames[msgType]; !ok {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, msgType)
 	}
-	if err := checkValue(reflect.ValueOf(v)); err != nil {
+	e := flat.GetEncoder()
+	defer flat.PutEncoder(e)
+	ok, err := encodeFlat(e, msgType, v)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		out := make([]byte, e.Len())
+		copy(out, e.Bytes())
+		return out, nil
+	}
+	return encodeGob(msgType, v)
+}
+
+// EncodeAppend appends the envelope for v to dst and returns the extended
+// slice (steady-state 0 allocs on the flat path once dst has capacity).
+// Non-flat message types fall back to gob and allocate as Encode does.
+func EncodeAppend(dst []byte, msgType byte, v any) ([]byte, error) {
+	if _, ok := msgNames[msgType]; !ok {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, msgType)
+	}
+	var e flat.Encoder
+	e.Reset(dst)
+	ok, err := encodeFlat(&e, msgType, v)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return e.Bytes(), nil
+	}
+	frame, err := encodeGob(msgType, v)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, frame...), nil
+}
+
+// EncodeGob forces the gob payload encoding regardless of type — the v1
+// envelope a pre-flat peer would emit. Benchmarks and compatibility tests
+// use it; production senders should prefer Encode.
+func EncodeGob(msgType byte, v any) ([]byte, error) {
+	if _, ok := msgNames[msgType]; !ok {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, msgType)
+	}
+	return encodeGob(msgType, v)
+}
+
+func encodeGob(msgType byte, v any) ([]byte, error) {
+	if err := flat.CheckWireSafe(v); err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
 	buf.WriteByte(msgType)
-	buf.WriteByte(Version)
+	buf.WriteByte(VersionGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("wire: encode %s: %w", MsgName(msgType), err)
 	}
 	return buf.Bytes(), nil
 }
 
-// Decode splits an envelope into its message type and payload bytes,
+// Decode splits an envelope into its message type and versioned payload,
 // checking the header. The payload is not parsed; pass it to Unmarshal once
-// the type byte has selected the target struct.
-func Decode(frame []byte) (msgType byte, payload []byte, err error) {
+// the type byte has selected the target struct. A flat envelope for a
+// message type this peer only knows as gob is a version mismatch (a future
+// peer moved it to flat), reported loudly rather than misdecoded.
+func Decode(frame []byte) (msgType byte, p Payload, err error) {
 	if len(frame) < 2 {
-		return 0, nil, fmt.Errorf("%w: %d byte(s)", ErrShortFrame, len(frame))
+		return 0, Payload{}, fmt.Errorf("%w: %d byte(s)", ErrShortFrame, len(frame))
 	}
-	if frame[1] != Version {
-		return 0, nil, &VersionError{Got: frame[1], Want: Version}
+	ver := frame[1]
+	if ver != VersionGob && ver != VersionFlat {
+		return 0, Payload{}, &VersionError{Got: ver, Want: Version}
 	}
 	if _, ok := msgNames[frame[0]]; !ok {
-		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, frame[0])
+		return 0, Payload{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, frame[0])
 	}
-	return frame[0], frame[2:], nil
+	if ver == VersionFlat && !flatCapable(frame[0]) {
+		return 0, Payload{}, &VersionError{Got: ver, Want: VersionGob}
+	}
+	return frame[0], Payload{Ver: ver, Body: frame[2:]}, nil
 }
 
-// Unmarshal decodes payload bytes (from Decode) into v.
-func Unmarshal(payload []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+// Unmarshal decodes a payload (from Decode) into v, dispatching on the
+// envelope version. Flat payloads decode in borrow mode: []byte values in
+// the result alias p.Body, so the frame must not be reused afterwards —
+// the cluster transports allocate a fresh buffer per read, satisfying this
+// by construction.
+func Unmarshal(p Payload, v any) error {
+	if p.Ver == VersionFlat {
+		ok, err := decodeFlat(p.Body, v)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: flat payload for %T", ErrBadPayload, v)
+		}
+		return nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p.Body)).Decode(v); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadPayload, err)
 	}
 	return nil
@@ -116,14 +205,14 @@ func Unmarshal(payload []byte, v any) error {
 // Expect decodes a complete envelope that must carry the given message
 // type — the reply-parsing path, where the protocol step fixes the type.
 func Expect(frame []byte, want byte, v any) error {
-	t, payload, err := Decode(frame)
+	t, p, err := Decode(frame)
 	if err != nil {
 		return err
 	}
 	if t != want {
 		return fmt.Errorf("%w: got %s, want %s", ErrUnexpectedType, MsgName(t), MsgName(want))
 	}
-	return Unmarshal(payload, v)
+	return Unmarshal(p, v)
 }
 
 // MsgName names a message type byte for error messages and logs.
@@ -132,111 +221,4 @@ func MsgName(t byte) string {
 		return n
 	}
 	return fmt.Sprintf("msg(0x%02x)", t)
-}
-
-// checkResult caches the verdict for one type: err is the static rejection
-// (unexported field, unencodable kind); clean means no interface is
-// reachable, so values of the type never need a dynamic walk.
-type checkResult struct {
-	err   error
-	clean bool
-}
-
-var checked sync.Map // reflect.Type -> checkResult
-
-// checkValue validates that gob will encode v faithfully. Static structure
-// is checked once per type and cached; only types with reachable interface
-// fields descend into the actual values, and only through those fields.
-func checkValue(v reflect.Value) error {
-	if !v.IsValid() {
-		return nil // nil interface: gob encodes the zero value faithfully
-	}
-	t := v.Type()
-	var cr checkResult
-	if r, ok := checked.Load(t); ok {
-		cr = r.(checkResult)
-	} else {
-		cr.err, cr.clean = checkType(t, map[reflect.Type]bool{})
-		checked.Store(t, cr)
-	}
-	if cr.err != nil {
-		return cr.err
-	}
-	if cr.clean {
-		return nil
-	}
-	switch v.Kind() {
-	case reflect.Interface, reflect.Pointer:
-		if v.IsNil() {
-			return nil
-		}
-		return checkValue(v.Elem())
-	case reflect.Struct:
-		for i := 0; i < v.NumField(); i++ {
-			if err := checkValue(v.Field(i)); err != nil {
-				return err
-			}
-		}
-	case reflect.Slice, reflect.Array:
-		for i := 0; i < v.Len(); i++ {
-			if err := checkValue(v.Index(i)); err != nil {
-				return err
-			}
-		}
-	case reflect.Map:
-		iter := v.MapRange()
-		for iter.Next() {
-			if err := checkValue(iter.Key()); err != nil {
-				return err
-			}
-			if err := checkValue(iter.Value()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// checkType walks a type's static structure. seen breaks recursive types;
-// a type already on the walk path is treated as clean here, its own entry
-// settles the verdict.
-func checkType(t reflect.Type, seen map[reflect.Type]bool) (err error, clean bool) {
-	if seen[t] {
-		return nil, true
-	}
-	seen[t] = true
-	switch t.Kind() {
-	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
-		return fmt.Errorf("wire: type %v cannot cross the wire (kind %v)", t, t.Kind()), false
-	case reflect.Interface:
-		return nil, false // dynamic value checked per encode
-	case reflect.Pointer, reflect.Slice, reflect.Array:
-		return checkType(t.Elem(), seen)
-	case reflect.Map:
-		kerr, kclean := checkType(t.Key(), seen)
-		if kerr != nil {
-			return kerr, false
-		}
-		verr, vclean := checkType(t.Elem(), seen)
-		if verr != nil {
-			return verr, false
-		}
-		return nil, kclean && vclean
-	case reflect.Struct:
-		clean = true
-		for i := 0; i < t.NumField(); i++ {
-			f := t.Field(i)
-			if f.PkgPath != "" {
-				return fmt.Errorf("wire: type %v has unexported field %q (gob drops it silently)", t, f.Name), false
-			}
-			ferr, fclean := checkType(f.Type, seen)
-			if ferr != nil {
-				return ferr, false
-			}
-			clean = clean && fclean
-		}
-		return nil, clean
-	default:
-		return nil, true
-	}
 }

@@ -91,6 +91,9 @@ func TestDecodeMalformed(t *testing.T) {
 		{"version future", []byte{MsgHeartbeat, Version + 1, 0x01}, ErrVersion},
 		{"unknown type", []byte{0xee, Version, 0x01}, ErrUnknownType},
 		{"zero type", []byte{0x00, Version}, ErrUnknownType},
+		// A flat envelope for a control-plane type means the peer runs a
+		// future protocol that moved it off gob: reject, never misdecode.
+		{"flat envelope for gob-only type", []byte{MsgDeploy, VersionFlat, 0x01}, ErrVersion},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -194,8 +197,8 @@ func FuzzDecode(f *testing.F) {
 		if _, ok := msgNames[msgType]; !ok {
 			t.Fatalf("Decode accepted unknown type 0x%02x", msgType)
 		}
-		if len(payload) != len(data)-2 {
-			t.Fatalf("payload length %d, want %d", len(payload), len(data)-2)
+		if len(payload.Body) != len(data)-2 {
+			t.Fatalf("payload length %d, want %d", len(payload.Body), len(data)-2)
 		}
 		// Unmarshal into a generic target must error or succeed, not panic.
 		var hb Heartbeat

@@ -199,6 +199,9 @@ type Options struct {
 	// CompactRatio forces a fresh base once cumulative delta bytes exceed
 	// this fraction of the base checkpoint's bytes (default 0.5).
 	CompactRatio float64
+	// CompressBase flate-compresses base (full) checkpoint chunks before
+	// they reach the backup disks; delta chunks stay raw.
+	CompressBase bool
 	// QueueLen bounds per-instance queues (default 1024).
 	QueueLen int
 	// OverflowLen is the flow-control watermark in items (default
@@ -270,6 +273,7 @@ func (b *GraphBuilder) Deploy(opts Options) (*System, error) {
 		DeltaCheckpoints:  opts.DeltaCheckpoints,
 		CompactEvery:      opts.CompactEvery,
 		CompactRatio:      opts.CompactRatio,
+		CompressBase:      opts.CompressBase,
 		ScaleDrainTimeout: opts.ScaleDrainTimeout,
 		WireCheck:         opts.WireCheck,
 	})
