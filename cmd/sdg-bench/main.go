@@ -41,6 +41,9 @@ func main() {
 		wireB     = flag.Bool("wire-bench", false, "measure gob vs flat wire codec cost (bytes, allocs, ns per message) and exit")
 		wireOut   = flag.String("wire-out", "BENCH_wire.json", "JSON output path for -wire-bench (empty = stdout table only)")
 		wireIters = flag.Int("wire-iters", 2_000, "codec round trips per scenario for -wire-bench")
+		distEdge  = flag.Bool("distedge-bench", false, "measure cross-worker edge throughput and wire cost (local and TCP transports) and exit")
+		distOut   = flag.String("distedge-out", "BENCH_distedge.json", "JSON output path for -distedge-bench (empty = stdout table only)")
+		distItems = flag.Int("distedge-items", 20_000, "items injected per transport variant for -distedge-bench")
 		ledger    = flag.String("ledger", "", "update this rolling perf ledger from the BENCH_*.json records in the current directory and exit")
 		ledgerPR  = flag.Int("ledger-pr", 0, "PR number the ledger entry records (required with -ledger)")
 	)
@@ -62,6 +65,16 @@ func main() {
 	if *wireB {
 		err := experiments.WriteWireBench(os.Stdout,
 			experiments.WireBenchConfig{Iters: *wireIters}, *wireOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *distEdge {
+		err := experiments.WriteDistEdgeBench(os.Stdout,
+			experiments.DistEdgeBenchConfig{Items: *distItems}, *distOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)

@@ -106,7 +106,10 @@ func newCoordinator(workers string, partitions, shards, batch int, interval time
 			data.Close()
 			return nil, fmt.Errorf("worker %s: %w", addr, err)
 		}
-		eps = append(eps, runtime.WorkerEndpoint{Data: data, Control: ctrl})
+		// Addr lets peer workers dial each other directly for any cut
+		// dataflow edges; the kv graph has none today, but the coordinator
+		// needs the addresses on file before it can place edged graphs.
+		eps = append(eps, runtime.WorkerEndpoint{Addr: addr, Data: data, Control: ctrl})
 	}
 	if len(eps) == 0 {
 		return nil, fmt.Errorf("-workers lists no addresses")
@@ -139,7 +142,7 @@ func newCoordinator(workers string, partitions, shards, batch int, interval time
 func main() {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-		partitions   = flag.Int("partitions", 2, "store partitions")
+		partitions   = flag.Int("partitions", 2, "store partitions (with -workers: the global total, sharded across workers)")
 		shards       = flag.Int("shards", -1, "lock stripes per store partition (-1 = per-core default, 0 = single lock)")
 		batch        = flag.Int("batch", 1, "micro-batch target for the item hot path (1 = per-item dispatch)")
 		injectPolicy = flag.String("inject-policy", "block", "ingress admission policy under overload: block | shed")

@@ -16,6 +16,7 @@ import (
 
 func init() {
 	runtime.RegisterGraph("counter", Graph)
+	runtime.RegisterGraph("counterchain", ChainGraph)
 }
 
 // Graph builds the counter SDG: one partitioned KVMap SE holding big-endian
@@ -34,6 +35,33 @@ func Graph() *core.Graph {
 		kvm.Put(it.Key, buf)
 		ctx.Reply(n + 1)
 	}, &core.Access{SE: counts, Mode: core.AccessByKey}, true)
+	return g
+}
+
+// ChainGraph builds the two-stage counter SDG: a stateless entry TE
+// forwards every item over a partitioned dataflow edge to the keyed
+// increment TE. The edge is the point of this graph — deployed across
+// workers it is cut, so the same exact-count property that makes the flat
+// counter a loss/duplication detector now also covers the cross-worker
+// delivery path. Fire-and-forget only: the ingest stage does not Reply
+// (cross-worker request/reply is not supported).
+func ChainGraph() *core.Graph {
+	g := core.NewGraph("counterchain")
+	counts := g.AddSE("counts", core.KindPartitioned, state.TypeKVMap, nil)
+	ingest := g.AddTE("ingest", func(ctx core.Context, it core.Item) {
+		ctx.Emit(0, it.Key, it.Value)
+	}, nil, true)
+	inc := g.AddTE("inc", func(ctx core.Context, it core.Item) {
+		kvm := ctx.Store().(state.KV)
+		var n uint64
+		if v, ok := kvm.Get(it.Key); ok {
+			n = binary.BigEndian.Uint64(v)
+		}
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, n+1)
+		kvm.Put(it.Key, buf)
+	}, &core.Access{SE: counts, Mode: core.AccessByKey}, false)
+	g.Connect(ingest, inc, core.DispatchPartitioned)
 	return g
 }
 

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	_ "repro/internal/apps/counter" // registers the counterchain graph
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+	"repro/internal/state"
+)
+
+// DistEdgeBenchConfig sizes the cross-worker edge measurement: a two-worker
+// counterchain deployment whose dataflow edge is cut between the workers,
+// driven once over in-process transports (protocol cost alone) and once
+// over real localhost TCP.
+type DistEdgeBenchConfig struct {
+	Items int // items injected per variant (default 20_000)
+	Keys  int // distinct keys, spread across both partitions (default 1024)
+	Batch int // coordinator injection batch size (default 256)
+}
+
+func (c DistEdgeBenchConfig) withDefaults() DistEdgeBenchConfig {
+	if c.Items <= 0 {
+		c.Items = 20_000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1024
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	return c
+}
+
+// DistEdgeBenchResult is one transport variant's measurement. Throughput is
+// end-to-end (inject through drain), so it includes the coordinator's data
+// link, not just the edge; bytes/frames count only worker-to-worker
+// RemoteEmit traffic, which is what the flat edge codec is accountable
+// for. Per the repo's measurement policy the wall-clock figures are
+// context, not asserted floors.
+type DistEdgeBenchResult struct {
+	Transport       string  `json:"transport"` // "local" or "tcp"
+	Items           int     `json:"items"`
+	RemoteItems     int64   `json:"remote_items"` // items that crossed the cut edge
+	ElapsedMs       int64   `json:"elapsed_ms"`
+	ItemsPerSec     float64 `json:"items_per_sec"`
+	EdgeBytes       int64   `json:"edge_bytes"`  // RemoteEmit request bytes, sender side
+	EdgeFrames      int64   `json:"edge_frames"` // RemoteEmit calls (including retries)
+	BytesPerRemote  float64 `json:"edge_bytes_per_remote_item"`
+	ItemsPerFrame   float64 `json:"remote_items_per_frame"`
+	FinalEdgeLogged int     `json:"final_edge_log_items"` // send-log depth after drain (pre-trim)
+}
+
+// countingTransport counts request bytes and frames on a peer link. The
+// worker dialer only ever opens peer links for cross-worker edge delivery,
+// so everything counted here is RemoteEmit traffic.
+type countingTransport struct {
+	inner  cluster.Transport
+	bytes  *atomic.Int64
+	frames *atomic.Int64
+}
+
+func (t *countingTransport) Call(req []byte) ([]byte, error) {
+	t.bytes.Add(int64(len(req)))
+	t.frames.Add(1)
+	return t.inner.Call(req)
+}
+
+func (t *countingTransport) Close() error { return t.inner.Close() }
+
+// runDistEdgeVariant deploys counterchain on two in-process workers joined
+// by the given transport flavor, pushes the configured stream through the
+// cut edge and reports throughput plus edge wire cost.
+func runDistEdgeVariant(transport string, cfg DistEdgeBenchConfig) (DistEdgeBenchResult, error) {
+	res := DistEdgeBenchResult{Transport: transport, Items: cfg.Items}
+	var edgeBytes, edgeFrames atomic.Int64
+
+	w0 := runtime.NewWorker()
+	defer w0.Close()
+	w1 := runtime.NewWorker()
+	defer w1.Close()
+
+	var eps []runtime.WorkerEndpoint
+	switch transport {
+	case "local":
+		handlers := map[string]cluster.Handler{"w0": w0.Handler(), "w1": w1.Handler()}
+		dial := func(addr string) (cluster.Transport, error) {
+			h, ok := handlers[addr]
+			if !ok {
+				return nil, fmt.Errorf("distedge bench: no worker at %q", addr)
+			}
+			return &countingTransport{inner: cluster.Local(h, 0), bytes: &edgeBytes, frames: &edgeFrames}, nil
+		}
+		w0.SetDialer(dial)
+		w1.SetDialer(dial)
+		eps = []runtime.WorkerEndpoint{
+			{Addr: "w0", Data: cluster.Local(w0.Handler(), 0), Control: cluster.Local(w0.Handler(), 0)},
+			{Addr: "w1", Data: cluster.Local(w1.Handler(), 0), Control: cluster.Local(w1.Handler(), 0)},
+		}
+	case "tcp":
+		srv0, err := cluster.Serve("127.0.0.1:0", w0.Handler())
+		if err != nil {
+			return res, err
+		}
+		defer srv0.Close()
+		srv1, err := cluster.Serve("127.0.0.1:0", w1.Handler())
+		if err != nil {
+			return res, err
+		}
+		defer srv1.Close()
+		dial := func(addr string) (cluster.Transport, error) {
+			c, err := cluster.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.SetCallTimeout(10 * time.Second)
+			return &countingTransport{inner: c, bytes: &edgeBytes, frames: &edgeFrames}, nil
+		}
+		w0.SetDialer(dial)
+		w1.SetDialer(dial)
+		mkEp := func(addr string) (runtime.WorkerEndpoint, error) {
+			data, err := cluster.Dial(addr)
+			if err != nil {
+				return runtime.WorkerEndpoint{}, err
+			}
+			data.SetCallTimeout(10 * time.Second)
+			ctrl, err := cluster.Dial(addr)
+			if err != nil {
+				return runtime.WorkerEndpoint{}, err
+			}
+			ctrl.SetCallTimeout(10 * time.Second)
+			return runtime.WorkerEndpoint{Addr: addr, Data: data, Control: ctrl}, nil
+		}
+		ep0, err := mkEp(srv0.Addr())
+		if err != nil {
+			return res, err
+		}
+		ep1, err := mkEp(srv1.Addr())
+		if err != nil {
+			return res, err
+		}
+		eps = []runtime.WorkerEndpoint{ep0, ep1}
+	default:
+		return res, fmt.Errorf("distedge bench: unknown transport %q", transport)
+	}
+
+	coord, err := runtime.NewCoordinator("counterchain", eps, runtime.CoordOptions{
+		Partitions: map[string]int{"counts": 2},
+		BatchSize:  64,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer coord.Close()
+
+	// Every item enters at worker 0's ingest; the ones keyed to worker 1's
+	// counts partition cross the cut edge.
+	for k := 0; k < cfg.Keys; k++ {
+		if state.PartitionKey(uint64(k), 2) == 1 {
+			res.RemoteItems += int64(cfg.Items/cfg.Keys + boolInt(k < cfg.Items%cfg.Keys))
+		}
+	}
+
+	start := time.Now()
+	batch := make([]runtime.InjectItem, 0, cfg.Batch)
+	for i := 0; i < cfg.Items; i++ {
+		batch = append(batch, runtime.InjectItem{Key: uint64(i % cfg.Keys)})
+		if len(batch) == cfg.Batch || i == cfg.Items-1 {
+			if err := coord.InjectBatch("ingest", batch); err != nil {
+				return res, fmt.Errorf("distedge bench (%s): inject: %w", transport, err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if !coord.Drain(60 * time.Second) {
+		return res, fmt.Errorf("distedge bench (%s): deployment did not quiesce", transport)
+	}
+	elapsed := time.Since(start)
+
+	res.ElapsedMs = elapsed.Milliseconds()
+	res.ItemsPerSec = float64(cfg.Items) / elapsed.Seconds()
+	res.EdgeBytes = edgeBytes.Load()
+	res.EdgeFrames = edgeFrames.Load()
+	if res.RemoteItems > 0 {
+		res.BytesPerRemote = float64(res.EdgeBytes) / float64(res.RemoteItems)
+	}
+	if res.EdgeFrames > 0 {
+		res.ItemsPerFrame = float64(res.RemoteItems) / float64(res.EdgeFrames)
+	}
+	res.FinalEdgeLogged = w0.PendingEdgeItems() + w1.PendingEdgeItems()
+
+	// Sanity: exactly cfg.Items increments must have landed, or the
+	// throughput number above measured a broken deployment.
+	var processed int64
+	if processed, err = coord.Processed("inc"); err != nil {
+		return res, err
+	}
+	if processed != int64(cfg.Items) {
+		return res, fmt.Errorf("distedge bench (%s): processed %d increments, want %d", transport, processed, cfg.Items)
+	}
+	return res, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RunDistEdgeBench measures the cut-edge dataflow over both transports.
+func RunDistEdgeBench(cfg DistEdgeBenchConfig) ([]DistEdgeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	var results []DistEdgeBenchResult
+	for _, tr := range []string{"local", "tcp"} {
+		r, err := runDistEdgeVariant(tr, cfg)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteDistEdgeBench runs the cross-worker edge benchmark, prints a summary
+// table, and (when outPath is non-empty) writes the structured results as
+// JSON for CI and the perf ledger.
+func WriteDistEdgeBench(w io.Writer, cfg DistEdgeBenchConfig, outPath string) error {
+	results, err := RunDistEdgeBench(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		Title:  "cross-worker edge: two-worker counterchain, cut partitioned edge",
+		Note:   fmt.Sprintf("%d items over %d keys, coordinator batch %d", cfg.Items, cfg.Keys, cfg.Batch),
+		Header: []string{"transport", "items/s", "remote items", "edge B/item", "items/frame", "edge frames"},
+	}
+	for _, r := range results {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Transport,
+			fmt.Sprintf("%.0f", r.ItemsPerSec),
+			fmt.Sprintf("%d", r.RemoteItems),
+			fmt.Sprintf("%.1f", r.BytesPerRemote),
+			fmt.Sprintf("%.1f", r.ItemsPerFrame),
+			fmt.Sprintf("%d", r.EdgeFrames),
+		})
+	}
+	tbl.Fprint(w)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -129,6 +129,17 @@ func RunWireBench(cfg WireBenchConfig) ([]WireBenchResult, error) {
 				return wire.Unmarshal(p, &m)
 			},
 		},
+		{
+			// The cross-worker edge frame. Like inject64 it amortises the
+			// gob type dictionary over the batch, so it is reported as
+			// context only — the floors stay on the single-message paths.
+			name: "remoteemit64", msgType: wire.MsgRemoteEmit, items: 64,
+			msg: wire.RemoteEmit{Edge: 1, Inst: 3, Items: mkItems(64)},
+			decode: func(p wire.Payload) error {
+				var m wire.RemoteEmit
+				return wire.Unmarshal(p, &m)
+			},
+		},
 	}
 
 	var results []WireBenchResult

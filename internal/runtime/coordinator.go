@@ -21,6 +21,11 @@ import (
 // for as long as ingress credit is revoked, and heartbeats queued behind
 // that block would time a healthy worker out.
 type WorkerEndpoint struct {
+	// Addr is the address peer workers dial to deliver cross-worker edge
+	// traffic (the worker's own listen address). It may stay empty for
+	// single-worker deployments and edge-free graphs, where no worker ever
+	// dials another.
+	Addr    string
 	Data    cluster.Transport
 	Control cluster.Transport
 }
@@ -111,6 +116,16 @@ type Coordinator struct {
 	entry map[string]bool // entry TE names
 	keyed map[string]bool // entry TEs routed by key (partitioned access)
 
+	// Sharded placement (multi-worker deployments): the per-worker TE/SE
+	// shard tables, the global instance total per entry task (routing), and
+	// the peer address list workers dial each other on. Single-worker
+	// deployments skip all of it and keep the legacy whole-graph deploy.
+	shard      bool
+	teShards   []map[string]wire.Shard
+	seShards   []map[string]wire.Shard
+	entryTotal map[string]int
+	addrs      []string
+
 	injMu  sync.Mutex
 	extSeq uint64
 	// encBuf is the reused data-plane encode buffer, guarded by injMu like
@@ -130,12 +145,13 @@ type Coordinator struct {
 // NewCoordinator validates the graph for distributed execution, deploys it
 // to every worker and starts failure detection.
 //
-// Multi-worker deployments are restricted to graphs without dataflow
-// edges: an item emitted inside worker A re-routes among A's local
-// instances only, so a graph whose edges must span the global instance set
-// would silently diverge from single-process semantics. Graphs with edges
-// deploy on exactly one worker (full remote execution); wider support
-// needs cross-worker edge routing, tracked in the roadmap.
+// A multi-worker deployment slices the graph: every SE's global partition
+// set (CoordOptions.Partitions, defaulting to one partition per worker)
+// splits contiguously across workers, TEs colocate with their SE's slice,
+// and dataflow edges whose destination spans workers are cut — each
+// worker's runtime delivers the remote share over the peer links named by
+// WorkerEndpoint.Addr, with the same routing the in-process path uses over
+// the global instance set.
 func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (*Coordinator, error) {
 	if len(eps) == 0 {
 		return nil, fmt.Errorf("coordinator: no worker endpoints")
@@ -146,9 +162,6 @@ func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
-	}
-	if len(eps) > 1 && len(g.Edges) > 0 {
-		return nil, fmt.Errorf("coordinator: graph %q has dataflow edges; multi-worker deployment supports edge-free graphs only (got %d workers)", graphName, len(eps))
 	}
 	opts.defaults()
 	c := &Coordinator{
@@ -172,11 +185,14 @@ func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (
 		}
 		c.logs[te.Name] = bufs
 	}
+	if len(eps) > 1 {
+		c.computeLayout(eps)
+	}
 	for i, ep := range eps {
 		cw := &coordWorker{ep: ep}
 		cw.alive.Store(true)
 		c.workers = append(c.workers, cw)
-		if err := c.deployTo(cw); err != nil {
+		if err := c.deployTo(i, cw, false); err != nil {
 			// Unwind: close everything already connected.
 			for _, w := range c.workers {
 				w.endpoint().close()
@@ -190,17 +206,75 @@ func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (
 	return c, nil
 }
 
+// computeLayout fixes the global placement of a multi-worker deployment:
+// every SE gets a global partition count (Partitions[name], defaulting to
+// one partition per worker — the layout edge-free deployments always had),
+// split contiguously across workers; a TE colocates with its SE's slice,
+// and a stateless TE runs as a single global instance on worker 0. Entry
+// routing and cross-worker edge routing both derive from this one table,
+// which is what keeps a cut edge semantically identical to a local one.
+func (c *Coordinator) computeLayout(eps []WorkerEndpoint) {
+	W := len(eps)
+	c.shard = true
+	c.addrs = make([]string, W)
+	for i, ep := range eps {
+		c.addrs[i] = ep.Addr
+	}
+	c.teShards = make([]map[string]wire.Shard, W)
+	c.seShards = make([]map[string]wire.Shard, W)
+	for w := 0; w < W; w++ {
+		c.teShards[w] = make(map[string]wire.Shard, len(c.g.TEs))
+		c.seShards[w] = make(map[string]wire.Shard, len(c.g.SEs))
+	}
+	for _, se := range c.g.SEs {
+		total := W
+		if p, ok := c.opts.Partitions[se.Name]; ok && p > 0 {
+			total = p
+		}
+		for w := 0; w < W; w++ {
+			first, cnt := shardSplit(total, w, W)
+			c.seShards[w][se.Name] = wire.Shard{First: first, Count: cnt, Total: total}
+		}
+	}
+	c.entryTotal = make(map[string]int)
+	for _, te := range c.g.TEs {
+		for w := 0; w < W; w++ {
+			var sh wire.Shard
+			if te.Access != nil {
+				sh = c.seShards[w][c.g.SEs[te.Access.SE].Name]
+			} else {
+				first, cnt := shardSplit(1, w, W)
+				sh = wire.Shard{First: first, Count: cnt, Total: 1}
+			}
+			c.teShards[w][te.Name] = sh
+		}
+		if te.Entry {
+			c.entryTotal[te.Name] = c.teShards[0][te.Name].Total
+		}
+	}
+}
+
 // deployTo sends the Deploy message over the worker's data link.
-func (c *Coordinator) deployTo(cw *coordWorker) error {
-	frame, err := wire.Encode(wire.MsgDeploy, wire.Deploy{
+func (c *Coordinator) deployTo(w int, cw *coordWorker, awaitRestore bool) error {
+	d := wire.Deploy{
 		Graph:       c.graphName,
-		Partitions:  c.opts.Partitions,
 		QueueLen:    c.opts.QueueLen,
 		OverflowLen: c.opts.OverflowLen,
 		BatchSize:   c.opts.BatchSize,
 		KVShards:    c.opts.KVShards,
 		WireCheck:   c.opts.WireCheck,
-	})
+	}
+	if c.shard {
+		d.Worker = w
+		d.Workers = len(c.addrs)
+		d.TEShards = c.teShards[w]
+		d.SEShards = c.seShards[w]
+		d.Peers = c.addrs
+		d.AwaitRestore = awaitRestore
+	} else {
+		d.Partitions = c.opts.Partitions
+	}
+	frame, err := wire.Encode(wire.MsgDeploy, d)
 	if err != nil {
 		return err
 	}
@@ -218,10 +292,23 @@ func call(tr cluster.Transport, frame []byte, want byte, out any) error {
 	return wire.Expect(resp, want, out)
 }
 
-// route picks the worker for an item: partitioned-access tasks route by
-// key (agreeing with every worker's local partitioning, which uses the
-// same hash), anything else rotates by seq.
+// route picks the worker for an item. Sharded deployments route in two
+// steps through the same global instance space workers use internally: the
+// key (or seq rotation) names a global entry instance, and the shard table
+// names the worker owning it. The legacy single-worker forms both collapse
+// to worker 0.
 func (c *Coordinator) route(task string, it core.Item) int {
+	if c.shard {
+		total := c.entryTotal[task]
+		if total <= 0 {
+			total = 1
+		}
+		g := int(it.Seq % uint64(total))
+		if c.keyed[task] {
+			g = statePartition(it.Key, total)
+		}
+		return shardOwner(total, len(c.workers), g)
+	}
 	if c.keyed[task] {
 		return statePartition(it.Key, len(c.workers))
 	}
@@ -428,6 +515,7 @@ func (c *Coordinator) Checkpoint() error {
 	c.injMu.Lock()
 	defer c.injMu.Unlock()
 	var firstErr error
+	fresh := make(map[int]*wire.Snapshot)
 	for w, cw := range c.workers {
 		if !cw.alive.Load() {
 			continue
@@ -447,9 +535,54 @@ func (c *Coordinator) Checkpoint() error {
 			continue
 		}
 		cw.snap = &snap
+		fresh[w] = &snap
 		c.trimLogs(w, &snap)
 	}
+	if c.shard && len(fresh) > 0 {
+		c.trimEdges(fresh)
+	}
 	return firstErr
+}
+
+// trimEdges broadcasts per-(edge, destination instance) trim points built
+// from this round's snapshots: a destination's dedup watermarks are now
+// durably covered by its restore point, so every sender may drop items at
+// or below them from its edge send log. Only instances snapshotted this
+// round are trimmed — a worker that missed the round keeps its older
+// restore point, and items it may still need stay logged at the senders.
+func (c *Coordinator) trimEdges(fresh map[int]*wire.Snapshot) {
+	if len(c.g.Edges) == 0 {
+		return
+	}
+	var trims []wire.EdgeTrimEntry
+	for gi, e := range c.g.Edges {
+		dst := c.g.TEs[e.To].Name
+		for w, snap := range fresh {
+			sh := c.teShards[w][dst]
+			for _, t := range snap.TEs {
+				if t.TE != dst || len(t.Watermarks) == 0 {
+					continue
+				}
+				trims = append(trims, wire.EdgeTrimEntry{Edge: gi, Inst: sh.First + t.Index, Watermarks: t.Watermarks})
+			}
+		}
+	}
+	if len(trims) == 0 {
+		return
+	}
+	frame, err := wire.Encode(wire.MsgEdgeTrim, wire.EdgeTrim{Trims: trims})
+	if err != nil {
+		return
+	}
+	for _, cw := range c.workers {
+		if !cw.alive.Load() {
+			continue
+		}
+		var ack wire.EdgeTrimAck
+		// Best-effort: a failed trim only delays log truncation until the
+		// next checkpoint; the failure detector owns marking workers dead.
+		_ = call(cw.endpoint().Control, frame, wire.MsgEdgeTrimAck, &ack)
+	}
 }
 
 // trimLogs drops replay-log items the worker's snapshot durably covers:
@@ -526,11 +659,20 @@ func (c *Coordinator) RecoverWorker(w int, ep WorkerEndpoint) error {
 	cw.mu.Lock()
 	cw.ep = ep
 	cw.mu.Unlock()
+	if c.shard {
+		// The replacement listens somewhere new; its own deploy and every
+		// peer notification below must carry the current address.
+		c.addrs[w] = ep.Addr
+	}
 	fail := func(err error) error {
 		ep.close()
 		return err
 	}
-	if err := c.deployTo(cw); err != nil {
+	// A worker with a restore point deploys sealed (AwaitRestore): peers may
+	// start re-sending edge items the moment they learn the new address, and
+	// a pre-restore delivery would be double-counted after the import wipes
+	// the dedup state.
+	if err := c.deployTo(w, cw, c.shard && cw.snap != nil); err != nil {
 		return fail(fmt.Errorf("coordinator: redeploy worker %d: %w", w, err))
 	}
 	if cw.snap != nil {
@@ -557,6 +699,23 @@ func (c *Coordinator) RecoverWorker(w int, ep WorkerEndpoint) error {
 			var ack wire.InjectAck
 			if err := call(ep.Data, frame, wire.MsgInjectAck, &ack); err != nil {
 				return fail(fmt.Errorf("coordinator: replay %q to worker %d: %w", task, w, err))
+			}
+		}
+	}
+	if c.shard {
+		// Tell the surviving workers where the replacement lives: each one
+		// rebuilds its send queue for w from its edge logs and re-delivers
+		// everything the last checkpoint did not cover (the receiver's
+		// restored dedup watermarks drop the rest). Best-effort per peer —
+		// a peer that fails here is the failure detector's problem, not
+		// this recovery's.
+		if frame, err := wire.Encode(wire.MsgPeers, wire.Peers{Worker: w, Addr: ep.Addr}); err == nil {
+			for pw, pcw := range c.workers {
+				if pw == w || !pcw.alive.Load() {
+					continue
+				}
+				var ack wire.PeersAck
+				_ = call(pcw.endpoint().Control, frame, wire.MsgPeersAck, &ack)
 			}
 		}
 	}
@@ -659,23 +818,63 @@ func (c *Coordinator) Processed(task string) (int64, error) {
 	return total, err
 }
 
-// Drain asks every live worker to quiesce, reporting whether all did
-// within the timeout.
+// Drain blocks until the whole deployment quiesces: every live worker
+// reports empty queues and no unacked cross-worker edge frames, twice in a
+// row with unchanged processed totals. One quiesced round is not enough
+// once workers feed each other over edges: worker A can answer quiet and
+// only then receive items B emitted after A's answer. A repeated
+// all-quiet round with stable progress counters proves no item moved
+// between the two observations.
 func (c *Coordinator) Drain(timeout time.Duration) bool {
-	frame, err := wire.Encode(wire.MsgDrainReq, wire.DrainReq{TimeoutMs: timeout.Milliseconds()})
-	if err != nil {
+	deadline := time.Now().Add(timeout)
+	var prev []int64
+	quietOnce := false
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		frame, err := wire.Encode(wire.MsgDrainReq, wire.DrainReq{TimeoutMs: remaining.Milliseconds()})
+		if err != nil {
+			return false
+		}
+		all := true
+		var cur []int64
+		err = c.queryLive(frame, wire.MsgDrainAck, func(w int, payload wire.Payload) error {
+			var ack wire.DrainAck
+			if err := wire.Unmarshal(payload, &ack); err != nil {
+				return err
+			}
+			all = all && ack.Quiesced
+			// Pairing each total with its worker id keeps a membership
+			// change between rounds from matching by coincidence.
+			cur = append(cur, int64(w), ack.Processed)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		if all && quietOnce && int64sEqual(prev, cur) {
+			return true
+		}
+		quietOnce = all
+		prev = cur
+		if !all {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	all := true
-	err = c.queryLive(frame, wire.MsgDrainAck, func(_ int, payload wire.Payload) error {
-		var ack wire.DrainAck
-		if err := wire.Unmarshal(payload, &ack); err != nil {
-			return err
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
-		all = all && ack.Quiesced
-		return nil
-	})
-	return err == nil && all
+	}
+	return true
 }
 
 // Close stops failure detection, asks live workers to shut down

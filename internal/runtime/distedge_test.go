@@ -1,0 +1,388 @@
+package runtime_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps/counter"
+	"repro/internal/cluster"
+	"repro/internal/runtime"
+)
+
+// newEdgeTCPWorker serves a fresh worker over localhost TCP and returns an
+// endpoint carrying the listen address, so peer workers can dial it for
+// cross-worker edge delivery.
+func newEdgeTCPWorker(t *testing.T) (*runtime.Worker, runtime.WorkerEndpoint) {
+	t.Helper()
+	w := runtime.NewWorker()
+	srv, err := cluster.Serve("127.0.0.1:0", w.Handler())
+	if err != nil {
+		t.Fatalf("serve worker: %v", err)
+	}
+	t.Cleanup(func() { srv.Close(); w.Close() })
+	dial := func() *cluster.Client {
+		c, err := cluster.Dial(srv.Addr())
+		if err != nil {
+			t.Fatalf("dial worker: %v", err)
+		}
+		c.SetCallTimeout(10 * time.Second)
+		return c
+	}
+	return w, runtime.WorkerEndpoint{Addr: srv.Addr(), Data: dial(), Control: dial()}
+}
+
+// TestDistributedEdgeEquivalence deploys a graph WITH a dataflow edge
+// across two TCP workers and requires byte-identical SE contents, dedup
+// watermarks and processed counts against a single in-process runtime fed
+// the same stream. The counterchain's entry TE lives entirely on worker 0,
+// so every item bound for worker 1's counts partition crosses the cut edge
+// — any routing, framing or dedup bug on the remote path shifts a count.
+func TestDistributedEdgeEquivalence(t *testing.T) {
+	_, ep0 := newEdgeTCPWorker(t)
+	_, ep1 := newEdgeTCPWorker(t)
+	coord, err := runtime.NewCoordinator("counterchain", []runtime.WorkerEndpoint{ep0, ep1}, runtime.CoordOptions{
+		Partitions: map[string]int{"counts": 2},
+		BatchSize:  4,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	ref, err := runtime.Deploy(counter.ChainGraph(), runtime.Options{
+		Partitions: map[string]int{"counts": 2},
+		BatchSize:  4,
+	})
+	if err != nil {
+		t.Fatalf("deploy reference: %v", err)
+	}
+	defer ref.Stop()
+
+	const items = 600
+	const keys = 50
+	for i := 0; i < items; i++ {
+		key := uint64(i % keys)
+		if err := coord.Inject("ingest", key, nil); err != nil {
+			t.Fatalf("item %d: distributed inject: %v", i, err)
+		}
+		if err := ref.Inject("ingest", key, nil); err != nil {
+			t.Fatalf("item %d: reference inject: %v", i, err)
+		}
+	}
+
+	if !coord.Drain(15 * time.Second) {
+		t.Fatal("distributed deployment did not quiesce")
+	}
+	if !ref.Drain(10 * time.Second) {
+		t.Fatal("reference runtime did not quiesce")
+	}
+
+	dist, err := coord.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("distributed dump: %v", err)
+	}
+	local, err := ref.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("reference dump: %v", err)
+	}
+	if len(dist) != len(local) {
+		t.Fatalf("store size diverged: distributed %d keys, reference %d", len(dist), len(local))
+	}
+	for k, rv := range local {
+		if dv, ok := dist[k]; !ok || !bytes.Equal(dv, rv) {
+			t.Fatalf("key %d diverged: distributed %q, reference %q", k, dist[k], rv)
+		}
+	}
+
+	for _, task := range []string{"ingest", "inc"} {
+		dwm, err := coord.FoldedWatermarks(task)
+		if err != nil {
+			t.Fatalf("distributed watermarks %q: %v", task, err)
+		}
+		rwm, err := ref.FoldedWatermarks(task)
+		if err != nil {
+			t.Fatalf("reference watermarks %q: %v", task, err)
+		}
+		if len(dwm) != len(rwm) {
+			t.Fatalf("%q watermark origins diverged: %v vs %v", task, dwm, rwm)
+		}
+		for o, s := range rwm {
+			if dwm[o] != s {
+				t.Fatalf("%q watermark for origin %d diverged: distributed %d, reference %d", task, o, dwm[o], s)
+			}
+		}
+		dp, err := coord.Processed(task)
+		if err != nil {
+			t.Fatalf("distributed processed %q: %v", task, err)
+		}
+		if rp := ref.Processed(task); dp != rp {
+			t.Fatalf("%q processed diverged: distributed %d, reference %d", task, dp, rp)
+		}
+	}
+}
+
+// localRegistry maps fake addresses to in-process handlers so tests can
+// inject worker-to-worker transports (and replace them on recovery).
+type localRegistry struct {
+	mu sync.Mutex
+	m  map[string]cluster.Handler
+}
+
+func (r *localRegistry) set(addr string, h cluster.Handler) {
+	r.mu.Lock()
+	r.m[addr] = h
+	r.mu.Unlock()
+}
+
+func (r *localRegistry) dial(addr string) (cluster.Transport, error) {
+	r.mu.Lock()
+	h, ok := r.m[addr]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no worker at %q", addr)
+	}
+	return cluster.Local(h, 0), nil
+}
+
+// TestDistributedEdgeKillRecovery kills the downstream worker of a cut
+// edge mid-stream and requires exact increment accounting afterwards —
+// including the items that were in flight on the edge when the worker
+// died, which only the sender-side edge log can resurrect. It also pins
+// the drain contract: while the remote destination is down, unacked edge
+// items must keep the deployment non-quiescent.
+func TestDistributedEdgeKillRecovery(t *testing.T) {
+	reg := &localRegistry{m: map[string]cluster.Handler{}}
+	w0 := runtime.NewWorker()
+	defer w0.Close()
+	w1 := runtime.NewWorker()
+	defer w1.Close()
+	w0.SetDialer(reg.dial)
+	w1.SetDialer(reg.dial)
+
+	// Worker 1's handler can be "crashed": after the flag flips, every
+	// request is rejected, exactly as if the process were gone.
+	var dead1 atomic.Bool
+	h1 := w1.Handler()
+	wrapped1 := cluster.Handler(func(req []byte) ([]byte, error) {
+		if dead1.Load() {
+			return nil, errors.New("worker 1 crashed")
+		}
+		return h1(req)
+	})
+	reg.set("w0", w0.Handler())
+	reg.set("w1", wrapped1)
+
+	ep0 := runtime.WorkerEndpoint{Addr: "w0", Data: cluster.Local(w0.Handler(), 0), Control: cluster.Local(w0.Handler(), 0)}
+	ep1 := runtime.WorkerEndpoint{Addr: "w1", Data: cluster.Local(wrapped1, 0), Control: cluster.Local(wrapped1, 0)}
+
+	failed := make(chan int, 4)
+	coord, err := runtime.NewCoordinator("counterchain", []runtime.WorkerEndpoint{ep0, ep1}, runtime.CoordOptions{
+		Partitions:        map[string]int{"counts": 2},
+		BatchSize:         4,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   2,
+		OnFailure:         func(w int) { failed <- w },
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	const keys = 20
+	const perPhase = 300
+	inject := func(phase int) {
+		t.Helper()
+		for i := 0; i < perPhase; i++ {
+			if err := coord.Inject("ingest", uint64(i%keys), nil); err != nil {
+				t.Fatalf("phase %d inject %d: %v", phase, i, err)
+			}
+		}
+	}
+
+	inject(1)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	inject(2) // newer than worker 1's snapshot: must come back via edge replay
+
+	// Crash worker 1.
+	dead1.Store(true)
+	w1.Close()
+	ep1.Data.Close()
+	ep1.Control.Close()
+
+	inject(3) // worker 0 accepts; the remote share parks in its edge sender
+
+	select {
+	case idx := <-failed:
+		if idx != 1 {
+			t.Fatalf("failure detector blamed worker %d, want 1", idx)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure detector never fired")
+	}
+
+	// Satellite contract: unacked cross-worker frames hold the drain open.
+	if coord.Drain(300 * time.Millisecond) {
+		t.Fatal("Drain reported quiescent with edge items in flight to a dead worker")
+	}
+	if n := w0.PendingEdgeItems(); n == 0 {
+		t.Fatal("worker 0 has no logged edge items despite a dead downstream")
+	}
+
+	w1b := runtime.NewWorker()
+	defer w1b.Close()
+	w1b.SetDialer(reg.dial)
+	reg.set("w1b", w1b.Handler())
+	ep1b := runtime.WorkerEndpoint{Addr: "w1b", Data: cluster.Local(w1b.Handler(), 0), Control: cluster.Local(w1b.Handler(), 0)}
+	if err := coord.RecoverWorker(1, ep1b); err != nil {
+		t.Fatalf("RecoverWorker: %v", err)
+	}
+
+	inject(4)
+
+	if !coord.Drain(15 * time.Second) {
+		t.Fatal("deployment did not quiesce after recovery")
+	}
+	dump, err := coord.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	const total = 4 * perPhase
+	var sum uint64
+	for k := uint64(0); k < keys; k++ {
+		n := counter.Count(dump[k])
+		sum += n
+		if n != total/keys {
+			t.Errorf("key %d: count %d, want %d", k, n, total/keys)
+		}
+	}
+	if sum != total {
+		t.Fatalf("counted %d increments, want exactly %d (lost or duplicated edge items)", sum, total)
+	}
+
+	// A checkpoint over the quiesced deployment trims every log: the
+	// coordinator's injection replay logs and both workers' edge send logs.
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	for w := 0; w < coord.Workers(); w++ {
+		if n := coord.PendingReplay("ingest", w); n != 0 {
+			t.Errorf("worker %d injection replay log not trimmed: %d items", w, n)
+		}
+	}
+	if n := w0.PendingEdgeItems(); n != 0 {
+		t.Errorf("worker 0 edge log not trimmed after checkpoint: %d items", n)
+	}
+	if n := w1b.PendingEdgeItems(); n != 0 {
+		t.Errorf("worker 1 edge log not trimmed after checkpoint: %d items", n)
+	}
+}
+
+// TestDistributedEdgeTCPProcesses is the cross-worker edge smoke test at
+// full fidelity: two sdg-worker OS processes joined by a cut edge, the
+// downstream one SIGKILLed mid-stream and replaced. Exact counts must
+// survive, including items that were riding the edge when the process
+// died. Skipped under -short.
+func TestDistributedEdgeTCPProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; skipped in -short")
+	}
+	bin := os.Getenv("SDG_WORKER_BIN")
+	if bin == "" {
+		bin = filepath.Join(t.TempDir(), "sdg-worker")
+		out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/sdg-worker").CombinedOutput()
+		if err != nil {
+			t.Fatalf("build sdg-worker: %v\n%s", err, out)
+		}
+	}
+
+	_, addr0 := startWorkerProc(t, bin)
+	proc1, addr1 := startWorkerProc(t, bin)
+
+	epFor := func(addr string) runtime.WorkerEndpoint {
+		ep := dialWorker(t, addr)
+		ep.Addr = addr
+		return ep
+	}
+
+	failed := make(chan int, 4)
+	coord, err := runtime.NewCoordinator("counterchain",
+		[]runtime.WorkerEndpoint{epFor(addr0), epFor(addr1)},
+		runtime.CoordOptions{
+			Partitions:        map[string]int{"counts": 2},
+			HeartbeatInterval: 50 * time.Millisecond,
+			HeartbeatMisses:   2,
+			OnFailure:         func(w int) { failed <- w },
+		})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	const keys = 10
+	const perPhase = 200
+	inject := func(phase int) {
+		t.Helper()
+		for i := 0; i < perPhase; i++ {
+			if err := coord.Inject("ingest", uint64(i%keys), nil); err != nil {
+				t.Fatalf("phase %d inject %d: %v", phase, i, err)
+			}
+		}
+	}
+
+	inject(1)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	inject(2)
+
+	if err := proc1.Process.Kill(); err != nil {
+		t.Fatalf("kill worker process: %v", err)
+	}
+	proc1.Wait()
+
+	inject(3)
+	select {
+	case idx := <-failed:
+		if idx != 1 {
+			t.Fatalf("failure detector blamed worker %d, want 1", idx)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("failure detector never fired after process kill")
+	}
+
+	_, addr2 := startWorkerProc(t, bin)
+	if err := coord.RecoverWorker(1, epFor(addr2)); err != nil {
+		t.Fatalf("RecoverWorker: %v", err)
+	}
+	inject(4)
+
+	if !coord.Drain(20 * time.Second) {
+		t.Fatal("deployment did not quiesce after process recovery")
+	}
+	dump, err := coord.DumpKV("counts")
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	const total = 4 * perPhase
+	var sum uint64
+	for k := uint64(0); k < keys; k++ {
+		n := counter.Count(dump[k])
+		sum += n
+		if n != total/keys {
+			t.Errorf("key %d: count %d, want %d", k, n, total/keys)
+		}
+	}
+	if sum != total {
+		t.Fatalf("counted %d increments, want exactly %d across the process kill", sum, total)
+	}
+}

@@ -80,6 +80,13 @@ func entryLoad(ts *teState) (backlog int64, live int) {
 // failed partition) drain only through recovery, and must not stall the
 // rest of the graph meanwhile.
 func (r *Runtime) backpressured() bool {
+	// Items logged for a remote peer but not yet acked are parked work too:
+	// a full (or dead) downstream worker must revoke ingress credit here
+	// exactly as local overflow does, or the sender's queues grow without
+	// bound while the receiver rejects.
+	if r.net != nil && r.net.pending.Load() >= int64(r.opts.OverflowLen) {
+		return true
+	}
 	// Nothing parked anywhere (the common case) means no TE can be over
 	// its watermark — skip the per-instance scan on the admission fast
 	// path, which runs once per Inject and per 100µs of every blocked
@@ -184,6 +191,17 @@ func entryDown(ts *teState) bool {
 // injected stream.
 func entryIndex(ts *teState, insts []*teInstance, it core.Item) int {
 	if ts.def.Access != nil && ts.def.Access.Mode == core.AccessByKey {
+		if ts.shard.Total > 0 {
+			// Sharded: the partition is a global identity. The coordinator
+			// routes each key to the owning worker, so the local slot is
+			// global minus the shard base; clamp defensively against a
+			// misrouted item rather than indexing out of range.
+			li := statePartition(it.Key, ts.shard.Total) - ts.shard.First
+			if li < 0 || li >= len(insts) {
+				li = 0
+			}
+			return li
+		}
 		return statePartition(it.Key, len(insts))
 	}
 	start := int(it.Seq % uint64(len(insts)))

@@ -48,6 +48,11 @@ type RecoveryStats struct {
 // with several instances recovers the failed one in place (n == 1).
 func (r *Runtime) Recover(seName string, n int) (RecoveryStats, error) {
 	start := time.Now()
+	if r.opts.Shard != nil {
+		// A sharded worker fails and recovers as a whole process; the
+		// coordinator owns snapshot, restore and replay (RecoverWorker).
+		return RecoveryStats{}, fmt.Errorf("runtime: in-process recovery is unavailable in a sharded worker")
+	}
 	ss, err := r.se(seName)
 	if err != nil {
 		return RecoveryStats{}, err
@@ -339,6 +344,12 @@ func (r *Runtime) Drain(timeout time.Duration) bool {
 }
 
 func (r *Runtime) quiet() bool {
+	// Items logged for a peer worker but not yet acked are still in flight:
+	// a drain that ignored them would let a coordinator checkpoint cut with
+	// items on the wire.
+	if r.net != nil && r.net.pending.Load() > 0 {
+		return false
+	}
 	for _, ts := range r.tes {
 		for _, ti := range ts.instances() {
 			// queued covers both queued batches and the batch currently

@@ -170,13 +170,27 @@ func (r *Runtime) SnapshotAll(chunks int) (wire.Snapshot, error) {
 				OutSeq:     ti.seqCtr.Load(),
 			}
 			if len(ts.out) > 0 {
-				t.Buffered = make([][]core.Item, len(ti.outBufs))
+				t.Buffered = make([][]byte, len(ti.outBufs))
 				for i, b := range ti.outBufs {
-					t.Buffered[i] = b.Replay()
+					data, err := wire.EncodeItems(b.Replay())
+					if err != nil {
+						return wire.Snapshot{}, fmt.Errorf("runtime: snapshot %s/%d edge %d: %w", ts.def.Name, ti.idx, i, err)
+					}
+					t.Buffered[i] = data
 				}
 			}
 			snap.TEs = append(snap.TEs, t)
 		}
+	}
+	// Cross-worker edge logs join the cut: an item a peer received but has
+	// not snapshotted past is still in a log here, so coordinator recovery
+	// can always replay it.
+	if r.net != nil {
+		edges, err := r.net.edgeSnaps()
+		if err != nil {
+			return wire.Snapshot{}, err
+		}
+		snap.Edges = edges
 	}
 	return snap, nil
 }
@@ -257,12 +271,24 @@ func (r *Runtime) ImportSnapshot(snap wire.Snapshot) error {
 		ti := insts[t.Index]
 		ti.dedup.Restore(t.Watermarks)
 		ti.seqCtr.Store(t.OutSeq)
-		for edgeIdx, items := range t.Buffered {
+		for edgeIdx, data := range t.Buffered {
 			if edgeIdx >= len(ti.outBufs) {
 				break
 			}
+			items, err := wire.DecodeItems(data)
+			if err != nil {
+				return fmt.Errorf("runtime: restore %s/%d edge %d: %w", t.TE, t.Index, edgeIdx, err)
+			}
 			ti.outBufs[edgeIdx].AppendBatch(items)
 		}
+	}
+	if r.net != nil {
+		// Restore the edge logs and reseed the peer send queues from them,
+		// then lift the restore seal: peers may deliver again.
+		if err := r.net.restoreEdges(snap.Edges); err != nil {
+			return err
+		}
+		r.net.sealed.Store(false)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/metrics"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 // externalOrigin identifies items injected from outside the SDG.
@@ -103,6 +104,14 @@ type Options struct {
 	// that cannot cross a real wire fails loudly instead of silently
 	// sharing memory.
 	WireCheck bool
+	// Shard, when non-nil, deploys this runtime as one worker's slice of a
+	// multi-worker deployment: only the configured shard of each TE/SE is
+	// instantiated, origin ids and partition routing use global instance
+	// identities, and edges whose destination has instances elsewhere
+	// deliver over the cross-worker data plane (see remoteedge.go).
+	// In-process elasticity and recovery (ScaleUp/ScaleDown/Recover) are
+	// unavailable in this mode — the coordinator owns them.
+	Shard *ShardConfig
 }
 
 func (o *Options) defaults() {
@@ -135,6 +144,10 @@ type Runtime struct {
 
 	tes []*teState
 	ses []*seState
+
+	// net is the cross-worker data plane; nil unless Options.Shard places
+	// this runtime in a multi-worker deployment.
+	net *remoteNet
 
 	pmu     sync.Mutex
 	pauseMu map[int]*sync.RWMutex // per node: held (R) while processing
@@ -185,6 +198,10 @@ type teState struct {
 	insts    []*teInstance
 	out      []*edgeRT
 	hasInAll bool // any inbound all-to-one edge => gather barrier
+	// shard is this worker's global slice of the TE in a sharded
+	// deployment; zero-valued (Total 0) when the runtime owns every
+	// instance, in which case local indices are the global identities.
+	shard wire.Shard
 	// serialEmit forces per-emission flushing: when two out-edges share a
 	// destination TE, buffered per-edge flushing could deliver a later
 	// seq before an earlier one to the same instance, and the shared
@@ -251,11 +268,15 @@ func (ts *teState) bumpInstances() {
 	ts.instEpoch.Add(1)
 }
 
-// edgeRT is a dataflow edge prepared for dispatch.
+// edgeRT is a dataflow edge prepared for dispatch. remote is the delivery
+// seam: nil keeps the destination fully in-process (today's zero-alloc
+// path); non-nil means the destination TE has instances on other workers
+// and dispatch goes through deliverRemote.
 type edgeRT struct {
 	def    *core.Edge
 	router *dataflow.Router
 	to     *teState
+	remote *remoteEdge
 }
 
 // routeScratch holds the reusable buffers one sender needs to group a
@@ -306,10 +327,12 @@ type teInstance struct {
 }
 
 // originID identifies the instance as an item origin: TE id in the high
-// bits, instance index in the low bits. Replacement instances reuse the
-// identity so dedup works across recoveries.
+// bits, *global* instance index in the low bits (shard.First is 0 outside
+// sharded deployments). Replacement instances reuse the identity so dedup
+// works across recoveries, and two workers hosting different slices of one
+// TE can never collide in a receiver's watermark map.
 func (ti *teInstance) originID() uint64 {
-	return uint64(ti.te.def.ID)<<32 | uint64(ti.idx)
+	return uint64(ti.te.def.ID)<<32 | uint64(ti.te.shard.First+ti.idx)
 }
 
 // seState tracks one state element and its live instances.
@@ -354,6 +377,25 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	opts.defaults()
+	if opts.Shard != nil {
+		if err := opts.Shard.validate(); err != nil {
+			return nil, err
+		}
+		// Private copy: the dialer default must not leak into the caller's
+		// config.
+		sc := *opts.Shard
+		if sc.Dialer == nil {
+			sc.Dialer = func(addr string) (cluster.Transport, error) {
+				c, err := cluster.Dial(addr)
+				if err != nil {
+					return nil, err
+				}
+				c.SetCallTimeout(10 * time.Second)
+				return c, nil
+			}
+		}
+		opts.Shard = &sc
+	}
 	cl := opts.Cluster
 	if cl == nil {
 		cl = cluster.New(0, cluster.Config{})
@@ -436,6 +478,11 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 				n = p
 			}
 		}
+		if opts.Shard != nil {
+			// Only this worker's slice of the global partition set is
+			// instantiated; a worker may legitimately hold zero instances.
+			n = shardFor(opts.Shard.SEs, ss.def.Name, opts.Shard.Worker, opts.Shard.Workers).Count
+		}
 		base := getNode(alloc.SENode[ss.def.ID])
 		for i := 0; i < n; i++ {
 			node := base
@@ -458,6 +505,12 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 			colocate = r.ses[ts.def.Access.SE]
 			n = len(colocate.insts)
 		}
+		if opts.Shard != nil {
+			ts.shard = shardFor(opts.Shard.TEs, ts.def.Name, opts.Shard.Worker, opts.Shard.Workers)
+			if colocate == nil {
+				n = ts.shard.Count
+			}
+		}
 		for i := 0; i < n; i++ {
 			var node *cluster.Node
 			if colocate != nil {
@@ -468,6 +521,28 @@ func Deploy(g *core.Graph, opts Options) (*Runtime, error) {
 			ti := r.newInstance(ts, i, node)
 			ts.insts = append(ts.insts, ti)
 		}
+	}
+
+	// Cross-worker data plane: edges whose destination TE has instances on
+	// other workers carry the remote half of the delivery seam. The edge's
+	// wire identity is its position in Graph.Edges, which every worker
+	// (building the same registered graph) agrees on.
+	if opts.Shard != nil && opts.Shard.Workers > 1 {
+		r.net = newRemoteNet(r, opts.Shard)
+		edgeIdx := make(map[*core.Edge]int, len(g.Edges))
+		for i, e := range g.Edges {
+			edgeIdx[e] = i
+		}
+		for _, ts := range r.tes {
+			for _, e := range ts.out {
+				gi := edgeIdx[e.def]
+				r.net.edgeTo[gi] = e.to
+				if e.to.shard.Count < e.to.shard.Total {
+					e.remote = &remoteEdge{net: r.net, idx: gi}
+				}
+			}
+		}
+		r.net.start()
 	}
 
 	// Start workers and checkpoint loops.
@@ -734,8 +809,7 @@ func (r *Runtime) flushEdge(ti *teInstance, edge int) {
 // one per destination per flush — so the per-item cost vanishes as the
 // batch grows.
 func (r *Runtime) deliverBatch(e *edgeRT, items []core.Item, rs *routeScratch) {
-	insts := e.to.instances()
-	if len(insts) == 0 || len(items) == 0 {
+	if len(items) == 0 {
 		return
 	}
 	if r.opts.WireCheck {
@@ -749,6 +823,14 @@ func (r *Runtime) deliverBatch(e *edgeRT, items []core.Item, rs *routeScratch) {
 			}
 			items[i].Value = v
 		}
+	}
+	if e.remote != nil {
+		r.deliverRemote(e, items, rs)
+		return
+	}
+	insts := e.to.instances()
+	if len(insts) == 0 {
+		return
 	}
 	switch {
 	case e.def.Dispatch == core.DispatchOneToAll:
@@ -920,6 +1002,11 @@ func (r *Runtime) Backup() *checkpoint.Backup { return r.bk }
 
 // Stop terminates all workers and loops. It is idempotent.
 func (r *Runtime) Stop() {
-	r.stopOnce.Do(func() { close(r.stopped) })
+	r.stopOnce.Do(func() {
+		close(r.stopped)
+		if r.net != nil {
+			r.net.close()
+		}
+	})
 	r.wg.Wait()
 }

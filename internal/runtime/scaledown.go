@@ -80,6 +80,9 @@ func (r *Runtime) ScaleDown(teName string) error {
 // passes a scan-window-sized budget so a failed attempt cannot stall
 // ingress for the full manual timeout.
 func (r *Runtime) scaleDown(teName string, drain time.Duration) error {
+	if r.opts.Shard != nil {
+		return fmt.Errorf("runtime: in-process scaling is unavailable in a sharded worker")
+	}
 	ts, err := r.te(teName)
 	if err != nil {
 		return err

@@ -23,6 +23,12 @@ import (
 //     processing on the accessing TEs pauses briefly while the partitions
 //     are rebuilt, then resumes on k+1 nodes.
 func (r *Runtime) ScaleUp(teName string) error {
+	if r.opts.Shard != nil {
+		// Instance identities are global in a sharded deployment; the worker
+		// cannot unilaterally grow its slice without every peer re-agreeing
+		// on routing. Coordinator-driven scale-out owns this.
+		return fmt.Errorf("runtime: in-process scaling is unavailable in a sharded worker")
+	}
 	ts, err := r.te(teName)
 	if err != nil {
 		return err

@@ -1,0 +1,65 @@
+package runtime
+
+import "testing"
+
+// TestShardSplitCoversRange checks that every (total, workers) split is a
+// partition of [0, total): contiguous, disjoint, complete, and with the
+// remainder spread over the low workers.
+func TestShardSplitCoversRange(t *testing.T) {
+	for total := 0; total <= 17; total++ {
+		for workers := 1; workers <= 6; workers++ {
+			covered := 0
+			next := 0
+			for w := 0; w < workers; w++ {
+				first, cnt := shardSplit(total, w, workers)
+				if cnt < 0 {
+					t.Fatalf("shardSplit(%d,%d,%d): negative count %d", total, w, workers, cnt)
+				}
+				if first != next {
+					t.Fatalf("shardSplit(%d,%d,%d): first %d, want contiguous %d", total, w, workers, first, next)
+				}
+				next = first + cnt
+				covered += cnt
+			}
+			if covered != total {
+				t.Fatalf("shardSplit(%d,*,%d) covers %d instances", total, workers, covered)
+			}
+			if workers > 1 {
+				_, c0 := shardSplit(total, 0, workers)
+				_, cl := shardSplit(total, workers-1, workers)
+				if c0 < cl {
+					t.Fatalf("shardSplit(%d,*,%d): low worker %d < high worker %d", total, workers, c0, cl)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOwnerInvertsSplit checks that shardOwner names exactly the
+// worker whose split contains each global instance.
+func TestShardOwnerInvertsSplit(t *testing.T) {
+	for total := 1; total <= 17; total++ {
+		for workers := 1; workers <= 6; workers++ {
+			for g := 0; g < total; g++ {
+				w := shardOwner(total, workers, g)
+				first, cnt := shardSplit(total, w, workers)
+				if g < first || g >= first+cnt {
+					t.Fatalf("shardOwner(%d,%d,%d)=%d, but that worker owns [%d,%d)", total, workers, g, w, first, first+cnt)
+				}
+			}
+		}
+	}
+}
+
+// TestShardForDefaults checks the fallback for names absent from the shard
+// table: a single global instance living on worker 0.
+func TestShardForDefaults(t *testing.T) {
+	sh := shardFor(nil, "missing", 0, 3)
+	if sh.Total != 1 || sh.First != 0 || sh.Count != 1 {
+		t.Fatalf("worker 0 default shard = %+v, want single instance", sh)
+	}
+	sh = shardFor(nil, "missing", 2, 3)
+	if sh.Total != 1 || sh.Count != 0 {
+		t.Fatalf("worker 2 default shard = %+v, want empty slice of 1", sh)
+	}
+}

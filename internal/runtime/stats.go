@@ -98,6 +98,17 @@ func (r *Runtime) Processed(teName string) int64 {
 	return total
 }
 
+// ProcessedTotal sums processed items across every TE — the progress
+// fingerprint drain acks carry so the coordinator can tell "quiet because
+// done" from "quiet because the next hop has not landed yet".
+func (r *Runtime) ProcessedTotal() int64 {
+	var total int64
+	for _, ts := range r.tes {
+		total += r.Processed(ts.def.Name)
+	}
+	return total
+}
+
 // Instances reports the live instance count of the named TE.
 func (r *Runtime) Instances(teName string) int {
 	ts, err := r.te(teName)

@@ -18,9 +18,10 @@ import (
 // checkpoints, because a snapshot stored inside the worker process dies
 // with it.
 type Worker struct {
-	mu    sync.Mutex
-	rt    *Runtime
-	graph string
+	mu     sync.Mutex
+	rt     *Runtime
+	graph  string
+	dialer func(addr string) (cluster.Transport, error)
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -29,6 +30,26 @@ type Worker struct {
 // NewWorker returns an idle worker awaiting a Deploy message.
 func NewWorker() *Worker {
 	return &Worker{done: make(chan struct{})}
+}
+
+// SetDialer overrides how this worker reaches peer workers for cross-worker
+// edges (default: cluster.Dial over TCP). Tests inject in-process transports
+// here. Call before the coordinator deploys.
+func (w *Worker) SetDialer(d func(addr string) (cluster.Transport, error)) {
+	w.mu.Lock()
+	w.dialer = d
+	w.mu.Unlock()
+}
+
+// PendingEdgeItems reports items sitting in this worker's cross-worker edge
+// send logs (zero once every downstream trim watermark has passed) — an
+// observability hook for tests and operators.
+func (w *Worker) PendingEdgeItems() int {
+	rt, err := w.runtime()
+	if err != nil {
+		return 0
+	}
+	return rt.EdgeLogItems()
 }
 
 // Handler returns the wire-protocol dispatcher, ready to serve as a
@@ -191,7 +212,45 @@ func (w *Worker) handle(req []byte) ([]byte, error) {
 		if timeout <= 0 {
 			timeout = 5 * time.Second
 		}
-		return wire.Encode(wire.MsgDrainAck, wire.DrainAck{Quiesced: rt.Drain(timeout)})
+		q := rt.Drain(timeout)
+		return wire.Encode(wire.MsgDrainAck, wire.DrainAck{Quiesced: q, Processed: rt.ProcessedTotal()})
+	case wire.MsgRemoteEmit:
+		var m wire.RemoteEmit
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		// Items borrow the request frame; transports allocate a fresh
+		// buffer per read (same retention contract as InjectLogged).
+		if err := rt.RemoteDeliver(m.Edge, m.Inst, m.Items); err != nil {
+			return nil, err
+		}
+		return wire.Encode(wire.MsgRemoteEmitAck, wire.RemoteEmitAck{Accepted: len(m.Items)})
+	case wire.MsgPeers:
+		var m wire.Peers
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		rt.ResetPeer(m.Worker, m.Addr)
+		return wire.Encode(wire.MsgPeersAck, wire.PeersAck{})
+	case wire.MsgEdgeTrim:
+		var m wire.EdgeTrim
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		rt, err := w.runtime()
+		if err != nil {
+			return nil, err
+		}
+		rt.TrimEdgeLogs(m.Trims)
+		return wire.Encode(wire.MsgEdgeTrimAck, wire.EdgeTrimAck{})
 	case wire.MsgStop:
 		w.Close()
 		return wire.Encode(wire.MsgStopAck, wire.StopAck{})
@@ -216,6 +275,20 @@ func (w *Worker) deploy(m wire.Deploy) ([]byte, error) {
 		KVShards:    m.KVShards,
 		WireCheck:   m.WireCheck,
 		Partitions:  m.Partitions,
+	}
+	if m.Workers > 1 {
+		w.mu.Lock()
+		dialer := w.dialer
+		w.mu.Unlock()
+		opts.Shard = &ShardConfig{
+			Worker:       m.Worker,
+			Workers:      m.Workers,
+			TEs:          m.TEShards,
+			SEs:          m.SEShards,
+			Peers:        m.Peers,
+			Dialer:       dialer,
+			AwaitRestore: m.AwaitRestore,
+		}
 	}
 	rt, err := Deploy(g, opts)
 	if err != nil {

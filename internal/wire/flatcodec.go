@@ -15,13 +15,15 @@ import (
 //
 // Layouts (after the two-byte envelope header):
 //
-//	Inject:       str task, uvarint count, count× item
-//	InjectAck:    varint accepted
-//	Call:         str task, varint timeoutMs, item
-//	CallReply:    value
-//	Heartbeat:    fixed64 seq
-//	HeartbeatAck: fixed64 seq, fixed64 queued
-//	item:         uvarint origin/seq/key/reqID, varint parts, value
+//	Inject:        str task, uvarint count, count× item
+//	InjectAck:     varint accepted
+//	Call:          str task, varint timeoutMs, item
+//	CallReply:     value
+//	Heartbeat:     fixed64 seq
+//	HeartbeatAck:  fixed64 seq, fixed64 queued
+//	RemoteEmit:    uvarint edge, uvarint inst, uvarint count, count× item
+//	RemoteEmitAck: varint accepted
+//	item:          uvarint origin/seq/key/reqID, varint parts, value
 //
 // Heartbeats use fixed-width seqs so the frame size is constant: the
 // coordinator pre-encodes the frame once and patches the seq bytes in
@@ -31,7 +33,8 @@ import (
 // therefore whether it can parse a VersionFlat envelope carrying it.
 func flatCapable(msgType byte) bool {
 	switch msgType {
-	case MsgInject, MsgInjectAck, MsgCall, MsgCallReply, MsgHeartbeat, MsgHeartbeatAck:
+	case MsgInject, MsgInjectAck, MsgCall, MsgCallReply, MsgHeartbeat, MsgHeartbeatAck,
+		MsgRemoteEmit, MsgRemoteEmitAck:
 		return true
 	}
 	return false
@@ -98,6 +101,27 @@ func encodeFlat(e *flat.Encoder, msgType byte, v any) (ok bool, err error) {
 		e.Byte(VersionFlat)
 		e.Fixed64(m.Seq)
 		e.Fixed64(uint64(m.Queued))
+	case RemoteEmit:
+		if msgType != MsgRemoteEmit {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Uvarint(uint64(m.Edge))
+		e.Uvarint(uint64(m.Inst))
+		e.Uvarint(uint64(len(m.Items)))
+		for i := range m.Items {
+			if err := e.Item(m.Items[i]); err != nil {
+				return false, err
+			}
+		}
+	case RemoteEmitAck:
+		if msgType != MsgRemoteEmitAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Varint(int64(m.Accepted))
 	default:
 		return false, nil
 	}
@@ -139,6 +163,24 @@ func decodeFlat(body []byte, v any) (ok bool, err error) {
 	case *HeartbeatAck:
 		m.Seq = d.Fixed64()
 		m.Queued = int64(d.Fixed64())
+	case *RemoteEmit:
+		m.Edge = int(d.Uvarint())
+		m.Inst = int(d.Uvarint())
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			return true, fmt.Errorf("%w: item count %d exceeds payload", ErrBadPayload, n)
+		}
+		if d.Err() == nil {
+			m.Items = make([]core.Item, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Items = append(m.Items, d.Item())
+				if d.Err() != nil {
+					break
+				}
+			}
+		}
+	case *RemoteEmitAck:
+		m.Accepted = int(d.Varint())
 	default:
 		return false, nil
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"math"
@@ -35,6 +36,8 @@ func TestGobV1Interop(t *testing.T) {
 			func(p Payload) (any, error) { var m Call; err := Unmarshal(p, &m); return m, err }},
 		{MsgHeartbeat, Heartbeat{Seq: 77},
 			func(p Payload) (any, error) { var m Heartbeat; err := Unmarshal(p, &m); return m, err }},
+		{MsgRemoteEmit, RemoteEmit{Edge: 1, Inst: 3, Items: []core.Item{{Origin: 1 << 40, Seq: 5, Key: 6, Value: []byte("e")}}},
+			func(p Payload) (any, error) { var m RemoteEmit; err := Unmarshal(p, &m); return m, err }},
 	}
 	for _, m := range msgs {
 		frame, err := EncodeGob(m.msgType, m.in)
@@ -70,6 +73,56 @@ func TestFlatEnvelopeForGobOnlyTypeFails(t *testing.T) {
 	}
 	if ve.Got != VersionFlat || ve.Want != VersionGob {
 		t.Fatalf("VersionError got/want = %d/%d", ve.Got, ve.Want)
+	}
+}
+
+// TestEdgeTrimFlatEnvelopeFails: EdgeTrim is gob-only in this protocol
+// revision, so a flat envelope for it can only come from a newer peer —
+// and must fail with the typed VersionError rather than a misparse. This
+// is the exact failure a pre-RemoteEmit (gob-only) peer reports when a
+// newer sender emits flat frames it does not understand: loud, typed,
+// never silent corruption.
+func TestEdgeTrimFlatEnvelopeFails(t *testing.T) {
+	_, _, err := Decode([]byte{MsgEdgeTrim, VersionFlat, 0x01, 0x02})
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error = %v, want *VersionError", err)
+	}
+	if ve.Got != VersionFlat || ve.Want != VersionGob {
+		t.Fatalf("VersionError got/want = %d/%d", ve.Got, ve.Want)
+	}
+}
+
+// TestRemoteEmitBorrowAliasing pins the ownership contract of the flat
+// decode path: Unmarshal borrows, so a decoded item's byte payload aliases
+// the frame. Transports satisfy this by allocating a fresh buffer per
+// read; anything that started reusing frames would corrupt in-flight edge
+// items, and this test is the canary.
+func TestRemoteEmitBorrowAliasing(t *testing.T) {
+	in := RemoteEmit{Edge: 1, Inst: 2, Items: []core.Item{{Origin: 7, Seq: 1, Key: 2, Value: []byte("abcd")}}}
+	frame, err := Encode(MsgRemoteEmit, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := Decode(frame)
+	if err != nil || msgType != MsgRemoteEmit {
+		t.Fatalf("decode: type %d err %v", msgType, err)
+	}
+	var m RemoteEmit
+	if err := Unmarshal(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Items[0].Value.([]byte)
+	if !bytes.Equal(got, []byte("abcd")) {
+		t.Fatalf("value = %q", got)
+	}
+	idx := bytes.Index(frame, []byte("abcd"))
+	if idx < 0 {
+		t.Fatal("payload bytes not found in frame")
+	}
+	frame[idx] = 'z'
+	if got[0] != 'z' {
+		t.Fatal("flat Unmarshal copied the payload; the zero-copy borrow contract broke")
 	}
 }
 
@@ -157,6 +210,14 @@ func normalizeMsg(v any) any {
 	case CallReply:
 		m.Value = normalizeValue(m.Value)
 		return m
+	case RemoteEmit:
+		items := make([]core.Item, len(m.Items))
+		for i, it := range m.Items {
+			it.Value = normalizeValue(it.Value)
+			items[i] = it
+		}
+		m.Items = items
+		return m
 	default:
 		return v
 	}
@@ -182,7 +243,16 @@ func FuzzFlatRoundTrip(f *testing.F) {
 	seed(MsgCallReply, CallReply{Value: math.Pi})
 	seed(MsgHeartbeat, Heartbeat{Seq: 9})
 	seed(MsgHeartbeatAck, HeartbeatAck{Seq: 9, Queued: 3})
+	seed(MsgRemoteEmit, RemoteEmit{Edge: 2, Inst: 5, Items: []core.Item{
+		{Origin: 1<<40 | 3, Seq: 11, Key: 42, Value: []byte("edge")},
+		{Origin: 1 << 33, Seq: 12, Key: 43, ReqID: 4, Parts: 3, Value: core.Collection{uint64(1), nil}},
+	}})
+	seed(MsgRemoteEmit, RemoteEmit{Items: []core.Item{{Value: fuzzPayload{N: 8, S: "gob"}}}})
+	seed(MsgRemoteEmitAck, RemoteEmitAck{Accepted: 64})
 	f.Add([]byte{MsgInject, VersionFlat, 0x01, 'p', 0xff})
+	// Hostile item count: a RemoteEmit header claiming 2^30 items in a
+	// five-byte body must be rejected, not allocated.
+	f.Add([]byte{MsgRemoteEmit, VersionFlat, 0x01, 0x02, 0x80, 0x80, 0x80, 0x80, 0x04})
 
 	decodeByType := func(msgType byte, p Payload) (any, error) {
 		switch msgType {
@@ -208,6 +278,14 @@ func FuzzFlatRoundTrip(f *testing.F) {
 			return m, err
 		case MsgHeartbeatAck:
 			var m HeartbeatAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRemoteEmit:
+			var m RemoteEmit
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRemoteEmitAck:
+			var m RemoteEmitAck
 			err := Unmarshal(p, &m)
 			return m, err
 		}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire/flat"
+)
+
+// EncodeItems flat-encodes an item batch for embedding inside gob-framed
+// control messages (snapshot replay logs, edge logs). Layout: uvarint count,
+// count× item — the same item layout the RemoteEmit data plane uses, so log
+// bytes reported by the benches reflect what actually crosses the wire
+// instead of gob's per-entry type dictionary.
+func EncodeItems(items []core.Item) ([]byte, error) {
+	e := flat.GetEncoder()
+	defer flat.PutEncoder(e)
+	e.Uvarint(uint64(len(items)))
+	for i := range items {
+		if err := e.Item(items[i]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// DecodeItems reverses EncodeItems. It decodes in copy mode — the result
+// outlives the input buffer (replay logs are long-lived) — and applies the
+// same hostile-count guard as the frame decoders.
+func DecodeItems(data []byte) ([]core.Item, error) {
+	d := flat.NewDecoder(data)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: item count %d exceeds payload", ErrBadPayload, n)
+	}
+	items := make([]core.Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		items = append(items, d.Item())
+		if d.Err() != nil {
+			break
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("%w: %d trailing byte(s)", ErrBadPayload, d.Remaining())
+	}
+	return items, nil
+}

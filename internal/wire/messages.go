@@ -30,31 +30,54 @@ const (
 	MsgDrainAck     byte = 0x12 // DrainAck
 	MsgStop         byte = 0x13 // Stop          -> MsgStopAck
 	MsgStopAck      byte = 0x14 // StopAck
+	// Worker-to-worker data plane (cross-worker dataflow edges).
+	MsgRemoteEmit    byte = 0x15 // RemoteEmit    -> MsgRemoteEmitAck
+	MsgRemoteEmitAck byte = 0x16 // RemoteEmitAck
+	MsgPeers         byte = 0x17 // Peers         -> MsgPeersAck
+	MsgPeersAck      byte = 0x18 // PeersAck
+	MsgEdgeTrim      byte = 0x19 // EdgeTrim      -> MsgEdgeTrimAck
+	MsgEdgeTrimAck   byte = 0x1a // EdgeTrimAck
 )
 
 // msgNames is the registry of known message types; Decode rejects a type
 // byte absent from it with ErrUnknownType.
 var msgNames = map[byte]string{
-	MsgDeploy:       "Deploy",
-	MsgDeployAck:    "DeployAck",
-	MsgInject:       "Inject",
-	MsgInjectAck:    "InjectAck",
-	MsgCall:         "Call",
-	MsgCallReply:    "CallReply",
-	MsgHeartbeat:    "Heartbeat",
-	MsgHeartbeatAck: "HeartbeatAck",
-	MsgSnapshotReq:  "SnapshotReq",
-	MsgSnapshot:     "Snapshot",
-	MsgRestore:      "Restore",
-	MsgRestoreAck:   "RestoreAck",
-	MsgDumpReq:      "DumpReq",
-	MsgDump:         "Dump",
-	MsgStatsReq:     "StatsReq",
-	MsgStats:        "Stats",
-	MsgDrainReq:     "DrainReq",
-	MsgDrainAck:     "DrainAck",
-	MsgStop:         "Stop",
-	MsgStopAck:      "StopAck",
+	MsgDeploy:        "Deploy",
+	MsgDeployAck:     "DeployAck",
+	MsgInject:        "Inject",
+	MsgInjectAck:     "InjectAck",
+	MsgCall:          "Call",
+	MsgCallReply:     "CallReply",
+	MsgHeartbeat:     "Heartbeat",
+	MsgHeartbeatAck:  "HeartbeatAck",
+	MsgSnapshotReq:   "SnapshotReq",
+	MsgSnapshot:      "Snapshot",
+	MsgRestore:       "Restore",
+	MsgRestoreAck:    "RestoreAck",
+	MsgDumpReq:       "DumpReq",
+	MsgDump:          "Dump",
+	MsgStatsReq:      "StatsReq",
+	MsgStats:         "Stats",
+	MsgDrainReq:      "DrainReq",
+	MsgDrainAck:      "DrainAck",
+	MsgStop:          "Stop",
+	MsgStopAck:       "StopAck",
+	MsgRemoteEmit:    "RemoteEmit",
+	MsgRemoteEmitAck: "RemoteEmitAck",
+	MsgPeers:         "Peers",
+	MsgPeersAck:      "PeersAck",
+	MsgEdgeTrim:      "EdgeTrim",
+	MsgEdgeTrimAck:   "EdgeTrimAck",
+}
+
+// Shard places a contiguous slice [First, First+Count) of a TE's or SE's
+// Total global instances on one worker. Global instance identities (origin
+// IDs, partition routing, edge destinations) are computed against Total so
+// every worker agrees on them regardless of placement.
+type Shard struct {
+	First int
+	Count int
+	Total int
 }
 
 // Deploy instructs a worker to build and start its local slice of the named
@@ -63,7 +86,8 @@ var msgNames = map[byte]string{
 // runtime.RegisterGraph).
 type Deploy struct {
 	Graph string
-	// Partitions sets the worker-local SE partition counts.
+	// Partitions sets the worker-local SE partition counts (single-worker
+	// deployments only; sharded deployments carry SEShards instead).
 	Partitions map[string]int
 	// Runtime tuning, mirroring the matching runtime.Options fields.
 	QueueLen    int
@@ -71,6 +95,18 @@ type Deploy struct {
 	BatchSize   int
 	KVShards    int
 	WireCheck   bool
+	// Sharded placement across a worker set (zero-valued for single-worker
+	// deployments): this worker's index, the set size, the global shard of
+	// every TE and SE assigned to this worker, and every worker's data
+	// address so cut dataflow edges can be dialed directly.
+	Worker   int
+	Workers  int
+	TEShards map[string]Shard
+	SEShards map[string]Shard
+	Peers    []string
+	// AwaitRestore seals the worker against peer RemoteEmit traffic until a
+	// Restore arrives, so replayed frames cannot land on pre-restore state.
+	AwaitRestore bool
 }
 
 // DeployAck confirms a deployment.
@@ -144,14 +180,29 @@ type TESnap struct {
 	Index      int
 	Watermarks map[uint64]uint64
 	OutSeq     uint64
-	Buffered   [][]core.Item
+	// Buffered carries the per-out-edge replay log, each edge's items
+	// flat-encoded with EncodeItems (gob would re-send the type dictionary
+	// per log entry; the flat item codec is the honest size).
+	Buffered [][]byte
+}
+
+// EdgeLogSnap is one cross-worker edge send log: the un-trimmed items this
+// worker has emitted toward global instance Inst over graph edge Edge,
+// flat-encoded with EncodeItems. Part of the consistent cut: an item a peer
+// received but has not folded into a snapshotted watermark is always still
+// present in its sender's edge log.
+type EdgeLogSnap struct {
+	Edge int
+	Inst int
+	Data []byte
 }
 
 // Snapshot is a worker's full state: every SE instance's chunks plus every
-// TE instance's recovery metadata.
+// TE instance's recovery metadata, plus in-flight cross-worker edge logs.
 type Snapshot struct {
-	SEs []SESnap
-	TEs []TESnap
+	SEs   []SESnap
+	TEs   []TESnap
+	Edges []EdgeLogSnap
 }
 
 // Restore loads a snapshot into a freshly deployed worker.
@@ -194,9 +245,63 @@ type DrainReq struct {
 }
 
 // DrainAck reports whether the worker quiesced within the timeout.
+// Processed totals items processed across all TEs: the coordinator drains in
+// rounds and only believes a quiesced cluster once two consecutive rounds
+// agree on every worker's total, so items acked at a sender but not yet
+// processed at the receiver cannot slip through a drain barrier.
 type DrainAck struct {
-	Quiesced bool
+	Quiesced  bool
+	Processed int64
 }
+
+// RemoteEmit carries one batch of dataflow items across a cut edge, from
+// the emitting worker straight to the worker hosting global destination
+// instance Inst of graph edge Edge (index into Graph.Edges). Items keep
+// their sender-assigned (Origin, Seq); the receiver's dedup makes re-sends
+// after an ambiguous ack idempotent.
+type RemoteEmit struct {
+	Edge  int
+	Inst  int
+	Items []core.Item
+}
+
+// RemoteEmitAck confirms the items were enqueued at the destination. A
+// backpressured or still-restoring destination answers with a cluster
+// error reply instead and the sender retries — never blocks — so
+// cross-worker cycles cannot distributed-deadlock.
+type RemoteEmitAck struct {
+	Accepted int
+}
+
+// Peers announces a worker's (possibly new) data address after recovery.
+// Receivers drop their cached transport to that worker and rebuild the
+// in-flight send queue from their edge logs, which replays everything the
+// restarted worker may have lost.
+type Peers struct {
+	Worker int
+	Addr   string
+}
+
+// PeersAck confirms the peer table update.
+type PeersAck struct{}
+
+// EdgeTrimEntry carries one destination instance's dedup watermarks so
+// senders can trim their (Edge, Inst) send log: an item whose seq the
+// receiver has snapshotted past can never be replayed again.
+type EdgeTrimEntry struct {
+	Edge       int
+	Inst       int
+	Watermarks map[uint64]uint64
+}
+
+// EdgeTrim distributes post-checkpoint trim points for cross-worker edge
+// send logs.
+type EdgeTrim struct {
+	Trims []EdgeTrimEntry
+}
+
+// EdgeTrimAck confirms the trim.
+type EdgeTrimAck struct{}
 
 // Stop shuts the worker's runtime down.
 type Stop struct{}
