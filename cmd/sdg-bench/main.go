@@ -44,8 +44,9 @@ func main() {
 		distEdge  = flag.Bool("distedge-bench", false, "measure cross-worker edge throughput and wire cost (local and TCP transports) and exit")
 		distOut   = flag.String("distedge-out", "BENCH_distedge.json", "JSON output path for -distedge-bench (empty = stdout table only)")
 		distItems = flag.Int("distedge-items", 20_000, "items injected per transport variant for -distedge-bench")
-		ledger    = flag.String("ledger", "", "update this rolling perf ledger from the BENCH_*.json records in the current directory and exit")
+		ledger    = flag.String("ledger", "", "update this rolling perf ledger from the BENCH_*.json records in -ledger-dir and exit")
 		ledgerPR  = flag.Int("ledger-pr", 0, "PR number the ledger entry records (required with -ledger)")
+		ledgerDir = flag.String("ledger-dir", ".", "directory holding the BENCH_*.json records -ledger folds in")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdg-bench: -ledger requires -ledger-pr")
 			os.Exit(2)
 		}
-		if err := experiments.UpdateLedger(*ledger, *ledgerPR, "."); err != nil {
+		if err := experiments.UpdateLedger(*ledger, *ledgerPR, *ledgerDir); err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)
 		}

@@ -8,16 +8,16 @@
 package main
 
 import (
-	"encoding/gob"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/internal/wire"
 	"repro/sdg"
 )
 
 func init() {
-	gob.Register([]byte{})
+	wire.Register([]byte{})
 }
 
 func main() {

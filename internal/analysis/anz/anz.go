@@ -1,0 +1,102 @@
+// Package anz is a minimal, dependency-free clone of the
+// golang.org/x/tools/go/analysis surface, sized to what this repository's
+// own analyzers (internal/analysis/...) need. The container this repo
+// builds in has no module proxy access, so the x/tools dependency is
+// replaced by ~three small pieces built on the standard library:
+//
+//   - Analyzer/Pass/Diagnostic (this file): the familiar vet-style API,
+//     so the analyzers read like x/tools analyzers and can migrate to the
+//     real framework by swapping one import if the dependency ever lands;
+//   - Loader (load.go): package loading + full type checking driven by
+//     `go list -export`, which hands us compiler export data for every
+//     dependency from the local build cache — no network, no GOPATH;
+//   - suppression (run.go): the //sdg:ignore directive, which every
+//     diagnostic in the tree must either fix or carry a written
+//     justification for.
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //sdg:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by sdg-lint -help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Directive is one parsed //sdg:<name> comment. Directives are the
+// in-source configuration surface of the analyzers: annotations like
+// //sdg:lockorder declare invariants, //sdg:ignore suppresses a finding
+// with a recorded justification.
+type Directive struct {
+	// Name is the directive name after "sdg:" ("lockorder", "ignore", ...).
+	Name string
+	// Args is the remainder of the line, space-trimmed.
+	Args string
+	// Pos locates the directive comment.
+	Pos token.Pos
+}
+
+// ParseDirectives extracts //sdg: directives from a comment group. A nil
+// group yields nil.
+func ParseDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//sdg:")
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(text, " ")
+		out = append(out, Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()})
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package anz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, fully type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module. It shells
+// out to `go list -export -deps -test -json` once: the go tool compiles (or
+// reuses from the build cache) every dependency and reports the path of its
+// export data file, which the standard library's gc importer can read. That
+// gives full types.Info for any package in the module — including its
+// in-package test files — with zero third-party dependencies and no network.
+type Loader struct {
+	Root string // module root (directory containing go.mod)
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	targets map[string]*listPackage
+	imp     types.ImporterFrom
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+}
+
+// NewLoader lists and prepares the packages matching patterns (relative to
+// root; defaults to ./...).
+func NewLoader(root string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-test", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("anz: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	l := &Loader{
+		Root:    root,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		targets: make(map[string]*listPackage),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("anz: parse go list output: %v", err)
+		}
+		if p.Export != "" {
+			// Test variants list as "repro/x [repro/y.test]": strip the
+			// suffix so imports of the plain path resolve, but let real
+			// (non-variant) export data win when both are present.
+			path := p.ImportPath
+			if i := strings.Index(path, " ["); i >= 0 {
+				path = path[:i]
+			}
+			if _, dup := l.exports[path]; !dup || (p.ForTest == "" && path == p.ImportPath) {
+				l.exports[path] = p.Export
+			}
+		}
+		if !p.Standard && !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			q := p
+			l.targets[p.ImportPath] = &q
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l, nil
+}
+
+// lookup feeds the gc importer the export data `go list -export` produced.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("anz: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks every listed target package. In-package test
+// files are checked together with the package proper (the augmented package
+// the compiler builds for `go test`); external _test packages are checked
+// as their own package against the base package's export data.
+func (l *Loader) Load() ([]*Package, error) {
+	paths := make([]string, 0, len(l.targets))
+	for p := range l.targets {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		t := l.targets[path]
+		pkg, err := l.check(path, t.Dir, append(append([]string{}, t.GoFiles...), t.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if len(t.XTestGoFiles) > 0 {
+			xpkg, err := l.check(path+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a single directory of Go files outside the module
+// build (analyzer testdata packages). Imports resolve against the module's
+// export table, so testdata may import real repro packages.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("anz: no Go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, files)
+}
+
+// check parses the named files and runs the type checker over them.
+func (l *Loader) check(pkgPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("anz: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(pkgPath, l.fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("anz: type-check %s:\n\t%s", pkgPath, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("anz: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

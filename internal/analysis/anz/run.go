@@ -1,0 +1,140 @@
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreSpan is one //sdg:ignore directive's zone of effect: diagnostics
+// from the named analyzers whose position lands on [fromLine, toLine] of
+// file are suppressed.
+type ignoreSpan struct {
+	file     string
+	fromLine int
+	toLine   int
+	names    map[string]bool // analyzer names; "all" matches every analyzer
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics, sorted by position. Suppressed findings are dropped;
+// malformed //sdg:ignore directives (no analyzer name, or no justification
+// after " -- ") are themselves reported under the name "sdg-directive", so
+// an ignore can never silently rot into a typo.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var spans []ignoreSpan
+	for _, pkg := range pkgs {
+		spans = append(spans, collectIgnores(pkg, &diags)...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("anz: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, spans) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+func suppressed(d Diagnostic, spans []ignoreSpan) bool {
+	for _, s := range spans {
+		if s.file != d.Pos.Filename || d.Pos.Line < s.fromLine || d.Pos.Line > s.toLine {
+			continue
+		}
+		if s.names["all"] || s.names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses every //sdg:ignore directive in the package.
+//
+// Placement rules: a directive in a function's doc comment covers the whole
+// function (the escape hatch for a function that IS the sanctioned boundary
+// of an invariant, like the borrow-decode seam); any other placement covers
+// its own line and the next (trailing comment, or a standalone line above
+// the flagged statement).
+//
+// Syntax: //sdg:ignore <analyzer>[,<analyzer>...] -- <justification>. The
+// justification is mandatory: the directive records WHY the invariant does
+// not apply, and a bare ignore is reported as a finding instead of obeyed.
+func collectIgnores(pkg *Package, diags *[]Diagnostic) []ignoreSpan {
+	var spans []ignoreSpan
+	badIgnore := func(pos token.Pos, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "sdg-directive",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	parse := func(d Directive, fromLine, toLine int) {
+		namesPart, justification, ok := strings.Cut(d.Args, "--")
+		if !ok || strings.TrimSpace(justification) == "" {
+			badIgnore(d.Pos, "//sdg:ignore needs a justification: //sdg:ignore <analyzer> -- <why this invariant does not apply here>")
+			return
+		}
+		names := make(map[string]bool)
+		for _, n := range strings.FieldsFunc(namesPart, func(r rune) bool { return r == ',' || r == ' ' }) {
+			names[n] = true
+		}
+		if len(names) == 0 {
+			badIgnore(d.Pos, "//sdg:ignore names no analyzer")
+			return
+		}
+		spans = append(spans, ignoreSpan{
+			file:     pkg.Fset.Position(d.Pos).Filename,
+			fromLine: fromLine,
+			toLine:   toLine,
+			names:    names,
+		})
+	}
+	for _, f := range pkg.Files {
+		// Function-doc ignores cover the function body.
+		funcDoc := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDoc[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, d := range ParseDirectives(cg) {
+				if d.Name != "ignore" {
+					continue
+				}
+				if fd, ok := funcDoc[cg]; ok {
+					parse(d, pkg.Fset.Position(fd.Pos()).Line, pkg.Fset.Position(fd.End()).Line)
+					continue
+				}
+				line := pkg.Fset.Position(d.Pos).Line
+				parse(d, line, line+1)
+			}
+		}
+	}
+	return spans
+}

@@ -1,0 +1,134 @@
+// Package anztest runs an analyzer over a testdata package and checks its
+// diagnostics against // want "regexp" comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata lives under <analyzer>/testdata/src/<pkg>/ — the go tool ignores
+// testdata directories, so those files are never built into the module, but
+// the anz loader type-checks them against the module's real export data, so
+// testdata may import repro packages (sync, time, internal/wire, ...).
+package anztest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/anz"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *anz.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader per test process: `go list -export` over
+// the whole module is the expensive step, and every analyzer test reuses it.
+func sharedLoader(t *testing.T) *anz.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := anz.FindModuleRoot(wd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = anz.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("anztest: loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// want is one expectation parsed from a // want "re" comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory), applies the analyzer through the standard driver — so
+// //sdg:ignore suppression and malformed-directive reporting behave exactly
+// as in sdg-lint — and matches the surviving diagnostics against the
+// package's // want comments. Every diagnostic must match a want on its
+// line, and every want must be matched.
+func Run(t *testing.T, a *anz.Analyzer, dir string) {
+	t.Helper()
+	l := sharedLoader(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("anztest: load %s: %v", dir, err)
+	}
+	diags, err := anz.Run([]*anz.Package{pkg}, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("anztest: run %s: %v", a.Name, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses the // want "re" ["re" ...] comments of the package.
+func collectWants(pkg *anz.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

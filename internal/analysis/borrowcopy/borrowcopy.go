@@ -1,0 +1,412 @@
+// Package borrowcopy tracks byte slices handed out by the flat codec's
+// borrow mode and reports stores that let them outlive the handler frame.
+//
+// flat.NewBorrowDecoder (and Decoder.Init with borrow=true) returns
+// decoders whose Blob/Value/Item results alias the caller's buffer — in
+// the runtime that buffer is a pooled frame which is recycled as soon as
+// the handler returns (PR 7). A borrowed slice stored into a struct field
+// behind a pointer, a package variable, or a parameter silently becomes a
+// read of recycled memory later. The rule enforced here: borrowed bytes
+// may live in frame-local values, but any store whose destination roots at
+// a parameter, a pointer, or a package-level variable must first copy
+// (string(b), bytes.Clone, append into a fresh byte slice).
+//
+// The analysis is intra-procedural taint: sources are borrow-mode decoder
+// producers (Blob, Value, Item — Str copies and is clean); taint flows
+// through assignments, composite literals, field/index selection, range,
+// and append-as-element; string conversion, bytes.Clone, and byte-wise
+// append spread (append(dst, b...)) sanitize. Decoders whose mode the
+// function cannot see (passed in as parameters) are not tracked.
+package borrowcopy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis/anz"
+)
+
+var Analyzer = &anz.Analyzer{
+	Name: "borrowcopy",
+	Doc: "report borrow-mode flat.Decoder bytes stored where they outlive the " +
+		"handler frame (pooled frames are recycled on return)",
+	Run: run,
+}
+
+const flatPkg = "repro/internal/wire/flat"
+
+var producers = map[string]bool{"Blob": true, "Value": true, "Item": true}
+
+func run(pass *anz.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+type funcState struct {
+	pass    *anz.Pass
+	params  map[types.Object]bool // parameters and receiver
+	dec     map[types.Object]bool // borrow-mode decoder vars
+	tainted map[types.Object]bool // vars holding borrowed bytes
+}
+
+func analyzeFunc(pass *anz.Pass, fd *ast.FuncDecl) {
+	st := &funcState{
+		pass:    pass,
+		params:  map[types.Object]bool{},
+		dec:     map[types.Object]bool{},
+		tainted: map[types.Object]bool{},
+	}
+	collectParams(pass, fd, st.params)
+	// Fixpoint: closures share the enclosing scope, so the whole body —
+	// nested function literals included — is analyzed as one taint region.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = st.propagateAssign(n) || changed
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						changed = st.propagateValueSpec(vs) || changed
+					}
+				}
+			case *ast.RangeStmt:
+				changed = st.propagateRange(n) || changed
+			case *ast.CallExpr:
+				changed = st.noteInit(n) || changed
+			}
+			return true
+		})
+	}
+	// Sink scan: stores of tainted values into escaping destinations.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				continue
+			}
+			if !st.taintedExpr(as.Rhs[i]) {
+				continue
+			}
+			if st.escapes(lhs) {
+				pass.Reportf(as.Pos(), "borrowed flat-decoder bytes stored into %s, which outlives the handler frame; copy first (string(b), bytes.Clone, or append into a fresh slice)",
+					exprString(lhs))
+			}
+		}
+		return true
+	})
+}
+
+func collectParams(pass *anz.Pass, fd *ast.FuncDecl, out map[types.Object]bool) {
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+}
+
+// noteInit marks `d.Init(buf, borrow)` receivers as borrow decoders unless
+// borrow is constant false.
+func (st *funcState) noteInit(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Init" || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := st.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != flatPkg {
+		return false
+	}
+	if tv, ok := st.pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil &&
+		tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value) {
+		return false
+	}
+	obj := rootObj(st.pass, sel.X)
+	if obj == nil || st.dec[obj] {
+		return false
+	}
+	st.dec[obj] = true
+	return true
+}
+
+func (st *funcState) propagateAssign(as *ast.AssignStmt) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	changed := false
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := st.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = st.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if st.isBorrowDecoder(as.Rhs[i]) && !st.dec[obj] {
+			st.dec[obj] = true
+			changed = true
+		}
+		if st.taintedExpr(as.Rhs[i]) && !st.tainted[obj] {
+			st.tainted[obj] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (st *funcState) propagateValueSpec(vs *ast.ValueSpec) bool {
+	changed := false
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		obj := st.pass.TypesInfo.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if st.isBorrowDecoder(vs.Values[i]) && !st.dec[obj] {
+			st.dec[obj] = true
+			changed = true
+		}
+		if st.taintedExpr(vs.Values[i]) && !st.tainted[obj] {
+			st.tainted[obj] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (st *funcState) propagateRange(r *ast.RangeStmt) bool {
+	if !st.taintedExpr(r.X) {
+		return false
+	}
+	id, ok := r.Value.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := st.pass.TypesInfo.Defs[id]
+	if obj == nil || st.tainted[obj] {
+		return false
+	}
+	st.tainted[obj] = true
+	return true
+}
+
+// isBorrowDecoder reports whether e evaluates to a borrow-mode decoder:
+// a flat.NewBorrowDecoder call or an alias of a known decoder var.
+func (st *funcState) isBorrowDecoder(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return st.isBorrowDecoder(e.X)
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[e]
+		return obj != nil && st.dec[obj]
+	case *ast.CallExpr:
+		fn, ok := calleeObj(st.pass.TypesInfo, e.Fun).(*types.Func)
+		return ok && fn.Name() == "NewBorrowDecoder" && fn.Pkg() != nil && fn.Pkg().Path() == flatPkg
+	}
+	return false
+}
+
+// taintedExpr reports whether e may hold borrowed bytes.
+func (st *funcState) taintedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return st.taintedExpr(e.X)
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[e]
+		return obj != nil && st.tainted[obj]
+	case *ast.SelectorExpr:
+		return st.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		return st.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return st.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return st.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return st.taintedExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return st.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if st.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return st.taintedCall(e)
+	}
+	return false
+}
+
+func (st *funcState) taintedCall(call *ast.CallExpr) bool {
+	// Conversions sanitize when the target copies (string) and otherwise
+	// preserve taint ([]byte(x), named-type conversions).
+	if fun := unparen(call.Fun); len(call.Args) == 1 {
+		if tv, ok := st.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+			if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				return false
+			}
+			return st.taintedExpr(call.Args[0])
+		}
+	}
+	fn, _ := calleeObj(st.pass.TypesInfo, call.Fun).(*types.Func)
+	if fn != nil {
+		// Producers on a borrow-mode decoder are the taint sources.
+		if producers[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == flatPkg {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && st.isBorrowDecoder(sel.X) {
+				return true
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "bytes" && fn.Name() == "Clone" {
+			return false
+		}
+	}
+	// append: spreading bytes (append(dst, b...)) copies them — taint comes
+	// only from the destination or from slice-typed elements appended whole.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(st.pass.TypesInfo.Uses[id]) {
+		for i, arg := range call.Args {
+			spread := i == len(call.Args)-1 && call.Ellipsis.IsValid()
+			if spread && isByteSlice(st.pass.TypesInfo.Types[arg].Type) && i > 0 {
+				continue // byte-wise copy sanitizes
+			}
+			if st.taintedExpr(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// escapes reports whether the store destination outlives the frame: its
+// root is a parameter/receiver, a package-level variable, or any
+// pointer-typed variable (the pointee lives elsewhere).
+func (st *funcState) escapes(lhs ast.Expr) bool {
+	obj := rootObj(st.pass, lhs)
+	if obj == nil {
+		return true // unresolvable destination: assume it escapes
+	}
+	if st.params[obj] {
+		return true
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if v.Parent() == st.pass.Pkg.Scope() {
+			return true
+		}
+		if _, ok := v.Type().Underlying().(*types.Pointer); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func rootObj(pass *anz.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltin(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func calleeObj(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.ParenExpr:
+		return calleeObj(info, fun.X)
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if base, ok := unparen(e.X).(*ast.Ident); ok {
+			return base.Name + "." + e.Sel.Name
+		}
+		return "..." + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		if base, ok := unparen(e.X).(*ast.Ident); ok {
+			return base.Name + "[...]"
+		}
+	case *ast.StarExpr:
+		if base, ok := unparen(e.X).(*ast.Ident); ok {
+			return "*" + base.Name
+		}
+	}
+	return "destination"
+}

@@ -1,0 +1,13 @@
+package borrowcopy_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/borrowcopy"
+)
+
+func TestBorrowCopy(t *testing.T) {
+	anztest.Run(t, borrowcopy.Analyzer, filepath.Join("testdata", "src", "c"))
+}

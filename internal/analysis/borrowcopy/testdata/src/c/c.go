@@ -1,0 +1,85 @@
+// Package c exercises the borrowcopy analyzer against the real
+// repro/internal/wire/flat decoder in borrow mode.
+package c
+
+import (
+	"bytes"
+
+	"repro/internal/wire/flat"
+)
+
+type msg struct {
+	Key   string
+	Blob  []byte
+	Items [][]byte
+}
+
+var cache = map[string][]byte{}
+
+// badStoreIntoParam aliases the pooled frame into the caller's struct —
+// the exact bug class the runtime's frame pool makes fatal.
+func badStoreIntoParam(body []byte, out *msg) {
+	d := flat.NewBorrowDecoder(body)
+	out.Blob = d.Blob() // want `borrowed flat-decoder bytes stored into out.Blob`
+}
+
+// badStoreViaLocalChain taints a local first; the store through a pointer
+// root is still caught.
+func badStoreViaLocalChain(body []byte, out *msg) {
+	d := flat.NewBorrowDecoder(body)
+	b := d.Blob()
+	items := [][]byte{b}
+	out.Items = items // want `borrowed flat-decoder bytes stored into out.Items`
+}
+
+// badStoreIntoPackageVar escapes into a long-lived map.
+func badStoreIntoPackageVar(body []byte) {
+	d := flat.NewBorrowDecoder(body)
+	cache["k"] = d.Blob() // want `borrowed flat-decoder bytes stored into cache\[...\]`
+}
+
+// badAppendAsElement: appending the slice itself (not its bytes) aliases.
+func badAppendAsElement(body []byte, out *msg) {
+	d := flat.NewBorrowDecoder(body)
+	out.Items = append(out.Items, d.Blob()) // want `borrowed flat-decoder bytes stored into out.Items`
+}
+
+// badInitBorrow: Init with borrow=true is a source too.
+func badInitBorrow(body []byte, out *msg) {
+	var d flat.Decoder
+	d.Init(body, true)
+	out.Blob = d.Blob() // want `borrowed flat-decoder bytes stored into out.Blob`
+}
+
+// goodCopyModes: every sanctioned way of keeping decoded data.
+func goodCopyModes(body []byte, out *msg) {
+	d := flat.NewBorrowDecoder(body)
+	out.Key = d.Str()                           // Str copies internally
+	out.Blob = bytes.Clone(d.Blob())            // explicit clone
+	out.Blob = append([]byte(nil), d.Blob()...) // byte-wise append copies
+	out.Key = string(d.Blob())                  // string conversion copies
+}
+
+// goodOwningDecoder: copy mode hands out owned slices; nothing to flag.
+func goodOwningDecoder(body []byte, out *msg) {
+	var d flat.Decoder
+	d.Init(body, false)
+	out.Blob = d.Blob()
+}
+
+// goodFrameLocal: borrowed bytes may live in frame-local values.
+func goodFrameLocal(body []byte) int {
+	d := flat.NewBorrowDecoder(body)
+	var local msg
+	local.Blob = d.Blob()
+	return len(local.Blob)
+}
+
+// suppressed documents the sanctioned aliasing contract, the decodeFlat
+// shape: the caller promises not to retain the message past the frame.
+//
+//sdg:ignore borrowcopy -- caller contract: decoded message is consumed before the frame returns to the pool
+func suppressed(body []byte, out *msg) {
+	d := flat.NewBorrowDecoder(body)
+	out.Blob = d.Blob()
+}

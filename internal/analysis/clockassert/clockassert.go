@@ -1,0 +1,211 @@
+// Package clockassert enforces the PR 1 deflaking policy in test code:
+// wall-clock measurements must not feed upper-bound or ratio assertions.
+//
+// A test that fails when elapsed time exceeds a bound ("took too long") or
+// when two measured durations disagree by a ratio is a test of the CI
+// machine's scheduler, not of the code — PR 1 removed a class of such
+// flakes and the ban has been review-enforced since. This analyzer makes
+// it mechanical: in _test.go files, any comparison derived from time.Now /
+// time.Since / time.Until that guards a t.Error/t.Fatal-style failure is
+// flagged when it is an upper bound (fails for large elapsed) or when both
+// sides are measured. Lower bounds ("a retry must not fire before its
+// backoff") remain allowed: load can only make them pass.
+//
+// The allowlist is //sdg:ignore clockassert -- <why>, which records the
+// justification next to the assertion it exempts.
+package clockassert
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/anz"
+)
+
+var Analyzer = &anz.Analyzer{
+	Name: "clockassert",
+	Doc: "forbid wall-clock (time.Now/Since) upper-bound and ratio assertions in tests " +
+		"(PR 1 deflaking policy); lower-bound waits stay legal",
+	Run: run,
+}
+
+func run(pass *anz.Pass) error {
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+type funcState struct {
+	pass    *anz.Pass
+	tainted map[types.Object]bool // vars derived from wall-clock reads
+}
+
+func analyzeFunc(pass *anz.Pass, fd *ast.FuncDecl) {
+	st := &funcState{pass: pass, tainted: map[types.Object]bool{}}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !st.taintedExpr(as.Rhs[i]) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !st.tainted[obj] {
+					st.tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if containsFailure(pass, ifs.Body) {
+			st.checkCond(ifs.Cond, false)
+		}
+		if ifs.Else != nil && containsFailure(pass, ifs.Else) {
+			st.checkCond(ifs.Cond, true)
+		}
+		return true
+	})
+}
+
+// checkCond walks a failure-guarding condition; neg means the failure runs
+// when the condition is false (else-branch), so bound directions invert.
+func (st *funcState) checkCond(cond ast.Expr, neg bool) {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		st.checkCond(e.X, neg)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			st.checkCond(e.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			st.checkCond(e.X, neg)
+			st.checkCond(e.Y, neg)
+			return
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return
+		}
+		lt, rt := st.taintedExpr(e.X), st.taintedExpr(e.Y)
+		switch {
+		case lt && rt:
+			st.pass.Reportf(e.Pos(), "wall-clock ratio assertion: both sides derive from time.Now/time.Since, so the test measures the CI scheduler (PR 1 deflaking policy); assert logical ordering, or //sdg:ignore clockassert -- <why>")
+		case lt || rt:
+			// Effective direction of the measured side when the failure
+			// fires: GTR means "fails when elapsed is large" = upper bound.
+			upper := (lt && (e.Op == token.GTR || e.Op == token.GEQ)) ||
+				(rt && (e.Op == token.LSS || e.Op == token.LEQ))
+			if neg {
+				upper = !upper
+			}
+			if upper {
+				st.pass.Reportf(e.Pos(), "wall-clock upper-bound assertion: failing when elapsed time exceeds a bound is flaky under CI load (PR 1 deflaking policy); assert a lower bound or logical ordering, or //sdg:ignore clockassert -- <why>")
+			}
+		}
+	}
+}
+
+// taintedExpr reports whether e derives from a wall-clock read.
+func (st *funcState) taintedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return st.taintedExpr(e.X)
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[e]
+		return obj != nil && st.tainted[obj]
+	case *ast.SelectorExpr:
+		return st.taintedExpr(e.X)
+	case *ast.BinaryExpr:
+		return st.taintedExpr(e.X) || st.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return st.taintedExpr(e.X)
+	case *ast.CallExpr:
+		if fn, ok := calleeObj(st.pass.TypesInfo, e.Fun).(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				return true
+			}
+		}
+		// Conversions and calls propagate taint from receiver or args:
+		// elapsed.Seconds(), float64(elapsed), a.Sub(b), max(elapsed, x).
+		if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && st.taintedExpr(sel.X) {
+			return true
+		}
+		for _, arg := range e.Args {
+			if st.taintedExpr(arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsFailure reports whether the branch calls a testing failure
+// method (t.Error*, t.Fatal*, t.Fail*).
+func containsFailure(pass *anz.Pass, branch ast.Node) bool {
+	found := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeObj(pass.TypesInfo, call.Fun).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "testing" {
+			return true
+		}
+		switch fn.Name() {
+		case "Error", "Errorf", "Fatal", "Fatalf", "Fail", "FailNow":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func calleeObj(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.ParenExpr:
+		return calleeObj(info, fun.X)
+	}
+	return nil
+}

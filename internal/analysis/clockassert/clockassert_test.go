@@ -1,0 +1,13 @@
+package clockassert_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/clockassert"
+)
+
+func TestClockAssert(t *testing.T) {
+	anztest.Run(t, clockassert.Analyzer, filepath.Join("testdata", "src", "d"))
+}

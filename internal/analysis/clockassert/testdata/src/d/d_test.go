@@ -1,0 +1,96 @@
+// Package d exercises the clockassert analyzer: the PR 1 ban on wall-clock
+// upper-bound and ratio assertions, with the lower-bound and polling shapes
+// that must stay legal.
+package d
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpperBoundFlagged(t *testing.T) {
+	start := time.Now()
+	work()
+	elapsed := time.Since(start)
+	if elapsed > 50*time.Millisecond { // want `wall-clock upper-bound assertion`
+		t.Fatalf("too slow: %v", elapsed)
+	}
+}
+
+func TestUpperBoundReversedOperands(t *testing.T) {
+	start := time.Now()
+	work()
+	if 100*time.Millisecond < time.Since(start) { // want `wall-clock upper-bound assertion`
+		t.Error("too slow")
+	}
+}
+
+func TestUpperBoundViaElse(t *testing.T) {
+	start := time.Now()
+	work()
+	if time.Since(start) <= time.Second { // want `wall-clock upper-bound assertion`
+		work()
+	} else {
+		// Failure on the else branch: the bound direction inverts, and
+		// "fails unless under a second" is still an upper bound.
+		t.Fatal("too slow")
+	}
+}
+
+func TestUpperBoundNegated(t *testing.T) {
+	start := time.Now()
+	work()
+	if !(time.Since(start) < time.Second) { // want `wall-clock upper-bound assertion`
+		t.Fatal("too slow")
+	}
+}
+
+func TestRatioFlagged(t *testing.T) {
+	s1 := time.Now()
+	work()
+	fast := time.Since(s1)
+	s2 := time.Now()
+	work()
+	work()
+	slow := time.Since(s2)
+	if slow > 10*fast { // want `wall-clock ratio assertion`
+		t.Errorf("not proportional: %v vs %v", slow, fast)
+	}
+}
+
+func TestLowerBoundAllowed(t *testing.T) {
+	start := time.Now()
+	work()
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("retry fired before its backoff") // load can only make this pass
+	}
+}
+
+func TestPollingLoopAllowed(t *testing.T) {
+	deadline := 100 * time.Millisecond
+	start := time.Now()
+	for time.Since(start) < deadline { // not a failure guard: legal
+		work()
+	}
+}
+
+func TestNonClockComparisonAllowed(t *testing.T) {
+	if 3 > 2 {
+		t.Log("fine")
+	}
+	n := 5
+	if n > 4 {
+		t.Errorf("not wall-clock")
+	}
+}
+
+func TestSuppressedWithJustification(t *testing.T) {
+	start := time.Now()
+	work()
+	//sdg:ignore clockassert -- measures a 10s sleep against a 60s bound; 6x headroom cannot flake
+	if time.Since(start) > time.Minute {
+		t.Fatal("wildly slow")
+	}
+}
+
+func work() {}

@@ -1,0 +1,139 @@
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/anz"
+)
+
+// TestAnnotationDrift parses internal/runtime and checks that its
+// //sdg:lockorder and //sdg:locked annotations match RuntimeOrder exactly,
+// in both directions: an annotation renamed, removed, re-ranked, or added
+// without updating the declared table fails here with instructions.
+func TestAnnotationDrift(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := anz.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseRuntimeAnnotations(filepath.Join(root, "internal", "runtime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool, len(RuntimeOrder))
+	for _, a := range RuntimeOrder {
+		want[key(a)] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, a := range got {
+		gotSet[key(a)] = true
+	}
+	for _, a := range got {
+		if !want[key(a)] {
+			t.Errorf("internal/runtime has annotation %s not in lockorder.RuntimeOrder — add it to the declared table (internal/analysis/lockorder/order.go)", key(a))
+		}
+	}
+	for _, a := range RuntimeOrder {
+		if !gotSet[key(a)] {
+			t.Errorf("lockorder.RuntimeOrder declares %s but internal/runtime has no matching annotation — the mutex was renamed, moved, or its //sdg: comment was edited; update order.go to match", key(a))
+		}
+	}
+}
+
+func key(a Annotation) string {
+	return fmt.Sprintf("%s %s %s class=%s rank=%d", a.File, a.Kind, a.Owner, a.Class, a.Rank)
+}
+
+// parseRuntimeAnnotations reads the lock annotations out of a directory's
+// non-test sources using only the parser (no type checking), so the drift
+// test stays fast and independent of the loader.
+func parseRuntimeAnnotations(dir string) ([]Annotation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Annotation
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+							for _, d := range anz.ParseDirectives(cg) {
+								if d.Name != "lockorder" {
+									continue
+								}
+								parts := strings.Fields(d.Args)
+								if len(parts) != 2 {
+									return nil, fmt.Errorf("%s: malformed //sdg:lockorder %q", name, d.Args)
+								}
+								rank, err := strconv.Atoi(parts[1])
+								if err != nil {
+									return nil, fmt.Errorf("%s: bad rank in //sdg:lockorder %q", name, d.Args)
+								}
+								for _, fn := range fld.Names {
+									out = append(out, Annotation{
+										File: name, Kind: "field",
+										Owner: ts.Name.Name + "." + fn.Name,
+										Class: parts[0], Rank: rank,
+									})
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				for _, d := range anz.ParseDirectives(decl.Doc) {
+					parts := strings.Fields(d.Args)
+					switch {
+					case d.Name == "lockorder" && len(parts) == 2 && parts[0] == "returns":
+						out = append(out, Annotation{
+							File: name, Kind: "returns",
+							Owner: "func " + decl.Name.Name,
+							Class: parts[1], Rank: -1,
+						})
+					case d.Name == "locked":
+						for _, cls := range parts {
+							out = append(out, Annotation{
+								File: name, Kind: "locked",
+								Owner: "func " + decl.Name.Name,
+								Class: cls, Rank: -1,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out, nil
+}

@@ -1,0 +1,538 @@
+// Package lockorder enforces the runtime's declared mutex partial order.
+//
+// The order that fixed PR 5's checkpoint/pause deadlock — ckptGate before
+// pause before ss.mu, injMu fenced before transport work — lived only in
+// comments (internal/runtime/scaling.go). Here it becomes machine-checked:
+// mutex fields carry a //sdg:lockorder <class> <rank> annotation, and any
+// function whose acquisition path grabs a lower-ranked class while holding
+// a higher-ranked one is flagged.
+//
+// Annotations:
+//
+//	//sdg:lockorder <class> <rank>    on a mutex field, var, or a map/slice
+//	                                  field whose elements are mutexes
+//	//sdg:lockorder returns <class>   on a func whose result is a mutex of
+//	                                  that class (e.g. Runtime.pauseFor)
+//	//sdg:locked <class> [<class>...] on a func that is documented to be
+//	                                  called with those classes already held
+//	                                  (the *Locked helper convention)
+//
+// The walk is intra-procedural and branch-aware: each if/switch/select arm
+// is explored on its own cloned held-set, loop bodies are explored once
+// from the loop entry state, and terminating branches (return) contribute
+// nothing to the merged exit state. Acquiring the same class twice is
+// allowed — classes with several instances (per-node pause locks) are
+// taken in sorted order by the runtime, which a rank check cannot and need
+// not model. Releases via defer are deliberately ignored: a deferred
+// Unlock runs at return, so the lock is held for the rest of the body.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/anz"
+)
+
+var Analyzer = &anz.Analyzer{
+	Name: "lockorder",
+	Doc: "check mutex acquisition paths against the //sdg:lockorder declared partial order " +
+		"(ckptGate before pause before ss.mu, and friends)",
+	Run: run,
+}
+
+// maxPaths bounds the number of simultaneously tracked branch states per
+// function; beyond it the walker keeps the first maxPaths (checking stays
+// sound on those paths, extra paths are dropped, never merged unsoundly).
+const maxPaths = 64
+
+type collected struct {
+	ranks      map[string]int          // class name -> rank
+	fieldClass map[types.Object]string // annotated mutex field/var -> class
+	funcClass  map[types.Object]string // "returns"-annotated func -> class
+	locked     map[*ast.FuncDecl][]string
+}
+
+func run(pass *anz.Pass) error {
+	c := collect(pass)
+	if len(c.fieldClass) == 0 && len(c.funcClass) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &fnWalker{pass: pass, c: c, vars: map[types.Object]string{}, reported: map[string]bool{}}
+			entry := &path{}
+			for _, cls := range c.locked[fd] {
+				entry.held = append(entry.held, held{class: cls, pos: fd.Pos()})
+			}
+			w.walkStmts(fd.Body.List, []*path{entry})
+			// Function literals run on their own goroutine or call stack
+			// state; walk each with an empty held-set.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w.walkStmts(fl.Body.List, []*path{{}})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collect gathers every //sdg:lockorder annotation in the package.
+func collect(pass *anz.Pass) *collected {
+	c := &collected{
+		ranks:      map[string]int{},
+		fieldClass: map[types.Object]string{},
+		funcClass:  map[types.Object]string{},
+		locked:     map[*ast.FuncDecl][]string{},
+	}
+	declare := func(d anz.Directive, obj types.Object) {
+		parts := strings.Fields(d.Args)
+		if len(parts) != 2 {
+			pass.Reportf(d.Pos, "malformed //sdg:lockorder: want \"<class> <rank>\" or \"returns <class>\", got %q", d.Args)
+			return
+		}
+		rank, err := strconv.Atoi(parts[1])
+		if err != nil {
+			pass.Reportf(d.Pos, "malformed //sdg:lockorder rank %q: %v", parts[1], err)
+			return
+		}
+		name := parts[0]
+		if prev, ok := c.ranks[name]; ok && prev != rank {
+			pass.Reportf(d.Pos, "lock class %q re-declared with rank %d (previously %d)", name, rank, prev)
+			return
+		}
+		c.ranks[name] = rank
+		if obj != nil {
+			c.fieldClass[obj] = name
+		}
+	}
+	fieldDirectives := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		for _, cg := range groups {
+			for _, d := range anz.ParseDirectives(cg) {
+				if d.Name != "lockorder" {
+					continue
+				}
+				for _, name := range names {
+					declare(d, pass.TypesInfo.Defs[name])
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := spec.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, fld := range st.Fields.List {
+							fieldDirectives(fld.Names, fld.Doc, fld.Comment)
+						}
+					case *ast.ValueSpec:
+						fieldDirectives(spec.Names, decl.Doc, spec.Doc, spec.Comment)
+					}
+				}
+			case *ast.FuncDecl:
+				for _, d := range anz.ParseDirectives(decl.Doc) {
+					switch d.Name {
+					case "lockorder":
+						parts := strings.Fields(d.Args)
+						if len(parts) == 2 && parts[0] == "returns" {
+							if obj := pass.TypesInfo.Defs[decl.Name]; obj != nil {
+								c.funcClass[obj] = parts[1]
+							}
+						} else {
+							declare(d, nil)
+						}
+					case "locked":
+						c.locked[decl] = append(c.locked[decl], strings.Fields(d.Args)...)
+					}
+				}
+			}
+		}
+	}
+	// A class used by an annotation but never given a rank (e.g. only via
+	// "returns" or "locked") defaults to being unordered — report it so the
+	// table stays complete.
+	seen := map[string]token.Pos{}
+	for fd, classes := range c.locked {
+		for _, cls := range classes {
+			seen[cls] = fd.Pos()
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					if cls, ok := c.funcClass[obj]; ok {
+						seen[cls] = fd.Pos()
+					}
+				}
+			}
+		}
+	}
+	for cls, pos := range seen {
+		if _, ok := c.ranks[cls]; !ok {
+			pass.Reportf(pos, "lock class %q has no //sdg:lockorder <class> <rank> declaration in this package", cls)
+		}
+	}
+	return c
+}
+
+type held struct {
+	class string
+	pos   token.Pos
+}
+
+// path is one feasible acquisition path's held-lock stack.
+type path struct {
+	held []held
+}
+
+func (p *path) clone() *path {
+	q := &path{held: make([]held, len(p.held))}
+	copy(q.held, p.held)
+	return q
+}
+
+func clonePaths(ps []*path) []*path {
+	out := make([]*path, len(ps))
+	for i, p := range ps {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+// frame is a break target (loop, switch, or select) collecting the states
+// of paths that break out of it.
+type frame struct {
+	isLoop bool
+	breaks []*path
+}
+
+type fnWalker struct {
+	pass     *anz.Pass
+	c        *collected
+	vars     map[types.Object]string // local mutex var -> class
+	frames   []*frame
+	reported map[string]bool
+}
+
+// walkStmts walks a statement list over the given entry paths and returns
+// the merged (non-terminated) exit paths.
+func (w *fnWalker) walkStmts(list []ast.Stmt, states []*path) []*path {
+	for _, s := range list {
+		states = w.walkStmt(s, states)
+		if len(states) == 0 {
+			break // every path terminated
+		}
+	}
+	return states
+}
+
+func cap64(ps []*path) []*path {
+	if len(ps) > maxPaths {
+		return ps[:maxPaths]
+	}
+	return ps
+}
+
+func (w *fnWalker) walkStmt(s ast.Stmt, states []*path) []*path {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.lockEffect(s.X, states)
+		return states
+	case *ast.AssignStmt:
+		w.trackAssign(s)
+		return states
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							if cls, ok := w.classOf(vs.Values[i]); ok {
+								if obj := w.pass.TypesInfo.Defs[name]; obj != nil {
+									w.vars[obj] = cls
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return states
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, states)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, states)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = w.walkStmt(s.Init, states)
+		}
+		thenExits := w.walkStmts(s.Body.List, clonePaths(states))
+		var elseExits []*path
+		if s.Else != nil {
+			elseExits = w.walkStmt(s.Else, clonePaths(states))
+		} else {
+			elseExits = states
+		}
+		return cap64(append(thenExits, elseExits...))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			states = w.walkStmt(s.Init, states)
+		}
+		return w.walkLoop(s.Body, states)
+	case *ast.RangeStmt:
+		// Ranging over an annotated mutex container taints the value var.
+		if cls, ok := w.classOf(s.X); ok {
+			if id, ok := s.Value.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+					w.vars[obj] = cls
+				}
+			}
+		}
+		return w.walkLoop(s.Body, states)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			states = w.walkStmt(s.Init, states)
+		}
+		return w.walkCases(s.Body.List, states)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			states = w.walkStmt(s.Init, states)
+		}
+		return w.walkCases(s.Body.List, states)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body.List, states)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if fr := w.topFrame(); fr != nil {
+				fr.breaks = append(fr.breaks, clonePaths(states)...)
+			}
+			return nil
+		case token.CONTINUE, token.GOTO:
+			return nil
+		}
+		return states
+	case *ast.ReturnStmt:
+		return nil
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Spawned goroutines get their own empty held-set (walked via the
+		// FuncLit pass); deferred unlocks run at return, after the body.
+		return states
+	default:
+		return states
+	}
+}
+
+// walkLoop walks a loop body once from the entry states. Exit = entry
+// (zero iterations) ∪ body exit (locks deliberately carried out of the
+// loop, e.g. a lock-all-partitions range) ∪ break states.
+func (w *fnWalker) walkLoop(body *ast.BlockStmt, states []*path) []*path {
+	fr := &frame{isLoop: true}
+	w.frames = append(w.frames, fr)
+	bodyExits := w.walkStmts(body.List, clonePaths(states))
+	w.frames = w.frames[:len(w.frames)-1]
+	return cap64(append(append(states, bodyExits...), fr.breaks...))
+}
+
+// walkCases walks switch/type-switch/select clause bodies, each from a
+// clone of the entry states; exit is the union of every clause's exit plus
+// the entry states when no default clause guarantees a clause runs.
+func (w *fnWalker) walkCases(clauses []ast.Stmt, states []*path) []*path {
+	fr := &frame{}
+	w.frames = append(w.frames, fr)
+	var exits []*path
+	hasDefault := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				// A comm clause's send/receive runs before its body.
+				body = append([]ast.Stmt{cl.Comm}, cl.Body...)
+			} else {
+				body = cl.Body
+				hasDefault = true
+			}
+		}
+		exits = append(exits, w.walkStmts(body, clonePaths(states))...)
+	}
+	w.frames = w.frames[:len(w.frames)-1]
+	exits = append(exits, fr.breaks...)
+	if !hasDefault || len(clauses) == 0 {
+		exits = append(exits, states...)
+	}
+	return cap64(exits)
+}
+
+func (w *fnWalker) topFrame() *frame {
+	if len(w.frames) == 0 {
+		return nil
+	}
+	return w.frames[len(w.frames)-1]
+}
+
+// lockEffect applies a statement-level call's acquire/release effect to
+// every live path.
+func (w *fnWalker) lockEffect(e ast.Expr, states []*path) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	cls, ok := w.classOf(sel.X)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		for _, p := range states {
+			w.acquire(p, cls, call.Pos())
+		}
+	case "Unlock", "RUnlock":
+		for _, p := range states {
+			release(p, cls)
+		}
+	}
+}
+
+func (w *fnWalker) acquire(p *path, cls string, pos token.Pos) {
+	rank, ok := w.c.ranks[cls]
+	if !ok {
+		return
+	}
+	for _, h := range p.held {
+		hr, hok := w.c.ranks[h.class]
+		if hok && h.class != cls && hr > rank {
+			key := fmt.Sprintf("%d/%s/%s", pos, cls, h.class)
+			if !w.reported[key] {
+				w.reported[key] = true
+				w.pass.Reportf(pos, "acquires %q (rank %d) while holding %q (rank %d): declared order is %s before %s",
+					cls, rank, h.class, hr, cls, h.class)
+			}
+		}
+	}
+	p.held = append(p.held, held{class: cls, pos: pos})
+}
+
+// release drops the most recent held instance of cls; releasing a class
+// that is not held on this path is a no-op (the path may have branched
+// past the acquire).
+func release(p *path, cls string) {
+	for i := len(p.held) - 1; i >= 0; i-- {
+		if p.held[i].class == cls {
+			p.held = append(p.held[:i], p.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// classOf resolves an expression to a declared lock class: an annotated
+// field selector (r.se.ckptGate), an element of an annotated container
+// (r.pauseMu[n]), a local var assigned from one, or a call to a
+// //sdg:lockorder returns func (r.pauseFor(n)).
+func (w *fnWalker) classOf(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.classOf(e.X)
+	case *ast.StarExpr:
+		return w.classOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.classOf(e.X)
+		}
+	case *ast.IndexExpr:
+		return w.classOf(e.X)
+	case *ast.SelectorExpr:
+		if sel := w.pass.TypesInfo.Selections[e]; sel != nil {
+			if cls, ok := w.c.fieldClass[sel.Obj()]; ok {
+				return cls, true
+			}
+		}
+		if obj := w.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			if cls, ok := w.c.fieldClass[obj]; ok {
+				return cls, true
+			}
+		}
+	case *ast.Ident:
+		if obj := w.pass.TypesInfo.Uses[e]; obj != nil {
+			if cls, ok := w.vars[obj]; ok {
+				return cls, true
+			}
+			if cls, ok := w.c.fieldClass[obj]; ok {
+				return cls, true
+			}
+		}
+	case *ast.CallExpr:
+		if obj := calleeObj(w.pass.TypesInfo, e.Fun); obj != nil {
+			if cls, ok := w.c.funcClass[obj]; ok {
+				return cls, true
+			}
+		}
+	}
+	return "", false
+}
+
+// trackAssign records local vars that hold a classed mutex (mu :=
+// r.pauseFor(node)); reassignment to an unclassed value clears the var.
+func (w *fnWalker) trackAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if cls, ok := w.classOf(s.Rhs[i]); ok {
+			w.vars[obj] = cls
+		} else {
+			delete(w.vars, obj)
+		}
+	}
+}
+
+func calleeObj(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.ParenExpr:
+		return calleeObj(info, fun.X)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	anztest.Run(t, lockorder.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,167 @@
+// Package a exercises the lockorder analyzer: annotated mutexes modeled on
+// the runtime's real lock hierarchy (ckptGate -> pause -> ss.mu), with
+// flagged, clean, and suppressed acquisition paths.
+package a
+
+import "sync"
+
+type state struct {
+	ckptGate sync.RWMutex //sdg:lockorder ckptgate 30
+	//sdg:lockorder sstate 50
+	mu    sync.Mutex
+	parts map[int]string
+}
+
+type runtime struct {
+	se *state
+	//sdg:lockorder pause 40
+	pauseMu map[int]*sync.RWMutex
+	ts      tstate
+}
+
+type tstate struct {
+	mu sync.Mutex //sdg:lockorder tstate 60
+}
+
+//sdg:lockorder returns pause
+func (r *runtime) pauseFor(node int) *sync.RWMutex {
+	return r.pauseMu[node]
+}
+
+// goodRepartition follows the declared order: ckptGate, then pause, then
+// ss.mu — the PR 5 fix.
+func (r *runtime) goodRepartition(nodes []int) {
+	r.se.ckptGate.Lock()
+	defer r.se.ckptGate.Unlock()
+	for _, n := range nodes {
+		r.pauseFor(n).Lock()
+	}
+	r.se.mu.Lock()
+	r.se.parts[0] = "moved"
+	r.se.mu.Unlock()
+	for _, n := range nodes {
+		r.pauseFor(n).Unlock()
+	}
+}
+
+// badInverted re-creates the PR 5 deadlock: ss.mu taken before pause.
+func (r *runtime) badInverted(node int) {
+	r.se.mu.Lock()
+	r.pauseFor(node).Lock() // want `acquires "pause" \(rank 40\) while holding "sstate" \(rank 50\)`
+	r.pauseFor(node).Unlock()
+	r.se.mu.Unlock()
+}
+
+// badGateAfterState flags even through a local mutex variable.
+func (r *runtime) badGateAfterState(node int) {
+	mu := r.pauseFor(node)
+	mu.Lock()
+	r.se.ckptGate.Lock() // want `acquires "ckptgate" \(rank 30\) while holding "pause" \(rank 40\)`
+	r.se.ckptGate.Unlock()
+	mu.Unlock()
+}
+
+// branchSensitive only violates on one arm; the walker must still see it.
+func (r *runtime) branchSensitive(hot bool) {
+	if hot {
+		r.se.mu.Lock()
+	}
+	if hot {
+		r.se.ckptGate.RLock() // want `acquires "ckptgate" \(rank 30\) while holding "sstate" \(rank 50\)`
+		r.se.ckptGate.RUnlock()
+	}
+	if hot {
+		r.se.mu.Unlock()
+	}
+}
+
+// releasedBeforeAcquire is clean: the earlier lock is gone by the time the
+// lower-ranked one is taken.
+func (r *runtime) releasedBeforeAcquire() {
+	r.se.mu.Lock()
+	r.se.mu.Unlock()
+	r.se.ckptGate.Lock()
+	r.se.ckptGate.Unlock()
+}
+
+// retryLoop models scaling.go's validate-retry shape: locks are taken in
+// order inside the loop, released on the retry path, and carried out on
+// break — no violation.
+func (r *runtime) retryLoop(nodes []int) {
+	for {
+		r.se.ckptGate.Lock()
+		r.se.mu.Lock()
+		if len(r.se.parts) > 0 {
+			break
+		}
+		r.se.mu.Unlock()
+		r.se.ckptGate.Unlock()
+	}
+	r.ts.mu.Lock()
+	r.ts.mu.Unlock()
+	r.se.mu.Unlock()
+	r.se.ckptGate.Unlock()
+}
+
+// carriedOutOfLoop: locks accumulated by a range loop are still held after
+// it, so the inverted acquire below the loop is caught.
+func (r *runtime) carriedOutOfLoop(nodes []int) {
+	for _, n := range nodes {
+		r.pauseFor(n).Lock()
+	}
+	r.se.ckptGate.Lock() // want `acquires "ckptgate" \(rank 30\) while holding "pause" \(rank 40\)`
+	r.se.ckptGate.Unlock()
+	for _, n := range nodes {
+		r.pauseFor(n).Unlock()
+	}
+}
+
+// sameClassTwice is allowed: multiple instances of one class (per-node
+// pause locks) are ordered by node id at runtime, not by rank.
+func (r *runtime) sameClassTwice(a, b int) {
+	r.pauseFor(a).Lock()
+	r.pauseFor(b).Lock()
+	r.pauseFor(b).Unlock()
+	r.pauseFor(a).Unlock()
+}
+
+// lockedHelper declares its precondition: callers hold sstate. Taking a
+// lower-ranked class inside is a violation even with no Lock call in
+// sight.
+//
+//sdg:locked sstate
+func (r *runtime) lockedHelper() {
+	r.se.ckptGate.RLock() // want `acquires "ckptgate" \(rank 30\) while holding "sstate" \(rank 50\)`
+	r.se.ckptGate.RUnlock()
+}
+
+// goroutineBody starts fresh: the spawned goroutine's acquisitions do not
+// inherit the parent's held-set, and its own body is still checked.
+func (r *runtime) goroutineBody(node int) {
+	r.se.mu.Lock()
+	go func() {
+		r.se.ckptGate.Lock() // clean: new goroutine, nothing held
+		r.se.mu.Lock()       // clean: ckptgate (30) before sstate (50) is the declared order
+		r.se.mu.Unlock()
+		r.se.ckptGate.Unlock()
+	}()
+	r.se.mu.Unlock()
+}
+
+// suppressed documents a sanctioned inversion with a justification.
+func (r *runtime) suppressed(node int) {
+	r.se.mu.Lock()
+	//sdg:ignore lockorder -- single-node bootstrap path, pause map is empty so no deadlock partner exists
+	r.pauseFor(node).Lock()
+	r.pauseFor(node).Unlock()
+	r.se.mu.Unlock()
+}
+
+// bareIgnore forgets the justification and is itself reported.
+func (r *runtime) bareIgnore(node int) {
+	r.se.mu.Lock()
+	//sdg:ignore lockorder // want `needs a justification`
+	r.pauseFor(node).Lock() // want `acquires "pause" \(rank 40\) while holding "sstate" \(rank 50\)`
+	r.pauseFor(node).Unlock()
+	r.se.mu.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package b exercises the wiresafe analyzer against real wire.Register
+// calls: the testdata package imports the actual repro/internal/wire, so
+// the check runs on exactly the registration path production code uses.
+package b
+
+import (
+	"encoding/gob"
+
+	"repro/internal/wire"
+)
+
+// Clean message: exported fields, wire-encodable kinds all the way down.
+type Good struct {
+	Key   string
+	Vals  []float64
+	Parts map[int][]byte
+	Next  *Good
+}
+
+// BadChan smuggles a channel behind a pointer and a slice.
+type BadChan struct {
+	Name  string
+	Acks  []*chanBox
+	Reply chan int
+}
+
+type chanBox struct {
+	C chan string
+}
+
+// BadFunc carries a callback.
+type BadFunc struct {
+	OnDone func() error
+}
+
+// BadHidden has an unexported field gob would drop silently.
+type BadHidden struct {
+	ID  int
+	seq uint64
+}
+
+// Iface stops the static walk: dynamic contents are the runtime walk's job.
+type Iface struct {
+	Payload any
+}
+
+func register() {
+	wire.Register(Good{})
+	wire.Register(Iface{})
+	wire.Register(BadChan{})   // want `BadChan.Reply is a chan` `BadChan.Acks\[\].C is a chan`
+	wire.Register(BadFunc{})   // want `BadFunc.OnDone is a func`
+	wire.Register(BadHidden{}) // want `BadHidden has unexported field "seq"`
+	gob.Register(Good{})       // want `direct gob.Register bypasses the wire-safety gate`
+	//sdg:ignore wiresafe -- exercising the suppression path in testdata
+	gob.Register(Iface{})
+}

@@ -1,0 +1,13 @@
+package wiresafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/wiresafe"
+)
+
+func TestWireSafe(t *testing.T) {
+	anztest.Run(t, wiresafe.Analyzer, filepath.Join("testdata", "src", "b"))
+}

@@ -10,13 +10,13 @@
 package cf
 
 import (
-	"encoding/gob"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 // Payloads crossing TE boundaries (the "live variables" of §4.2 step 5).
@@ -47,12 +47,12 @@ type (
 )
 
 func init() {
-	gob.Register(RatingMsg{})
-	gob.Register(CoUpdateMsg{})
-	gob.Register(RecReqMsg{})
-	gob.Register(UserVecMsg{})
-	gob.Register(PartialRec{})
-	gob.Register(Recommendation{})
+	wire.Register(RatingMsg{})
+	wire.Register(CoUpdateMsg{})
+	wire.Register(RecReqMsg{})
+	wire.Register(UserVecMsg{})
+	wire.Register(PartialRec{})
+	wire.Register(Recommendation{})
 }
 
 // Graph builds the CF SDG of Fig. 1: five TEs over two SEs.

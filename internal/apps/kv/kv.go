@@ -5,17 +5,17 @@
 package kv
 
 import (
-	"encoding/gob"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 func init() {
-	gob.Register([]byte{})
+	wire.Register([]byte{})
 	runtime.RegisterGraph("kv", Graph)
 }
 

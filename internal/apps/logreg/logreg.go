@@ -8,13 +8,13 @@
 package logreg
 
 import (
-	"encoding/gob"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/state"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -34,9 +34,9 @@ type (
 )
 
 func init() {
-	gob.Register(BatchMsg{})
-	gob.Register(SyncMsg{})
-	gob.Register(WeightsMsg{})
+	wire.Register(BatchMsg{})
+	wire.Register(SyncMsg{})
+	wire.Register(WeightsMsg{})
 }
 
 // Graph builds the LR SDG for a given dimensionality and learning rate.

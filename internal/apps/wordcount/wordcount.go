@@ -9,7 +9,6 @@
 package wordcount
 
 import (
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 // Payloads.
@@ -41,9 +41,9 @@ type (
 )
 
 func init() {
-	gob.Register(LineMsg{})
-	gob.Register(WordMsg{})
-	gob.Register(WindowReport{})
+	wire.Register(LineMsg{})
+	wire.Register(WordMsg{})
+	wire.Register(WindowReport{})
 }
 
 func hashWord(w string) uint64 {

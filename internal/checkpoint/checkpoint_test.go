@@ -1,7 +1,6 @@
 package checkpoint
 
 import (
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,10 +9,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 func init() {
-	gob.Register([]byte{})
+	wire.Register([]byte{})
 }
 
 func newBackupEnv(t *testing.T, m int, diskBW int64) (*cluster.Cluster, *Backup) {

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync/atomic"
 	"time"
 
@@ -289,5 +288,5 @@ func WriteBPBench(w io.Writer, cfg BPBenchConfig, outPath string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	goruntime "runtime"
 	"time"
 
@@ -261,5 +260,5 @@ func WriteCheckpointBench(w io.Writer, cfg CheckpointBenchConfig, outPath string
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

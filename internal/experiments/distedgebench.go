@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync/atomic"
 	"time"
 
@@ -259,5 +258,5 @@ func WriteDistEdgeBench(w io.Writer, cfg DistEdgeBenchConfig, outPath string) er
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

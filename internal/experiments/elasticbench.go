@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
@@ -254,5 +253,5 @@ func WriteElasticBench(w io.Writer, cfg ElasticBenchConfig, outPath string) erro
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

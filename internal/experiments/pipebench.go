@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	goruntime "runtime"
 	"time"
 
@@ -186,5 +185,5 @@ func WritePipeBench(w io.Writer, cfg PipeBenchConfig, outPath string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

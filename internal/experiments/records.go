@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeRecord writes one BENCH_*.json record, creating the output
+// directory if needed — CI points the benches at bench/out/ so transient
+// per-run records never land in the repo root (the committed perf history
+// is bench/LEDGER.json alone; see DESIGN.md "Benchmark records").
+func writeRecord(outPath string, data []byte) error {
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

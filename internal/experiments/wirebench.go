@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	goruntime "runtime"
 	"time"
 
@@ -244,5 +243,5 @@ func WriteWireBench(w io.Writer, cfg WireBenchConfig, outPath string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	return writeRecord(outPath, data)
 }

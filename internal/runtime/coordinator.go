@@ -81,6 +81,7 @@ func (o *CoordOptions) defaults() {
 
 // coordWorker is the coordinator's view of one worker.
 type coordWorker struct {
+	//sdg:lockorder coordworker 70
 	mu    sync.Mutex // guards ep and hbStop swaps across recoveries
 	ep    WorkerEndpoint
 	alive atomic.Bool
@@ -126,6 +127,7 @@ type Coordinator struct {
 	entryTotal map[string]int
 	addrs      []string
 
+	//sdg:lockorder coordinject 65
 	injMu  sync.Mutex
 	extSeq uint64
 	// encBuf is the reused data-plane encode buffer, guarded by injMu like

@@ -59,6 +59,7 @@ type outEntry struct {
 type peerConn struct {
 	worker int
 
+	//sdg:lockorder peermu 90
 	mu     sync.Mutex
 	cond   *sync.Cond
 	addr   string
@@ -84,6 +85,7 @@ type remoteNet struct {
 	r   *Runtime
 	cfg *ShardConfig
 
+	//sdg:lockorder netmu 80
 	mu    sync.Mutex
 	logs  map[edgeInstKey]*dataflow.OutputBuffer
 	peers map[int]*peerConn
@@ -306,6 +308,8 @@ func decodeReply(frame []byte, want byte, out any) error {
 // same destination shares one seq space across both logs, and replaying one
 // log after the other would let the receiver's per-origin watermark drop
 // the lower-seq tail for good.
+//
+//sdg:locked netmu
 func (n *remoteNet) rebuildPeerLocked(p *peerConn) {
 	type flatEnt struct {
 		edge, inst int

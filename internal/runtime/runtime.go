@@ -149,7 +149,11 @@ type Runtime struct {
 	// this runtime in a multi-worker deployment.
 	net *remoteNet
 
-	pmu     sync.Mutex
+	// pmu guards the pauseMu registry itself; a leaf below every other
+	// lock.
+	//sdg:lockorder pausemap 95
+	pmu sync.Mutex
+	//sdg:lockorder pause 40
 	pauseMu map[int]*sync.RWMutex // per node: held (R) while processing
 
 	reqSeq  atomic.Uint64 // request ids for Call
@@ -170,6 +174,7 @@ type Runtime struct {
 	// with no other locks held, so two concurrent retirements (or the
 	// auto-scaler racing a manual call) must not interleave their fence /
 	// swap phases.
+	//sdg:lockorder scale 10
 	scaleMu sync.Mutex
 
 	stopOnce sync.Once
@@ -193,7 +198,8 @@ type Runtime struct {
 
 // teState tracks one task element and its live instances.
 type teState struct {
-	def      *core.TE
+	def *core.TE
+	//sdg:lockorder testate 60
 	mu       sync.RWMutex
 	insts    []*teInstance
 	out      []*edgeRT
@@ -216,6 +222,7 @@ type teState struct {
 	// srcBuf logging and enqueueing — so concurrent injectors cannot
 	// reorder seqs on their way to one entry instance (the per-origin
 	// dedup watermark would silently drop the overtaken item forever).
+	//sdg:lockorder inject 20
 	injMu sync.Mutex
 	// shed counts externally offered items rejected by admission control.
 	shed atomic.Int64
@@ -337,7 +344,8 @@ func (ti *teInstance) originID() uint64 {
 
 // seState tracks one state element and its live instances.
 type seState struct {
-	def   *core.SE
+	def *core.SE
+	//sdg:lockorder sstate 50
 	mu    sync.RWMutex
 	insts []*seInstance
 	// ckptGate excludes checkpoints from structural rebuilds: CheckpointNow
@@ -347,6 +355,7 @@ type seState struct {
 	// instance just before the swap could still flip the store dirty —
 	// mid-rebuild — or commit a stale pre-swap epoch after the post-merge
 	// base. Lock order: ckptGate before mu.
+	//sdg:lockorder ckptgate 30
 	ckptGate sync.RWMutex
 }
 
@@ -705,6 +714,9 @@ func (r *Runtime) startWorker(ti *teInstance) {
 	}()
 }
 
+// pauseFor returns the lazily created pause lock of one node.
+//
+//sdg:lockorder returns pause
 func (r *Runtime) pauseFor(node *cluster.Node) *sync.RWMutex {
 	r.pmu.Lock()
 	mu, ok := r.pauseMu[node.ID]

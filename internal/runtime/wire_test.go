@@ -1,13 +1,13 @@
 package runtime
 
 import (
-	"encoding/gob"
 	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 type wirePayload struct {
@@ -16,7 +16,7 @@ type wirePayload struct {
 }
 
 func init() {
-	gob.Register(wirePayload{})
+	wire.Register(wirePayload{})
 }
 
 func TestWireRoundTrip(t *testing.T) {
@@ -83,7 +83,7 @@ func TestCyclicGraphIterates(t *testing.T) {
 		Value float64
 		Round int
 	}
-	gob.Register(iterMsg{})
+	wire.Register(iterMsg{})
 
 	g := core.NewGraph("iter")
 	acc := g.AddSE("acc", core.KindPartitioned, state.TypeKVMap, nil)

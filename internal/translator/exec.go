@@ -1,7 +1,6 @@
 package translator
 
 import (
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -9,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/state"
+	"repro/internal/wire"
 )
 
 // Env is the set of live variables carried on a dataflow edge (the paper's
@@ -19,10 +19,10 @@ type Env struct {
 }
 
 func init() {
-	gob.Register(Env{})
-	gob.Register(map[int64]float64{})
-	gob.Register([]float64{})
-	gob.Register([]byte{})
+	wire.Register(Env{})
+	wire.Register(map[int64]float64{})
+	wire.Register([]float64{})
+	wire.Register([]byte{})
 }
 
 // makeTaskFunc generates the executable form of one TE: an interpreter over

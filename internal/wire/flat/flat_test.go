@@ -19,6 +19,7 @@ type gobOnly struct {
 }
 
 func init() {
+	//sdg:ignore wiresafe -- flat sits below the wire layer (wire imports flat), so wire.Register would cycle; gobOnly deliberately tests the raw gob fallback
 	gob.Register(gobOnly{})
 }
 

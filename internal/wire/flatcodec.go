@@ -132,6 +132,8 @@ func encodeFlat(e *flat.Encoder, msgType byte, v any) (ok bool, err error) {
 // no flat layout (the payload came from an incompatible peer — Decode
 // normally catches this earlier via flatCapable). Trailing bytes after a
 // complete payload are malformed: they would mean a layout disagreement.
+//
+//sdg:ignore borrowcopy -- Unmarshal's documented aliasing contract: decoded Items/Value alias the caller's buffer, and every handler consumes the message before the pooled frame is reused
 func decodeFlat(body []byte, v any) (ok bool, err error) {
 	d := flat.NewBorrowDecoder(body)
 	switch m := v.(type) {

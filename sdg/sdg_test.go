@@ -1,16 +1,16 @@
 package sdg_test
 
 import (
-	"encoding/gob"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/wire"
 	"repro/sdg"
 )
 
 func init() {
-	gob.Register([]byte{})
+	wire.Register([]byte{})
 }
 
 const timeout = 5 * time.Second
