@@ -44,6 +44,9 @@ func main() {
 		distEdge  = flag.Bool("distedge-bench", false, "measure cross-worker edge throughput and wire cost (local and TCP transports) and exit")
 		distOut   = flag.String("distedge-out", "BENCH_distedge.json", "JSON output path for -distedge-bench (empty = stdout table only)")
 		distItems = flag.Int("distedge-items", 20_000, "items injected per transport variant for -distedge-bench")
+		snapB     = flag.Bool("snap-bench", false, "measure streamed vs monolithic snapshot transfer (chunks, frame sizes, coordinator buffering) and exit")
+		snapOut   = flag.String("snap-out", "BENCH_snapshot.json", "JSON output path for -snap-bench (empty = stdout table only)")
+		snapKeys  = flag.Int("snap-keys", 20_000, "store size in keys for -snap-bench")
 		ledger    = flag.String("ledger", "", "update this rolling perf ledger from the BENCH_*.json records in -ledger-dir and exit")
 		ledgerPR  = flag.Int("ledger-pr", 0, "PR number the ledger entry records (required with -ledger)")
 		ledgerDir = flag.String("ledger-dir", ".", "directory holding the BENCH_*.json records -ledger folds in")
@@ -76,6 +79,16 @@ func main() {
 	if *distEdge {
 		err := experiments.WriteDistEdgeBench(os.Stdout,
 			experiments.DistEdgeBenchConfig{Items: *distItems}, *distOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *snapB {
+		err := experiments.WriteSnapBench(os.Stdout,
+			experiments.SnapBenchConfig{Keys: *snapKeys}, *snapOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-bench:", err)
 			os.Exit(1)

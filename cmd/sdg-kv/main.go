@@ -82,7 +82,7 @@ func (d *distStore) Delete(key uint64, timeout time.Duration) (bool, error) {
 
 // newCoordinator dials every worker (one data and one control connection
 // each) and deploys the kv graph across them.
-func newCoordinator(workers string, partitions, shards, batch int, interval time.Duration) (*runtime.Coordinator, error) {
+func newCoordinator(workers string, partitions, shards, batch, snapChunk int, interval time.Duration) (*runtime.Coordinator, error) {
 	var eps []runtime.WorkerEndpoint
 	dial := func(addr string, timeout time.Duration) (*cluster.Client, error) {
 		c, err := cluster.Dial(addr)
@@ -115,9 +115,10 @@ func newCoordinator(workers string, partitions, shards, batch int, interval time
 		return nil, fmt.Errorf("-workers lists no addresses")
 	}
 	coord, err := runtime.NewCoordinator("kv", eps, runtime.CoordOptions{
-		Partitions: map[string]int{"store": partitions},
-		KVShards:   shards,
-		BatchSize:  batch,
+		Partitions:     map[string]int{"store": partitions},
+		KVShards:       shards,
+		BatchSize:      batch,
+		SnapChunkBytes: snapChunk,
 		OnFailure: func(w int) {
 			fmt.Fprintf(os.Stderr, "sdg-kv: worker %d failed; its keys queue for replay until recovery\n", w)
 		},
@@ -159,6 +160,7 @@ func main() {
 		compactRatio = flag.Float64("compact-ratio", 0, "force a full base once delta bytes exceed this fraction of base bytes (0 = default 0.5)")
 		compressBase = flag.Bool("compress-base", false, "flate-compress base checkpoint chunks before they reach the backup disks (deltas stay raw)")
 		workers      = flag.String("workers", "", "comma-separated sdg-worker addresses; when set, run as a distributed coordinator instead of hosting the store in-process")
+		snapChunk    = flag.Int("snap-chunk-bytes", 0, "max encoded bytes per streamed snapshot chunk pulled from workers (0 = 1 MiB default)")
 		demo         = flag.Bool("demo", false, "run a scripted demo client and exit")
 	)
 	flag.Parse()
@@ -166,7 +168,7 @@ func main() {
 	var st kvStore
 	var banner string
 	if *workers != "" {
-		coord, err := newCoordinator(*workers, *partitions, *shards, *batch, *ftInterval)
+		coord, err := newCoordinator(*workers, *partitions, *shards, *batch, *snapChunk, *ftInterval)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdg-kv:", err)
 			os.Exit(1)

@@ -24,6 +24,7 @@ var RuntimeOrder = []Annotation{
 	{File: "runtime.go", Kind: "field", Owner: "Runtime.scaleMu", Class: "scale", Rank: 10},
 	{File: "runtime.go", Kind: "field", Owner: "teState.injMu", Class: "inject", Rank: 20},
 	{File: "runtime.go", Kind: "field", Owner: "seState.ckptGate", Class: "ckptgate", Rank: 30},
+	{File: "worker.go", Kind: "field", Owner: "Worker.snapMu", Class: "snapstream", Rank: 35},
 	{File: "runtime.go", Kind: "field", Owner: "Runtime.pauseMu", Class: "pause", Rank: 40},
 	{File: "runtime.go", Kind: "field", Owner: "seState.mu", Class: "sstate", Rank: 50},
 	{File: "runtime.go", Kind: "field", Owner: "teState.mu", Class: "testate", Rank: 60},

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/state"
+)
+
+// ChunkStream is the asynchronous checkpoint protocol (Async's steps 1-3
+// and 5) reshaped as an iterator: BeginDirty cuts the snapshot, Next
+// serialises one bounded chunk at a time from the frozen base, and Close
+// merges the dirty overlay back. Writers divert to the overlay for the
+// stream's whole lifetime, so the caller should drain and Close promptly —
+// but processing never stops while state trickles out, which is what lets
+// a snapshot larger than any frame cap leave the node chunk by chunk.
+type ChunkStream struct {
+	st     state.Store
+	iter   state.ChunkIter
+	closed bool
+}
+
+// StreamAsync opens a streaming checkpoint on one store: the store goes
+// dirty and the returned stream serves its frozen base in chunks of at
+// most maxBytes (best effort). The caller MUST Close the stream — that is
+// step 5, the overlay merge — exactly once, error or not.
+func StreamAsync(st state.Store, maxBytes int) (*ChunkStream, error) {
+	if err := st.BeginDirty(); err != nil {
+		return nil, fmt.Errorf("checkpoint: begin dirty: %w", err)
+	}
+	iter, err := state.StreamChunks(st, maxBytes)
+	if err != nil {
+		_, _ = st.MergeDirty()
+		return nil, fmt.Errorf("checkpoint: stream: %w", err)
+	}
+	return &ChunkStream{st: st, iter: iter}, nil
+}
+
+// Next returns the next chunk, ok=false at end of stream.
+func (s *ChunkStream) Next() (state.Chunk, bool, error) {
+	if s.closed {
+		return state.Chunk{}, false, fmt.Errorf("checkpoint: stream closed")
+	}
+	return s.iter.Next()
+}
+
+// Close merges the dirty overlay back into the base (Async's step 5).
+// Idempotent: only the first call merges.
+func (s *ChunkStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if _, err := s.st.MergeDirty(); err != nil {
+		return fmt.Errorf("checkpoint: merge dirty: %w", err)
+	}
+	return nil
+}

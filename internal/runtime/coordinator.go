@@ -59,6 +59,12 @@ type CoordOptions struct {
 	HeartbeatMisses   int
 	// SnapshotChunks is the checkpoint parallelism per store (default 2).
 	SnapshotChunks int
+	// SnapChunkBytes bounds the encoded payload of one streamed snapshot
+	// part (default 1 MiB). Explicit values must lie in
+	// [512, cluster.MaxFrameSize/4]: big enough to amortise the part
+	// header, small enough that envelope + header + one oversized entry
+	// still fit a frame.
+	SnapChunkBytes int
 	// OnFailure is called (on its own goroutine) when a worker is marked
 	// dead, once per death.
 	OnFailure func(worker int)
@@ -77,6 +83,9 @@ func (o *CoordOptions) defaults() {
 	if o.SnapshotChunks <= 0 {
 		o.SnapshotChunks = 2
 	}
+	if o.SnapChunkBytes == 0 {
+		o.SnapChunkBytes = 1 << 20
+	}
 }
 
 // coordWorker is the coordinator's view of one worker.
@@ -85,9 +94,14 @@ type coordWorker struct {
 	mu    sync.Mutex // guards ep and hbStop swaps across recoveries
 	ep    WorkerEndpoint
 	alive atomic.Bool
-	// snap is the last snapshot pulled from this worker; guarded by the
-	// coordinator's injMu (all snapshot/recovery flows hold it).
-	snap   *wire.Snapshot
+	// snap is the last snapshot pulled from this worker, retained as
+	// compressed part records; guarded by the coordinator's injMu (all
+	// snapshot/recovery flows hold it).
+	snap *retainedSnap
+	// v1 is sticky once the worker rejects a streaming-snapshot message:
+	// every later pull and push uses the monolithic protocol. Guarded by
+	// injMu.
+	v1     bool
 	hbStop chan struct{}
 }
 
@@ -138,6 +152,12 @@ type Coordinator struct {
 	// logs holds one replay log per (entry task, worker): every item sent
 	// (or queued for a dead worker) until a worker checkpoint covers it.
 	logs map[string][]*dataflow.OutputBuffer
+	// snapStreams numbers snapshot pull and restore push streams; never 0,
+	// so a worker can tell "no stream" from any real one. Guarded by injMu.
+	snapStreams uint64
+	// stats tracks the streaming-transfer counters (see SnapStats). Guarded
+	// by injMu.
+	stats SnapStats
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -164,6 +184,11 @@ func NewCoordinator(graphName string, eps []WorkerEndpoint, opts CoordOptions) (
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.SnapChunkBytes != 0 &&
+		(opts.SnapChunkBytes < 512 || opts.SnapChunkBytes > cluster.MaxFrameSize/4) {
+		return nil, fmt.Errorf("coordinator: SnapChunkBytes %d out of range [512, %d]",
+			opts.SnapChunkBytes, cluster.MaxFrameSize/4)
 	}
 	opts.defaults()
 	c := &Coordinator{
@@ -512,22 +537,22 @@ func (c *Coordinator) Workers() int { return len(c.workers) }
 // as that worker's recovery point, and trims the replay logs the snapshot
 // covers (§5: upstream buffers drop items older than all downstream
 // checkpoints). Held under the injection mutex so the snapshot's
-// watermarks and the log contents cannot shear.
+// watermarks and the log contents cannot shear. Snapshots stream in chunk
+// by chunk (pullSnapshot), so no worker's whole state ever crosses as one
+// frame or sits uncompressed in coordinator memory.
 func (c *Coordinator) Checkpoint() error {
 	c.injMu.Lock()
 	defer c.injMu.Unlock()
 	var firstErr error
-	fresh := make(map[int]*wire.Snapshot)
+	c.stats.Workers, c.stats.Chunks = 0, 0
+	c.stats.RawBytes, c.stats.StoredBytes = 0, 0
+	fresh := make(map[int]*retainedSnap)
 	for w, cw := range c.workers {
 		if !cw.alive.Load() {
 			continue
 		}
-		frame, err := wire.Encode(wire.MsgSnapshotReq, wire.SnapshotReq{Chunks: c.opts.SnapshotChunks})
+		rs, err := c.pullSnapshot(w, cw)
 		if err != nil {
-			return err
-		}
-		var snap wire.Snapshot
-		if err := call(cw.endpoint().Control, frame, wire.MsgSnapshot, &snap); err != nil {
 			if !errors.Is(err, cluster.ErrRemote) {
 				c.markDead(w)
 			}
@@ -536,43 +561,46 @@ func (c *Coordinator) Checkpoint() error {
 			}
 			continue
 		}
-		cw.snap = &snap
-		fresh[w] = &snap
-		c.trimLogs(w, &snap)
+		cw.snap = rs
+		fresh[w] = rs
+		c.trimLogs(w, rs.tes)
+		c.stats.Workers++
+		c.stats.Chunks += len(rs.recs)
+		c.stats.RawBytes += rs.rawBytes
+		c.stats.StoredBytes += rs.storedBytes
 	}
-	if c.shard && len(fresh) > 0 {
-		c.trimEdges(fresh)
-	}
+	c.trimCovered(fresh)
 	return firstErr
 }
 
-// trimEdges broadcasts per-(edge, destination instance) trim points built
-// from this round's snapshots: a destination's dedup watermarks are now
-// durably covered by its restore point, so every sender may drop items at
-// or below them from its edge send log. Only instances snapshotted this
-// round are trimmed — a worker that missed the round keeps its older
-// restore point, and items it may still need stay logged at the senders.
-func (c *Coordinator) trimEdges(fresh map[int]*wire.Snapshot) {
-	if len(c.g.Edges) == 0 {
-		return
-	}
+// trimCovered broadcasts everything this checkpoint round proved durable:
+// per-(edge, destination instance) trim points for the cross-worker edge
+// send logs (sharded deployments), and per-TE local trim floors for the
+// worker-local replay buffers (localTrims). Only instances snapshotted
+// this round feed the edge trims — a worker that missed the round keeps
+// its older restore point, and items it may still need stay logged at the
+// senders.
+func (c *Coordinator) trimCovered(fresh map[int]*retainedSnap) {
 	var trims []wire.EdgeTrimEntry
-	for gi, e := range c.g.Edges {
-		dst := c.g.TEs[e.To].Name
-		for w, snap := range fresh {
-			sh := c.teShards[w][dst]
-			for _, t := range snap.TEs {
-				if t.TE != dst || len(t.Watermarks) == 0 {
-					continue
+	if c.shard && len(fresh) > 0 {
+		for gi, e := range c.g.Edges {
+			dst := c.g.TEs[e.To].Name
+			for w, rs := range fresh {
+				sh := c.teShards[w][dst]
+				for _, t := range rs.tes {
+					if t.TE != dst || len(t.Watermarks) == 0 {
+						continue
+					}
+					trims = append(trims, wire.EdgeTrimEntry{Edge: gi, Inst: sh.First + t.Index, Watermarks: t.Watermarks})
 				}
-				trims = append(trims, wire.EdgeTrimEntry{Edge: gi, Inst: sh.First + t.Index, Watermarks: t.Watermarks})
 			}
 		}
 	}
-	if len(trims) == 0 {
+	locals := c.localTrims()
+	if len(trims) == 0 && len(locals) == 0 {
 		return
 	}
-	frame, err := wire.Encode(wire.MsgEdgeTrim, wire.EdgeTrim{Trims: trims})
+	frame, err := wire.Encode(wire.MsgEdgeTrim, wire.EdgeTrim{Trims: trims, Locals: locals})
 	if err != nil {
 		return
 	}
@@ -592,9 +620,9 @@ func (c *Coordinator) trimEdges(fresh map[int]*wire.Snapshot) {
 // of the worker's instances of that task (an origin missing from any
 // instance's map cannot be trimmed — that instance may still need those
 // items replayed, mirroring the in-process trim rule).
-func (c *Coordinator) trimLogs(w int, snap *wire.Snapshot) {
+func (c *Coordinator) trimLogs(w int, tes []wire.TESnap) {
 	byTask := map[string][]wire.TESnap{}
-	for _, t := range snap.TEs {
+	for _, t := range tes {
 		byTask[t.TE] = append(byTask[t.TE], t)
 	}
 	for task, bufs := range c.logs {
@@ -678,12 +706,7 @@ func (c *Coordinator) RecoverWorker(w int, ep WorkerEndpoint) error {
 		return fail(fmt.Errorf("coordinator: redeploy worker %d: %w", w, err))
 	}
 	if cw.snap != nil {
-		frame, err := wire.Encode(wire.MsgRestore, wire.Restore{Snap: *cw.snap})
-		if err != nil {
-			return fail(err)
-		}
-		var ack wire.RestoreAck
-		if err := call(ep.Data, frame, wire.MsgRestoreAck, &ack); err != nil {
+		if err := c.pushSnapshot(w, cw, ep); err != nil {
 			return fail(fmt.Errorf("coordinator: restore worker %d: %w", w, err))
 		}
 	}

@@ -242,54 +242,15 @@ func (r *Runtime) pauseForID(nodeID int) *sync.RWMutex {
 // The topology must match the snapshot's — same graph, same partition
 // counts — which the coordinator guarantees by deploying before restoring.
 func (r *Runtime) ImportSnapshot(snap wire.Snapshot) error {
-	for _, s := range snap.SEs {
-		ss, err := r.se(s.SE)
-		if err != nil {
+	// One apply implementation for both transfer protocols: the monolithic
+	// v1 snapshot splits into the same parts the streaming path delivers.
+	r.beginRestoreStream()
+	for _, p := range wire.SplitSnapshot(&snap) {
+		if err := r.applySnapPart(p); err != nil {
 			return err
 		}
-		ss.mu.RLock()
-		if s.Index < 0 || s.Index >= len(ss.insts) {
-			n := len(ss.insts)
-			ss.mu.RUnlock()
-			return fmt.Errorf("runtime: snapshot SE %s/%d out of range (have %d instances)", s.SE, s.Index, n)
-		}
-		si := ss.insts[s.Index]
-		ss.mu.RUnlock()
-		if err := si.store.Restore(s.Chunks); err != nil {
-			return fmt.Errorf("runtime: restore %s: %w", si.instName(), err)
-		}
 	}
-	for _, t := range snap.TEs {
-		ts, err := r.te(t.TE)
-		if err != nil {
-			return err
-		}
-		insts := ts.instances()
-		if t.Index < 0 || t.Index >= len(insts) {
-			return fmt.Errorf("runtime: snapshot TE %s/%d out of range (have %d instances)", t.TE, t.Index, len(insts))
-		}
-		ti := insts[t.Index]
-		ti.dedup.Restore(t.Watermarks)
-		ti.seqCtr.Store(t.OutSeq)
-		for edgeIdx, data := range t.Buffered {
-			if edgeIdx >= len(ti.outBufs) {
-				break
-			}
-			items, err := wire.DecodeItems(data)
-			if err != nil {
-				return fmt.Errorf("runtime: restore %s/%d edge %d: %w", t.TE, t.Index, edgeIdx, err)
-			}
-			ti.outBufs[edgeIdx].AppendBatch(items)
-		}
-	}
-	if r.net != nil {
-		// Restore the edge logs and reseed the peer send queues from them,
-		// then lift the restore seal: peers may deliver again.
-		if err := r.net.restoreEdges(snap.Edges); err != nil {
-			return err
-		}
-		r.net.sealed.Store(false)
-	}
+	r.finishRestoreStream()
 	return nil
 }
 

@@ -462,28 +462,47 @@ func (n *remoteNet) edgeSnaps() ([]wire.EdgeLogSnap, error) {
 	return out, nil
 }
 
-// restoreEdges replaces the send logs with snapshot contents and reseeds
-// every peer queue from them: items that were logged but unsent when the
-// snapshot was cut will not be regenerated (the seq counters restore to
-// OutSeq), so they must re-enter the queues here. Restored seqs are all
-// <= OutSeq and post-restore emissions start above it, so per-origin order
-// holds; receivers dedup whatever they already processed.
-func (n *remoteNet) restoreEdges(snaps []wire.EdgeLogSnap) error {
+// edgeParts captures every non-empty send log as bounded PartEdge stream
+// parts — edgeSnaps' shape for the streaming snapshot protocol. Long logs
+// split into several parts of at most maxBytes each.
+func (n *remoteNet) edgeParts(dst *[]wire.SnapPart, maxBytes int) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.logs = make(map[edgeInstKey]*dataflow.OutputBuffer)
-	for _, es := range snaps {
-		items, err := wire.DecodeItems(es.Data)
-		if err != nil {
-			return fmt.Errorf("runtime: edge log %d/%d: %w", es.Edge, es.Inst, err)
-		}
-		n.logFor(es.Edge, es.Inst).AppendBatch(items)
+	keys := make([]edgeInstKey, 0, len(n.logs))
+	for k := range n.logs {
+		keys = append(keys, k)
 	}
-	for _, p := range n.peers {
-		n.rebuildPeerLocked(p)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].edge != keys[j].edge {
+			return keys[i].edge < keys[j].edge
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	for _, k := range keys {
+		items := n.logs[k].Replay()
+		for len(items) > 0 {
+			data, took, err := wire.EncodeItemsBounded(items, maxBytes)
+			if err != nil {
+				return err
+			}
+			*dst = append(*dst, wire.SnapPart{
+				Kind: wire.PartEdge,
+				Edge: k.edge,
+				Inst: k.inst,
+				Data: data,
+			})
+			items = items[took:]
+		}
 	}
 	return nil
 }
+
+// Edge-log restore now flows through the streaming part path: see
+// beginRestoreStream / applySnapPart(PartEdge) / finishRestoreStream in
+// snapstream.go. Items that were logged but unsent when the snapshot was
+// cut will not be regenerated (the seq counters restore to OutSeq), so the
+// peer-queue rebuild there re-enters them; receivers dedup whatever they
+// already processed.
 
 // deliverRemote routes one flushed batch over a cut edge: the local slice
 // of the destination keeps the in-process fast path, everything else is

@@ -1,0 +1,326 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/state"
+	"repro/internal/wire"
+)
+
+// This file is the worker half of the streaming snapshot transfer: cutting
+// a consistent snapshot whose state leaves the node chunk by chunk instead
+// of as one materialised wire.Snapshot, and applying a restore the same
+// way. The cut itself still pauses processing (exactly like SnapshotAll),
+// but only long enough to flip every SE store dirty and capture the small
+// TE/edge metadata — the state bytes then stream out of the frozen bases
+// while processing continues against the overlays, which is what removes
+// the frame cap as a ceiling on per-worker state.
+
+const (
+	// defaultSnapChunkBytes bounds one streamed part's payload when the
+	// coordinator does not say otherwise.
+	defaultSnapChunkBytes = 1 << 20
+	// maxSnapChunkBytes caps what a peer may request: well under the frame
+	// cap so envelope, part header and one oversized entry still fit.
+	maxSnapChunkBytes = cluster.MaxFrameSize / 4
+)
+
+// seStream is one SE instance's open streaming checkpoint.
+type seStream struct {
+	name  string
+	index int
+	cs    *checkpoint.ChunkStream
+}
+
+// snapCapture is an open snapshot stream over one runtime: the eagerly
+// captured TE metadata, replay-log and edge-log parts (small, cut-bound),
+// plus one lazy checkpoint stream per SE instance. Parts are served queue
+// first, then store by store; each store merges its dirty overlay back the
+// moment its stream drains, so no store stays dirty for the whole
+// transfer.
+type snapCapture struct {
+	r     *Runtime
+	queue []wire.SnapPart
+	ses   []*seStream
+	cur   int
+
+	maxBytes int
+	bytes    uint64
+	parts    uint64
+	closed   bool
+}
+
+// appendItemParts splits items into bounded EncodeItems blobs, one part
+// each.
+func appendItemParts(dst *[]wire.SnapPart, tmpl wire.SnapPart, items []core.Item, maxBytes int) error {
+	for len(items) > 0 {
+		data, took, err := wire.EncodeItemsBounded(items, maxBytes)
+		if err != nil {
+			return err
+		}
+		p := tmpl
+		p.Data = data
+		*dst = append(*dst, p)
+		items = items[took:]
+	}
+	return nil
+}
+
+// newSnapCapture cuts a consistent snapshot and returns the open stream.
+// The pause covers only the cut: flipping every SE store into dirty mode
+// and capturing TE watermarks, replay logs and cross-worker edge logs.
+func (r *Runtime) newSnapCapture(maxBytes int) (*snapCapture, error) {
+	if maxBytes <= 0 || maxBytes > maxSnapChunkBytes {
+		maxBytes = defaultSnapChunkBytes
+	}
+	c := &snapCapture{r: r, maxBytes: maxBytes}
+	unpause := r.pauseAll()
+	defer unpause()
+
+	fail := func(err error) (*snapCapture, error) {
+		for _, s := range c.ses {
+			_ = s.cs.Close()
+		}
+		return nil, err
+	}
+	for _, ss := range r.ses {
+		ss.mu.RLock()
+		insts := append([]*seInstance(nil), ss.insts...)
+		ss.mu.RUnlock()
+		for _, si := range insts {
+			cs, err := checkpoint.StreamAsync(si.store, maxBytes)
+			if err != nil {
+				return fail(fmt.Errorf("runtime: snapshot %s: %w", si.instName(), err))
+			}
+			c.ses = append(c.ses, &seStream{name: ss.def.Name, index: si.idx, cs: cs})
+		}
+	}
+	for _, ts := range r.tes {
+		for _, ti := range ts.instances() {
+			c.queue = append(c.queue, wire.SnapPart{
+				Kind:       wire.PartTE,
+				Name:       ts.def.Name,
+				Index:      ti.idx,
+				Watermarks: ti.dedup.Watermarks(),
+				OutSeq:     ti.seqCtr.Load(),
+			})
+			if len(ts.out) == 0 {
+				continue
+			}
+			for i, b := range ti.outBufs {
+				tmpl := wire.SnapPart{Kind: wire.PartTEBuf, Name: ts.def.Name, Index: ti.idx, Edge: i}
+				if err := appendItemParts(&c.queue, tmpl, b.Replay(), maxBytes); err != nil {
+					return fail(fmt.Errorf("runtime: snapshot %s/%d edge %d: %w", ts.def.Name, ti.idx, i, err))
+				}
+			}
+		}
+	}
+	if r.net != nil {
+		if err := r.net.edgeParts(&c.queue, maxBytes); err != nil {
+			return fail(err)
+		}
+	}
+	return c, nil
+}
+
+// next returns the stream's next part, ok=false at end of stream. The
+// metadata queue drains first, then each SE store in declaration order;
+// stores merge their overlay back (ChunkStream.Close) as they drain.
+func (c *snapCapture) next() (wire.SnapPart, bool, error) {
+	if c.closed {
+		return wire.SnapPart{}, false, fmt.Errorf("runtime: snapshot stream closed")
+	}
+	if len(c.queue) > 0 {
+		p := c.queue[0]
+		c.queue[0] = wire.SnapPart{}
+		c.queue = c.queue[1:]
+		c.parts++
+		c.bytes += uint64(len(p.Data))
+		return p, true, nil
+	}
+	for c.cur < len(c.ses) {
+		s := c.ses[c.cur]
+		ck, ok, err := s.cs.Next()
+		if err != nil {
+			return wire.SnapPart{}, false, fmt.Errorf("runtime: snapshot %s/%d: %w", s.name, s.index, err)
+		}
+		if !ok {
+			if err := s.cs.Close(); err != nil {
+				return wire.SnapPart{}, false, fmt.Errorf("runtime: snapshot %s/%d: %w", s.name, s.index, err)
+			}
+			c.cur++
+			continue
+		}
+		c.parts++
+		c.bytes += uint64(len(ck.Data))
+		return wire.SnapPart{
+			Kind:       wire.PartSE,
+			Name:       s.name,
+			Index:      s.index,
+			Store:      ck.Type,
+			ChunkIndex: ck.Index,
+			ChunkOf:    ck.Of,
+			Delta:      ck.Delta,
+			Data:       ck.Data,
+		}, true, nil
+	}
+	return wire.SnapPart{}, false, nil
+}
+
+// close releases the capture: every still-open store stream merges its
+// overlay back. Idempotent.
+func (c *snapCapture) close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for ; c.cur < len(c.ses); c.cur++ {
+		_ = c.ses[c.cur].cs.Close()
+	}
+	c.queue = nil
+}
+
+// beginRestoreStream prepares the runtime for a chunk-by-chunk restore:
+// the cross-worker edge logs reset so restored PartEdge chunks rebuild
+// them from scratch. The restore seal (AwaitRestore) stays up until
+// finishRestoreStream.
+func (r *Runtime) beginRestoreStream() {
+	if r.net == nil {
+		return
+	}
+	n := r.net
+	n.mu.Lock()
+	n.logs = make(map[edgeInstKey]*dataflow.OutputBuffer)
+	n.mu.Unlock()
+}
+
+// applySnapPart applies one restored part. Parts may arrive in any order;
+// replay-log and edge-log parts append, so the coordinator must deliver
+// each exactly once (the worker's seq protocol enforces that).
+func (r *Runtime) applySnapPart(p wire.SnapPart) error {
+	switch p.Kind {
+	case wire.PartSE:
+		ss, err := r.se(p.Name)
+		if err != nil {
+			return err
+		}
+		ss.mu.RLock()
+		if p.Index < 0 || p.Index >= len(ss.insts) {
+			n := len(ss.insts)
+			ss.mu.RUnlock()
+			return fmt.Errorf("runtime: snapshot SE %s/%d out of range (have %d instances)", p.Name, p.Index, n)
+		}
+		si := ss.insts[p.Index]
+		ss.mu.RUnlock()
+		ck := state.Chunk{Type: p.Store, Index: p.ChunkIndex, Of: p.ChunkOf, Delta: p.Delta, Data: p.Data}
+		if err := si.store.Restore([]state.Chunk{ck}); err != nil {
+			return fmt.Errorf("runtime: restore %s: %w", si.instName(), err)
+		}
+	case wire.PartTE:
+		ti, err := r.teInstanceAt(p.Name, p.Index)
+		if err != nil {
+			return err
+		}
+		ti.dedup.Restore(p.Watermarks)
+		ti.seqCtr.Store(p.OutSeq)
+	case wire.PartTEBuf:
+		ti, err := r.teInstanceAt(p.Name, p.Index)
+		if err != nil {
+			return err
+		}
+		if p.Edge < 0 || p.Edge >= len(ti.outBufs) {
+			return fmt.Errorf("runtime: restore %s/%d: edge %d out of range (have %d)", p.Name, p.Index, p.Edge, len(ti.outBufs))
+		}
+		items, err := wire.DecodeItems(p.Data)
+		if err != nil {
+			return fmt.Errorf("runtime: restore %s/%d edge %d: %w", p.Name, p.Index, p.Edge, err)
+		}
+		ti.outBufs[p.Edge].AppendBatch(items)
+	case wire.PartEdge:
+		if r.net == nil {
+			return fmt.Errorf("runtime: not a sharded deployment")
+		}
+		items, err := wire.DecodeItems(p.Data)
+		if err != nil {
+			return fmt.Errorf("runtime: edge log %d/%d: %w", p.Edge, p.Inst, err)
+		}
+		n := r.net
+		n.mu.Lock()
+		n.logFor(p.Edge, p.Inst).AppendBatch(items)
+		n.mu.Unlock()
+	default:
+		return fmt.Errorf("runtime: unknown snapshot part kind %d", p.Kind)
+	}
+	return nil
+}
+
+// finishRestoreStream completes a chunk-by-chunk restore: peer send queues
+// rebuild from the restored edge logs and the restore seal lifts.
+func (r *Runtime) finishRestoreStream() {
+	if r.net == nil {
+		return
+	}
+	n := r.net
+	n.mu.Lock()
+	for _, p := range n.peers {
+		n.rebuildPeerLocked(p)
+	}
+	n.mu.Unlock()
+	n.sealed.Store(false)
+}
+
+// teInstanceAt resolves one TE instance by worker-local index with the
+// monolithic restore path's bounds error.
+func (r *Runtime) teInstanceAt(name string, index int) (*teInstance, error) {
+	ts, err := r.te(name)
+	if err != nil {
+		return nil, err
+	}
+	insts := ts.instances()
+	if index < 0 || index >= len(insts) {
+		return nil, fmt.Errorf("runtime: snapshot TE %s/%d out of range (have %d instances)", name, index, len(insts))
+	}
+	return insts[index], nil
+}
+
+// TrimLocalBufs applies coordinator-distributed local trim floors: once a
+// coordinator checkpoint proves every instance of a TE has snapshotted
+// past a seq, the worker-local replay buffers feeding that TE (the
+// injection source buffer and every upstream instance's output buffer for
+// the in-edges) drop their covered entries. Without this, worker-local
+// outBufs grow for the life of the process — the coordinator's replay logs
+// are the recovery truth in distributed mode, not these buffers.
+func (r *Runtime) TrimLocalBufs(trims []wire.LocalTrim) {
+	for _, lt := range trims {
+		if len(lt.Watermarks) == 0 {
+			continue
+		}
+		ts, err := r.te(lt.TE)
+		if err != nil {
+			continue
+		}
+		r.trimEdgesInto(ts, lt.Watermarks)
+	}
+}
+
+// OutBufItems reports the items currently buffered across every TE
+// instance's per-edge output buffers plus every entry source buffer —
+// observability for the between-checkpoint trim.
+func (r *Runtime) OutBufItems() int {
+	total := 0
+	for _, ts := range r.tes {
+		if ts.srcBuf != nil {
+			total += ts.srcBuf.Len()
+		}
+		for _, ti := range ts.instances() {
+			for _, b := range ti.outBufs {
+				total += b.Len()
+			}
+		}
+	}
+	return total
+}

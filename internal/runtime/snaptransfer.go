@@ -1,0 +1,418 @@
+package runtime
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// This file is the coordinator half of the streaming snapshot transfer:
+// pulling a worker's snapshot part by part (Checkpoint) and pushing it
+// back the same way (RecoverWorker). The coordinator never materialises a
+// wire.Snapshot on this path — it retains the stream as independently
+// compressed part records plus the small TE metadata the log trims need,
+// so its peak memory per worker is the retained records plus one in-flight
+// frame, not the worker's whole state. Workers that predate the streaming
+// protocol reject SnapBegin/RestoreBegin as an unknown or wrong-version
+// message; the coordinator detects that, falls back to the monolithic v1
+// MsgSnapshotReq/MsgRestore exchange, and remembers the downgrade per
+// worker so every later round skips the probe.
+
+const (
+	// snapPullRetries bounds transport-level retries per chunk request. The
+	// worker re-serves (pull) or re-acks (push) a repeated seq without
+	// advancing, so a retry after a lost reply is safe.
+	snapPullRetries = 3
+	// snapCompressMin is the smallest part payload worth offering to flate;
+	// below it the header tax dominates.
+	snapCompressMin = 512
+)
+
+// retainedSnap is one worker's recovery point: the pulled part stream (one
+// compressed record per part, in stream order) plus the TE watermark
+// metadata the replay-log and edge trims read. Guarded by the
+// coordinator's injMu, like the *wire.Snapshot it replaces.
+type retainedSnap struct {
+	recs [][]byte      // encodeSnapRecord output, one per part
+	tes  []wire.TESnap // metadata only (Watermarks/OutSeq; no Buffered)
+
+	rawBytes    int64 // sum of encoded part sizes before compression
+	storedBytes int64 // sum of retained record sizes
+	v1          bool  // pulled via the monolithic fallback
+}
+
+// SnapStats describes the coordinator's side of the last checkpoint round.
+// Workers/Chunks/RawBytes/StoredBytes reset every Checkpoint;
+// PeakFrameBytes and V1Fallbacks accumulate for the coordinator's life.
+type SnapStats struct {
+	// Workers and Chunks count the last round's successful pulls.
+	Workers int
+	Chunks  int
+	// RawBytes is the last round's total encoded part bytes; StoredBytes is
+	// what the coordinator actually retains after per-record compression.
+	RawBytes    int64
+	StoredBytes int64
+	// PeakFrameBytes is the largest single snapshot-path frame observed in
+	// either direction — the coordinator's in-flight buffering bound.
+	PeakFrameBytes int64
+	// V1Fallbacks counts downgrades to the monolithic protocol.
+	V1Fallbacks int
+}
+
+// SnapshotStats reports the streaming-transfer counters.
+func (c *Coordinator) SnapshotStats() SnapStats {
+	c.injMu.Lock()
+	defer c.injMu.Unlock()
+	return c.stats
+}
+
+// encodeSnapRecord stores one part as [flag][payload]: flag 0 is the raw
+// flat encoding, flag 1 is its flate (BestSpeed) compression, chosen per
+// record when it actually shrinks. Records are self-contained so recovery
+// decodes them one at a time.
+func encodeSnapRecord(p *wire.SnapPart) (rec []byte, rawLen int) {
+	raw := wire.EncodeSnapPart(p)
+	if len(raw) >= snapCompressMin {
+		var buf bytes.Buffer
+		buf.Grow(len(raw) / 2)
+		buf.WriteByte(1)
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err == nil {
+			if _, err := fw.Write(raw); err == nil && fw.Close() == nil && buf.Len() < len(raw)+1 {
+				return buf.Bytes(), len(raw)
+			}
+		}
+	}
+	rec = make([]byte, len(raw)+1)
+	copy(rec[1:], raw)
+	return rec, len(raw)
+}
+
+// decodeSnapRecord reverses encodeSnapRecord.
+func decodeSnapRecord(rec []byte) (wire.SnapPart, error) {
+	if len(rec) == 0 {
+		return wire.SnapPart{}, fmt.Errorf("coordinator: empty snapshot record")
+	}
+	switch rec[0] {
+	case 0:
+		return wire.DecodeSnapPart(rec[1:])
+	case 1:
+		fr := flate.NewReader(bytes.NewReader(rec[1:]))
+		raw, err := io.ReadAll(fr)
+		fr.Close()
+		if err != nil {
+			return wire.SnapPart{}, fmt.Errorf("coordinator: snapshot record: %w", err)
+		}
+		return wire.DecodeSnapPart(raw)
+	default:
+		return wire.SnapPart{}, fmt.Errorf("coordinator: snapshot record flag %d", rec[0])
+	}
+}
+
+// isVersionReject reports whether a worker's application-level error means
+// "I do not speak this message" rather than "the request failed": the wire
+// package's unknown-type and version-mismatch errors, surfaced through the
+// transport as a RemoteError string. This is the negotiation shim that
+// keeps old workers on the monolithic protocol.
+func isVersionReject(err error) bool {
+	if !errors.Is(err, cluster.ErrRemote) {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "unknown message type") ||
+		strings.Contains(s, "protocol version mismatch")
+}
+
+// callRetry is call with bounded retries on transport errors. Application
+// errors (the worker answered and said no) return immediately: retrying
+// them re-asks a question that was already answered.
+func callRetry(tr cluster.Transport, frame []byte, want byte, out any) error {
+	var err error
+	for attempt := 0; attempt < snapPullRetries; attempt++ {
+		var resp []byte
+		resp, err = tr.Call(frame)
+		if err == nil {
+			return wire.Expect(resp, want, out)
+		}
+		if errors.Is(err, cluster.ErrRemote) {
+			return err
+		}
+	}
+	return err
+}
+
+// notePeak folds one observed frame length into the buffering bound.
+func (c *Coordinator) notePeak(n int) {
+	if int64(n) > c.stats.PeakFrameBytes {
+		c.stats.PeakFrameBytes = int64(n)
+	}
+}
+
+// pullSnapshot pulls one worker's snapshot over the streaming protocol
+// (or the monolithic fallback once the worker proved it cannot stream).
+// Called under injMu.
+func (c *Coordinator) pullSnapshot(w int, cw *coordWorker) (*retainedSnap, error) {
+	if cw.v1 {
+		return c.pullSnapshotV1(cw)
+	}
+	c.snapStreams++
+	stream := c.snapStreams
+	tr := cw.endpoint().Control
+	frame, err := wire.Encode(wire.MsgSnapBegin, wire.SnapBegin{
+		Stream:   stream,
+		Chunks:   c.opts.SnapshotChunks,
+		MaxBytes: c.opts.SnapChunkBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bAck wire.SnapBeginAck
+	if err := call(tr, frame, wire.MsgSnapBeginAck, &bAck); err != nil {
+		if isVersionReject(err) {
+			cw.v1 = true
+			c.stats.V1Fallbacks++
+			return c.pullSnapshotV1(cw)
+		}
+		return nil, err
+	}
+	if bAck.Stream != stream {
+		return nil, fmt.Errorf("coordinator: snapshot stream %d: worker opened %d", stream, bAck.Stream)
+	}
+	rs := &retainedSnap{}
+	for seq := uint64(1); ; seq++ {
+		next, err := wire.Encode(wire.MsgSnapNext, wire.SnapNext{Stream: stream, Seq: seq})
+		if err != nil {
+			return nil, err
+		}
+		var resp []byte
+		for attempt := 0; attempt < snapPullRetries; attempt++ {
+			resp, err = tr.Call(next)
+			if err == nil || errors.Is(err, cluster.ErrRemote) {
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.notePeak(len(resp))
+		t, payload, err := wire.Decode(resp)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.MsgSnapChunk:
+			var ck wire.SnapChunk
+			if err := wire.Unmarshal(payload, &ck); err != nil {
+				return nil, err
+			}
+			if ck.Stream != stream || ck.Seq != seq {
+				return nil, fmt.Errorf("coordinator: snapshot stream %d: got chunk %d/%d, want %d/%d",
+					stream, ck.Stream, ck.Seq, stream, seq)
+			}
+			if ck.Part.Kind == wire.PartTE {
+				rs.tes = append(rs.tes, wire.TESnap{
+					TE:         ck.Part.Name,
+					Index:      ck.Part.Index,
+					Watermarks: ck.Part.Watermarks,
+					OutSeq:     ck.Part.OutSeq,
+				})
+			}
+			rec, raw := encodeSnapRecord(&ck.Part)
+			rs.recs = append(rs.recs, rec)
+			rs.rawBytes += int64(raw)
+			rs.storedBytes += int64(len(rec))
+		case wire.MsgSnapEnd:
+			var end wire.SnapEnd
+			if err := wire.Unmarshal(payload, &end); err != nil {
+				return nil, err
+			}
+			if end.Stream != stream {
+				return nil, fmt.Errorf("coordinator: snapshot stream %d: end for stream %d", stream, end.Stream)
+			}
+			if end.Chunks != uint64(len(rs.recs)) {
+				return nil, fmt.Errorf("coordinator: snapshot stream %d truncated: pulled %d chunk(s), worker served %d",
+					stream, len(rs.recs), end.Chunks)
+			}
+			return rs, nil
+		default:
+			return nil, fmt.Errorf("%w: got %s in snapshot stream", wire.ErrUnexpectedType, wire.MsgName(t))
+		}
+	}
+}
+
+// pullSnapshotV1 pulls the whole snapshot as one monolithic gob frame (the
+// pre-streaming protocol) and retains it in the same part-record form, so
+// recovery has a single shape regardless of how the snapshot arrived.
+func (c *Coordinator) pullSnapshotV1(cw *coordWorker) (*retainedSnap, error) {
+	frame, err := wire.Encode(wire.MsgSnapshotReq, wire.SnapshotReq{Chunks: c.opts.SnapshotChunks})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cw.endpoint().Control.Call(frame)
+	if err != nil {
+		return nil, err
+	}
+	c.notePeak(len(resp))
+	var snap wire.Snapshot
+	if err := wire.Expect(resp, wire.MsgSnapshot, &snap); err != nil {
+		return nil, err
+	}
+	rs := &retainedSnap{v1: true}
+	for _, p := range wire.SplitSnapshot(&snap) {
+		if p.Kind == wire.PartTE {
+			rs.tes = append(rs.tes, wire.TESnap{
+				TE:         p.Name,
+				Index:      p.Index,
+				Watermarks: p.Watermarks,
+				OutSeq:     p.OutSeq,
+			})
+		}
+		rec, raw := encodeSnapRecord(&p)
+		rs.recs = append(rs.recs, rec)
+		rs.rawBytes += int64(raw)
+		rs.storedBytes += int64(len(rec))
+	}
+	return rs, nil
+}
+
+// pushSnapshot restores a retained snapshot into a freshly deployed worker,
+// part by part. Called under injMu, before replay. A worker that rejects
+// RestoreBegin as unknown downgrades to the monolithic push, mirroring the
+// pull side.
+func (c *Coordinator) pushSnapshot(w int, cw *coordWorker, ep WorkerEndpoint) error {
+	rs := cw.snap
+	if cw.v1 || rs.v1 {
+		return c.pushSnapshotV1(w, rs, ep)
+	}
+	c.snapStreams++
+	stream := c.snapStreams
+	frame, err := wire.Encode(wire.MsgRestoreBegin, wire.RestoreBegin{Stream: stream})
+	if err != nil {
+		return err
+	}
+	var bAck wire.RestoreBeginAck
+	if err := call(ep.Data, frame, wire.MsgRestoreBeginAck, &bAck); err != nil {
+		if isVersionReject(err) {
+			cw.v1 = true
+			c.stats.V1Fallbacks++
+			return c.pushSnapshotV1(w, rs, ep)
+		}
+		return err
+	}
+	for i, rec := range rs.recs {
+		part, err := decodeSnapRecord(rec)
+		if err != nil {
+			return err
+		}
+		seq := uint64(i + 1)
+		frame, err := wire.Encode(wire.MsgRestoreChunk, wire.RestoreChunk{Stream: stream, Seq: seq, Part: part})
+		if err != nil {
+			return err
+		}
+		c.notePeak(len(frame))
+		var ack wire.RestoreChunkAck
+		if err := callRetry(ep.Data, frame, wire.MsgRestoreChunkAck, &ack); err != nil {
+			return err
+		}
+		if ack.Stream != stream || ack.Seq != seq {
+			return fmt.Errorf("coordinator: restore stream %d: acked %d/%d, want %d/%d",
+				stream, ack.Stream, ack.Seq, stream, seq)
+		}
+	}
+	end, err := wire.Encode(wire.MsgRestoreEnd, wire.RestoreEnd{Stream: stream, Chunks: uint64(len(rs.recs))})
+	if err != nil {
+		return err
+	}
+	var eAck wire.RestoreEndAck
+	if err := callRetry(ep.Data, end, wire.MsgRestoreEndAck, &eAck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pushSnapshotV1 reassembles the retained parts into one monolithic
+// wire.Snapshot and pushes it over the pre-streaming MsgRestore exchange.
+func (c *Coordinator) pushSnapshotV1(w int, rs *retainedSnap, ep WorkerEndpoint) error {
+	parts := make([]wire.SnapPart, 0, len(rs.recs))
+	for _, rec := range rs.recs {
+		p, err := decodeSnapRecord(rec)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, p)
+	}
+	snap, err := wire.AssembleSnapshot(parts)
+	if err != nil {
+		return fmt.Errorf("coordinator: reassemble snapshot for worker %d: %w", w, err)
+	}
+	frame, err := wire.Encode(wire.MsgRestore, wire.Restore{Snap: snap})
+	if err != nil {
+		return err
+	}
+	c.notePeak(len(frame))
+	var ack wire.RestoreAck
+	return call(ep.Data, frame, wire.MsgRestoreAck, &ack)
+}
+
+// localTrims builds the per-TE watermark floors that let workers trim
+// their local replay buffers (entry source buffers and in-process out-edge
+// buffers) between coordinator checkpoints. A TE's floor is the per-origin
+// minimum across every instance's retained watermarks — and it only exists
+// when every worker holds a current retained snapshot, because a worker
+// without one would need those buffered items again after a failure.
+// Called under injMu.
+func (c *Coordinator) localTrims() []wire.LocalTrim {
+	for _, cw := range c.workers {
+		if cw.snap == nil {
+			return nil
+		}
+	}
+	byTask := map[string][]wire.TESnap{}
+	for _, cw := range c.workers {
+		for _, t := range cw.snap.tes {
+			byTask[t.TE] = append(byTask[t.TE], t)
+		}
+	}
+	var out []wire.LocalTrim
+	for _, te := range c.g.TEs {
+		snaps := byTask[te.Name]
+		if len(snaps) == 0 {
+			continue
+		}
+		// Every instance of the task must be covered, or an uncovered
+		// instance could still need the buffered items. A single-worker
+		// deployment always covers all instances once its snapshot exists;
+		// a sharded one must see the full global instance set.
+		if c.shard && len(snaps) != c.teShards[0][te.Name].Total {
+			continue
+		}
+		var min map[uint64]uint64
+		for i, t := range snaps {
+			if i == 0 {
+				min = make(map[uint64]uint64, len(t.Watermarks))
+				for o, s := range t.Watermarks {
+					min[o] = s
+				}
+				continue
+			}
+			for o := range min {
+				s, ok := t.Watermarks[o]
+				if !ok {
+					delete(min, o)
+				} else if s < min[o] {
+					min[o] = s
+				}
+			}
+		}
+		if len(min) > 0 {
+			out = append(out, wire.LocalTrim{TE: te.Name, Watermarks: min})
+		}
+	}
+	return out
+}

@@ -23,8 +23,38 @@ type Worker struct {
 	graph  string
 	dialer func(addr string) (cluster.Transport, error)
 
+	// snapMu serialises the streaming snapshot/restore protocol state.
+	// Handlers hold it across capture and apply calls, which acquire the
+	// runtime's pause and state locks underneath.
+	//
+	//sdg:lockorder snapstream 35
+	snapMu  sync.Mutex
+	serving *snapServe
+	restore *restoreApply
+	// restoreDone remembers the last completed restore stream so a
+	// RestoreEnd retried after a lost ack is acked again instead of
+	// failing the recovery.
+	restoreDone uint64
+
 	stopOnce sync.Once
 	done     chan struct{}
+}
+
+// snapServe is one open snapshot pull stream. last caches the most recent
+// reply frame so a retried SnapNext re-serves identical bytes.
+type snapServe struct {
+	id      uint64
+	sc      *snapCapture
+	lastSeq uint64
+	last    []byte
+	done    bool
+}
+
+// restoreApply is one open restore push stream; next is the seq the
+// worker expects.
+type restoreApply struct {
+	id   uint64
+	next uint64
 }
 
 // NewWorker returns an idle worker awaiting a Deploy message.
@@ -52,6 +82,17 @@ func (w *Worker) PendingEdgeItems() int {
 	return rt.EdgeLogItems()
 }
 
+// OutBufItems reports items buffered in the runtime's local replay buffers
+// (entry source buffers plus in-process out-edge buffers) — observability
+// for the coordinator-driven local trim.
+func (w *Worker) OutBufItems() int {
+	rt, err := w.runtime()
+	if err != nil {
+		return 0
+	}
+	return rt.OutBufItems()
+}
+
 // Handler returns the wire-protocol dispatcher, ready to serve as a
 // cluster.Server handler. Returned errors become error replies on the
 // connection (they never kill it), so the coordinator sees rejections as
@@ -64,6 +105,7 @@ func (w *Worker) Done() <-chan struct{} { return w.done }
 
 // Close stops the hosted runtime (idempotent); transports are the caller's.
 func (w *Worker) Close() {
+	w.closeSnapStreams()
 	w.mu.Lock()
 	rt := w.rt
 	w.mu.Unlock()
@@ -71,6 +113,20 @@ func (w *Worker) Close() {
 		rt.Stop()
 	}
 	w.stopOnce.Do(func() { close(w.done) })
+}
+
+// closeSnapStreams abandons any open snapshot/restore stream — on shutdown
+// and on re-deploy, where the stream's runtime is going away. An abandoned
+// capture merges its dirty overlays back; an abandoned restore stays
+// sealed until the coordinator starts over.
+func (w *Worker) closeSnapStreams() {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	if w.serving != nil {
+		w.serving.sc.close()
+		w.serving = nil
+	}
+	w.restore = nil
 }
 
 // runtime returns the deployed runtime or an error before deployment.
@@ -250,13 +306,184 @@ func (w *Worker) handle(req []byte) ([]byte, error) {
 			return nil, err
 		}
 		rt.TrimEdgeLogs(m.Trims)
+		rt.TrimLocalBufs(m.Locals)
 		return wire.Encode(wire.MsgEdgeTrimAck, wire.EdgeTrimAck{})
+	case wire.MsgSnapBegin:
+		var m wire.SnapBegin
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.snapBegin(m)
+	case wire.MsgSnapNext:
+		var m wire.SnapNext
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.snapNext(m)
+	case wire.MsgRestoreBegin:
+		var m wire.RestoreBegin
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.restoreBegin(m)
+	case wire.MsgRestoreChunk:
+		var m wire.RestoreChunk
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.restoreChunk(m)
+	case wire.MsgRestoreEnd:
+		var m wire.RestoreEnd
+		if err := wire.Unmarshal(payload, &m); err != nil {
+			return nil, err
+		}
+		return w.restoreEnd(m)
 	case wire.MsgStop:
 		w.Close()
 		return wire.Encode(wire.MsgStopAck, wire.StopAck{})
 	default:
 		return nil, fmt.Errorf("worker: unhandled message %s", wire.MsgName(msgType))
 	}
+}
+
+// snapBegin opens a snapshot pull stream: cut now, stream later. A new
+// stream supersedes any previous one — the coordinator abandoned it (its
+// retries moved on), so its capture is released here.
+func (w *Worker) snapBegin(m wire.SnapBegin) ([]byte, error) {
+	rt, err := w.runtime()
+	if err != nil {
+		return nil, err
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	if w.serving != nil {
+		w.serving.sc.close()
+		w.serving = nil
+	}
+	sc, err := rt.newSnapCapture(m.MaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	w.serving = &snapServe{id: m.Stream, sc: sc}
+	return wire.Encode(wire.MsgSnapBeginAck, wire.SnapBeginAck{Stream: m.Stream})
+}
+
+// snapNext serves chunk Seq of the open stream. The dense seq makes retry
+// exact: repeating the last seq re-serves the cached frame, anything else
+// out of order is a protocol violation and kills the stream.
+func (w *Worker) snapNext(m wire.SnapNext) ([]byte, error) {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	s := w.serving
+	if s == nil || s.id != m.Stream {
+		return nil, fmt.Errorf("worker: unknown snapshot stream %d", m.Stream)
+	}
+	if m.Seq == s.lastSeq && s.last != nil {
+		return s.last, nil
+	}
+	if m.Seq != s.lastSeq+1 || s.done {
+		s.sc.close()
+		w.serving = nil
+		return nil, fmt.Errorf("worker: snapshot stream %d: seq %d out of order", m.Stream, m.Seq)
+	}
+	p, ok, err := s.sc.next()
+	if err != nil {
+		s.sc.close()
+		w.serving = nil
+		return nil, err
+	}
+	var frame []byte
+	if ok {
+		frame, err = wire.Encode(wire.MsgSnapChunk, wire.SnapChunk{Stream: s.id, Seq: m.Seq, Part: p})
+	} else {
+		s.sc.close()
+		s.done = true
+		frame, err = wire.Encode(wire.MsgSnapEnd, wire.SnapEnd{Stream: s.id, Chunks: s.sc.parts, Bytes: s.sc.bytes})
+	}
+	if err != nil {
+		s.sc.close()
+		w.serving = nil
+		return nil, err
+	}
+	s.lastSeq = m.Seq
+	s.last = frame
+	return frame, nil
+}
+
+// restoreBegin opens a restore push stream on the (freshly deployed,
+// sealed) runtime. A new stream supersedes a half-finished one: the
+// coordinator redeploys before retrying a failed restore, so partial state
+// never leaks across attempts.
+func (w *Worker) restoreBegin(m wire.RestoreBegin) ([]byte, error) {
+	rt, err := w.runtime()
+	if err != nil {
+		return nil, err
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	w.restore = &restoreApply{id: m.Stream, next: 1}
+	rt.beginRestoreStream()
+	return wire.Encode(wire.MsgRestoreBeginAck, wire.RestoreBeginAck{Stream: m.Stream})
+}
+
+// restoreChunk applies part Seq. A re-send of the most recently applied
+// seq (lost ack) is acked without re-applying — replay-log appends are not
+// idempotent — and any other gap aborts the stream.
+func (w *Worker) restoreChunk(m wire.RestoreChunk) ([]byte, error) {
+	rt, err := w.runtime()
+	if err != nil {
+		return nil, err
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	ra := w.restore
+	if ra == nil || ra.id != m.Stream {
+		return nil, fmt.Errorf("worker: unknown restore stream %d", m.Stream)
+	}
+	if m.Seq == ra.next-1 {
+		return wire.Encode(wire.MsgRestoreChunkAck, wire.RestoreChunkAck{Stream: m.Stream, Seq: m.Seq})
+	}
+	if m.Seq != ra.next {
+		w.restore = nil
+		return nil, fmt.Errorf("worker: restore stream %d: seq %d out of order (want %d)", m.Stream, m.Seq, ra.next)
+	}
+	if err := rt.applySnapPart(m.Part); err != nil {
+		w.restore = nil
+		return nil, err
+	}
+	ra.next++
+	return wire.Encode(wire.MsgRestoreChunkAck, wire.RestoreChunkAck{Stream: m.Stream, Seq: m.Seq})
+}
+
+// restoreEnd completes the stream after verifying nothing was lost, then
+// lifts the restore seal.
+func (w *Worker) restoreEnd(m wire.RestoreEnd) ([]byte, error) {
+	rt, err := w.runtime()
+	if err != nil {
+		return nil, err
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	ra := w.restore
+	if ra == nil {
+		if m.Stream != 0 && m.Stream == w.restoreDone {
+			// The completing ack was lost and the coordinator retried.
+			return wire.Encode(wire.MsgRestoreEndAck, wire.RestoreEndAck{Stream: m.Stream})
+		}
+		return nil, fmt.Errorf("worker: unknown restore stream %d", m.Stream)
+	}
+	if ra.id != m.Stream {
+		return nil, fmt.Errorf("worker: unknown restore stream %d", m.Stream)
+	}
+	applied := ra.next - 1
+	if m.Chunks != applied {
+		w.restore = nil
+		return nil, fmt.Errorf("worker: restore stream %d truncated: applied %d chunk(s), coordinator sent %d", m.Stream, applied, m.Chunks)
+	}
+	w.restore = nil
+	w.restoreDone = m.Stream
+	rt.finishRestoreStream()
+	return wire.Encode(wire.MsgRestoreEndAck, wire.RestoreEndAck{Stream: m.Stream})
 }
 
 // deploy builds the named graph from the registry and starts the local
@@ -294,6 +521,9 @@ func (w *Worker) deploy(m wire.Deploy) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Any open snapshot/restore stream belongs to the runtime being
+	// replaced; abandon it before the swap.
+	w.closeSnapStreams()
 	w.mu.Lock()
 	old := w.rt
 	w.rt = rt

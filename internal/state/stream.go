@@ -1,0 +1,183 @@
+package state
+
+// Streaming checkpoints: instead of materialising every chunk up front
+// (Checkpoint's [][]byte shape, whose peak memory is the whole store
+// re-encoded), a store that implements StreamCheckpointer hands out an
+// iterator that encodes one bounded chunk at a time from the frozen base.
+// The contract matches Checkpoint's: the base must be frozen — dirty mode
+// active or the store quiescent — from the first Next until the caller is
+// done, and the emitted chunks restore correctly through the ordinary
+// Restore path (dictionary Restore merges chunks and ignores Index/Of, so
+// a sequential stream uses Index = emission order, Of = 0).
+
+// ChunkIter yields checkpoint chunks one at a time. Next returns the next
+// chunk and ok=true, or ok=false when the stream is exhausted (err != nil
+// reports a mid-stream failure; the iterator is then dead).
+type ChunkIter interface {
+	Next() (c Chunk, ok bool, err error)
+}
+
+// StreamCheckpointer is implemented by stores that can emit their
+// checkpoint as a bounded-chunk stream. maxBytes bounds each chunk's
+// encoded payload (best effort: one oversized entry still becomes one
+// chunk).
+type StreamCheckpointer interface {
+	CheckpointStream(maxBytes int) (ChunkIter, error)
+}
+
+// sliceIter adapts a materialised chunk slice to ChunkIter — the fallback
+// for stores without a native stream implementation.
+type sliceIter struct {
+	chunks []Chunk
+}
+
+func (s *sliceIter) Next() (Chunk, bool, error) {
+	if len(s.chunks) == 0 {
+		return Chunk{}, false, nil
+	}
+	c := s.chunks[0]
+	s.chunks = s.chunks[1:]
+	return c, true, nil
+}
+
+// StreamChunks returns a chunk iterator for any store: natively streamed
+// when the store supports it, otherwise a materialised Checkpoint split
+// into enough partitions that each is likely under maxBytes. Matrix and
+// vector stores are small dense blocks in this codebase, so the fallback's
+// materialisation is acceptable there.
+func StreamChunks(st Store, maxBytes int) (ChunkIter, error) {
+	if maxBytes < 1 {
+		return nil, ErrBadSplit
+	}
+	if sc, ok := st.(StreamCheckpointer); ok {
+		return sc.CheckpointStream(maxBytes)
+	}
+	n := int(st.SizeBytes()/int64(maxBytes)) + 1
+	chunks, err := st.Checkpoint(n)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceIter{chunks: chunks}, nil
+}
+
+// kvStreamIter streams one KVMap's base as bounded chunks. Keys are
+// captured eagerly under the read lock (8 bytes per key — the cheap part);
+// values are re-read and encoded lazily per chunk, so peak extra memory is
+// one chunk, not the whole store.
+type kvStreamIter struct {
+	m        *KVMap
+	keys     []uint64
+	pos      int
+	maxBytes int
+	emitted  int
+}
+
+// CheckpointStream implements StreamCheckpointer. The caller must hold the
+// base frozen (dirty mode or quiescence) until the iterator is drained.
+func (m *KVMap) CheckpointStream(maxBytes int) (ChunkIter, error) {
+	if maxBytes < 1 {
+		return nil, ErrBadSplit
+	}
+	m.mu.RLock()
+	keys := make([]uint64, 0, len(m.base))
+	for k := range m.base {
+		keys = append(keys, k)
+	}
+	m.mu.RUnlock()
+	return &kvStreamIter{m: m, keys: keys, maxBytes: maxBytes}, nil
+}
+
+func (it *kvStreamIter) Next() (Chunk, bool, error) {
+	if it.pos >= len(it.keys) {
+		return Chunk{}, false, nil
+	}
+	body := newEncoder(it.maxBytes + 64)
+	var count uint64
+	it.m.mu.RLock()
+	for it.pos < len(it.keys) && len(body.buf) < it.maxBytes {
+		k := it.keys[it.pos]
+		it.pos++
+		v, ok := it.m.base[k]
+		if !ok {
+			// The freeze contract makes this unreachable; skip defensively
+			// rather than emit a stale entry.
+			continue
+		}
+		body.uvarint(k)
+		body.bytes(v)
+		count++
+	}
+	it.m.mu.RUnlock()
+	if count == 0 {
+		return Chunk{}, false, nil
+	}
+	head := newEncoder(len(body.buf) + 10)
+	head.uvarint(count)
+	head.buf = append(head.buf, body.buf...)
+	c := Chunk{Type: TypeKVMap, Index: it.emitted, Of: 0, Data: head.buf}
+	it.emitted++
+	return c, true, nil
+}
+
+// shardedStreamIter streams a ShardedKVMap shard by shard. Key capture is
+// lazy per shard, so even the capture overhead stays at one shard's keys.
+type shardedStreamIter struct {
+	m        *ShardedKVMap
+	shard    int
+	keys     []uint64
+	pos      int
+	maxBytes int
+	emitted  int
+}
+
+// CheckpointStream implements StreamCheckpointer; same freeze contract as
+// KVMap's.
+func (m *ShardedKVMap) CheckpointStream(maxBytes int) (ChunkIter, error) {
+	if maxBytes < 1 {
+		return nil, ErrBadSplit
+	}
+	return &shardedStreamIter{m: m, maxBytes: maxBytes}, nil
+}
+
+func (it *shardedStreamIter) Next() (Chunk, bool, error) {
+	body := newEncoder(it.maxBytes + 64)
+	var count uint64
+	for len(body.buf) < it.maxBytes && it.shard < len(it.m.shards) {
+		s := it.m.shards[it.shard]
+		if it.keys == nil {
+			s.mu.RLock()
+			it.keys = make([]uint64, 0, len(s.base))
+			for k := range s.base {
+				it.keys = append(it.keys, k)
+			}
+			s.mu.RUnlock()
+			it.pos = 0
+		}
+		s.mu.RLock()
+		for it.pos < len(it.keys) && len(body.buf) < it.maxBytes {
+			k := it.keys[it.pos]
+			it.pos++
+			v, ok := s.base[k]
+			if !ok {
+				continue
+			}
+			body.uvarint(k)
+			body.bytes(v)
+			count++
+		}
+		s.mu.RUnlock()
+		if it.pos >= len(it.keys) {
+			it.shard++
+			it.keys = nil
+		}
+	}
+	if count == 0 {
+		return Chunk{}, false, nil
+	}
+	head := newEncoder(len(body.buf) + 10)
+	head.uvarint(count)
+	head.buf = append(head.buf, body.buf...)
+	c := Chunk{Type: TypeKVMap, Index: it.emitted, Of: 0, Data: head.buf}
+	it.emitted++
+	return c, true, nil
+}

@@ -1,0 +1,170 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// drainStream pulls every chunk out of a store's streaming checkpoint.
+func drainStream(t *testing.T, st Store, maxBytes int) []Chunk {
+	t.Helper()
+	iter, err := StreamChunks(st, maxBytes)
+	if err != nil {
+		t.Fatalf("StreamChunks: %v", err)
+	}
+	var chunks []Chunk
+	for {
+		ck, ok, err := iter.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return chunks
+		}
+		chunks = append(chunks, ck)
+	}
+}
+
+// fillStreamKV loads n deterministic entries.
+func fillStreamKV(put func(uint64, []byte), n int) {
+	for i := 0; i < n; i++ {
+		put(uint64(i), []byte(fmt.Sprintf("value-%04d-%s", i, string(make([]byte, i%32)))))
+	}
+}
+
+// restoreEqualKV restores chunks into a fresh store of the same flavor and
+// requires identical contents.
+func restoreEqualKV(t *testing.T, src KV, chunks []Chunk, dst Store) {
+	t.Helper()
+	if err := dst.Restore(chunks); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	dkv := dst.(KV)
+	n := 0
+	src.ForEach(func(k uint64, v []byte) bool {
+		n++
+		got, ok := dkv.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("key %d: restored %q ok=%v, want %q", k, got, ok, v)
+		}
+		return true
+	})
+	restored := 0
+	dkv.ForEach(func(uint64, []byte) bool { restored++; return true })
+	if restored != n {
+		t.Fatalf("restored %d keys, want %d", restored, n)
+	}
+}
+
+// TestKVMapStreamRestoreEquivalence: a streamed checkpoint restores to the
+// same contents as the store it came from, across several budgets.
+func TestKVMapStreamRestoreEquivalence(t *testing.T) {
+	for _, maxBytes := range []int{64, 1024, 1 << 20} {
+		m := NewKVMap()
+		fillStreamKV(m.Put, 500)
+		chunks := drainStream(t, m, maxBytes)
+		if maxBytes < int(m.SizeBytes()) && len(chunks) < 2 {
+			t.Fatalf("maxBytes=%d: %d chunk(s), expected a split", maxBytes, len(chunks))
+		}
+		for i, ck := range chunks {
+			if ck.Type != TypeKVMap {
+				t.Fatalf("chunk %d type %v, want TypeKVMap", i, ck.Type)
+			}
+		}
+		restoreEqualKV(t, m, chunks, NewKVMap())
+	}
+}
+
+// TestShardedKVStreamRestoreEquivalence mirrors the KVMap test across the
+// striped backend, restoring into both backends (chunks are
+// backend-portable: both emit TypeKVMap).
+func TestShardedKVStreamRestoreEquivalence(t *testing.T) {
+	m := NewShardedKVMap(8)
+	fillStreamKV(m.Put, 500)
+	chunks := drainStream(t, m, 512)
+	if len(chunks) < 2 {
+		t.Fatalf("%d chunk(s), expected a split", len(chunks))
+	}
+	restoreEqualKV(t, m, chunks, NewShardedKVMap(4))
+	restoreEqualKV(t, m, chunks, NewKVMap())
+}
+
+// TestStreamChunkBudget: every chunk but possibly the last stays within the
+// budget modulo one entry's overshoot (the bound is per-part best effort —
+// one oversized entry may exceed it, but a chunk never packs a second entry
+// once past the budget).
+func TestStreamChunkBudget(t *testing.T) {
+	const maxBytes = 256
+	m := NewKVMap()
+	for i := 0; i < 200; i++ {
+		m.Put(uint64(i), make([]byte, 40)) // entry encodes well under maxBytes
+	}
+	chunks := drainStream(t, m, maxBytes)
+	const largest = 64 // generous bound for one encoded 40-byte entry
+	for i, ck := range chunks {
+		if len(ck.Data) > maxBytes+largest {
+			t.Fatalf("chunk %d is %d bytes, budget %d + one entry", i, len(ck.Data), maxBytes)
+		}
+	}
+}
+
+// TestStreamDirtyCutExcludesOverlay: writes made while a stream is open
+// (dirty mode) must not leak into the streamed base.
+func TestStreamDirtyCutExcludesOverlay(t *testing.T) {
+	m := NewKVMap()
+	fillStreamKV(m.Put, 100)
+	if err := m.BeginDirty(); err != nil {
+		t.Fatalf("BeginDirty: %v", err)
+	}
+	iter, err := StreamChunks(m, 512)
+	if err != nil {
+		t.Fatalf("StreamChunks: %v", err)
+	}
+	// Mutate behind the cut: overwrite, add, delete.
+	m.Put(0, []byte("overwritten-after-cut"))
+	m.Put(9999, []byte("new-after-cut"))
+	m.Delete(1)
+	var chunks []Chunk
+	for {
+		ck, ok, err := iter.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		chunks = append(chunks, ck)
+	}
+	if _, err := m.MergeDirty(); err != nil {
+		t.Fatalf("MergeDirty: %v", err)
+	}
+	dst := NewKVMap()
+	if err := dst.Restore(chunks); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if v, ok := dst.Get(0); !ok || bytes.Equal(v, []byte("overwritten-after-cut")) {
+		t.Fatalf("key 0 leaked the post-cut overwrite: %q ok=%v", v, ok)
+	}
+	if _, ok := dst.Get(9999); ok {
+		t.Fatal("post-cut insert leaked into the stream")
+	}
+	if _, ok := dst.Get(1); !ok {
+		t.Fatal("post-cut delete leaked into the stream")
+	}
+	// And the live store sees the overlay after the merge.
+	if v, ok := m.Get(0); !ok || !bytes.Equal(v, []byte("overwritten-after-cut")) {
+		t.Fatalf("live store lost the overlay write: %q ok=%v", v, ok)
+	}
+}
+
+// TestStreamChunksBadBudget: a non-positive budget is an explicit error.
+func TestStreamChunksBadBudget(t *testing.T) {
+	m := NewKVMap()
+	if _, err := StreamChunks(m, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := StreamChunks(m, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

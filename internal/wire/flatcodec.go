@@ -25,6 +25,25 @@ import (
 //	RemoteEmitAck: varint accepted
 //	item:          uvarint origin/seq/key/reqID, varint parts, value
 //
+// The streaming snapshot transfer (wire/snapstream.go) is flat end to end
+// — state bytes are the other large payload besides items:
+//
+//	SnapBegin:       fixed64 stream, uvarint chunks, uvarint maxBytes
+//	SnapBeginAck:    fixed64 stream
+//	SnapNext:        fixed64 stream, fixed64 seq
+//	SnapChunk:       fixed64 stream, fixed64 seq, part
+//	SnapEnd:         fixed64 stream, uvarint chunks, uvarint bytes
+//	RestoreBegin:    fixed64 stream
+//	RestoreBeginAck: fixed64 stream
+//	RestoreChunk:    fixed64 stream, fixed64 seq, part
+//	RestoreChunkAck: fixed64 stream, fixed64 seq
+//	RestoreEnd:      fixed64 stream, uvarint chunks
+//	RestoreEndAck:   fixed64 stream
+//	part:            byte kind, str name, uvarint index, byte store,
+//	                 uvarint chunkIndex/chunkOf, byte delta,
+//	                 uvarint wmCount, wmCount× (uvarint origin, uvarint seq),
+//	                 uvarint outSeq, uvarint edge/inst, blob data
+//
 // Heartbeats use fixed-width seqs so the frame size is constant: the
 // coordinator pre-encodes the frame once and patches the seq bytes in
 // place every beat.
@@ -35,6 +54,10 @@ func flatCapable(msgType byte) bool {
 	switch msgType {
 	case MsgInject, MsgInjectAck, MsgCall, MsgCallReply, MsgHeartbeat, MsgHeartbeatAck,
 		MsgRemoteEmit, MsgRemoteEmitAck:
+		return true
+	case MsgSnapBegin, MsgSnapBeginAck, MsgSnapNext, MsgSnapChunk, MsgSnapEnd,
+		MsgRestoreBegin, MsgRestoreBeginAck, MsgRestoreChunk, MsgRestoreChunkAck,
+		MsgRestoreEnd, MsgRestoreEndAck:
 		return true
 	}
 	return false
@@ -122,6 +145,94 @@ func encodeFlat(e *flat.Encoder, msgType byte, v any) (ok bool, err error) {
 		e.Byte(msgType)
 		e.Byte(VersionFlat)
 		e.Varint(int64(m.Accepted))
+	case SnapBegin:
+		if msgType != MsgSnapBegin {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Uvarint(uint64(m.Chunks))
+		e.Uvarint(uint64(m.MaxBytes))
+	case SnapBeginAck:
+		if msgType != MsgSnapBeginAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+	case SnapNext:
+		if msgType != MsgSnapNext {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Fixed64(m.Seq)
+	case SnapChunk:
+		if msgType != MsgSnapChunk {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Fixed64(m.Seq)
+		encodePartFields(e, &m.Part)
+	case SnapEnd:
+		if msgType != MsgSnapEnd {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Uvarint(m.Chunks)
+		e.Uvarint(m.Bytes)
+	case RestoreBegin:
+		if msgType != MsgRestoreBegin {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+	case RestoreBeginAck:
+		if msgType != MsgRestoreBeginAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+	case RestoreChunk:
+		if msgType != MsgRestoreChunk {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Fixed64(m.Seq)
+		encodePartFields(e, &m.Part)
+	case RestoreChunkAck:
+		if msgType != MsgRestoreChunkAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Fixed64(m.Seq)
+	case RestoreEnd:
+		if msgType != MsgRestoreEnd {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
+		e.Uvarint(m.Chunks)
+	case RestoreEndAck:
+		if msgType != MsgRestoreEndAck {
+			return false, nil
+		}
+		e.Byte(msgType)
+		e.Byte(VersionFlat)
+		e.Fixed64(m.Stream)
 	default:
 		return false, nil
 	}
@@ -183,6 +294,47 @@ func decodeFlat(body []byte, v any) (ok bool, err error) {
 		}
 	case *RemoteEmitAck:
 		m.Accepted = int(d.Varint())
+	case *SnapBegin:
+		m.Stream = d.Fixed64()
+		m.Chunks = int(d.Uvarint())
+		m.MaxBytes = int(d.Uvarint())
+	case *SnapBeginAck:
+		m.Stream = d.Fixed64()
+	case *SnapNext:
+		m.Stream = d.Fixed64()
+		m.Seq = d.Fixed64()
+	case *SnapChunk:
+		m.Stream = d.Fixed64()
+		m.Seq = d.Fixed64()
+		part, err := decodePartFields(d)
+		if err != nil {
+			return true, err
+		}
+		m.Part = part
+	case *SnapEnd:
+		m.Stream = d.Fixed64()
+		m.Chunks = d.Uvarint()
+		m.Bytes = d.Uvarint()
+	case *RestoreBegin:
+		m.Stream = d.Fixed64()
+	case *RestoreBeginAck:
+		m.Stream = d.Fixed64()
+	case *RestoreChunk:
+		m.Stream = d.Fixed64()
+		m.Seq = d.Fixed64()
+		part, err := decodePartFields(d)
+		if err != nil {
+			return true, err
+		}
+		m.Part = part
+	case *RestoreChunkAck:
+		m.Stream = d.Fixed64()
+		m.Seq = d.Fixed64()
+	case *RestoreEnd:
+		m.Stream = d.Fixed64()
+		m.Chunks = d.Uvarint()
+	case *RestoreEndAck:
+		m.Stream = d.Fixed64()
 	default:
 		return false, nil
 	}

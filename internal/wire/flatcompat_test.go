@@ -249,10 +249,36 @@ func FuzzFlatRoundTrip(f *testing.F) {
 	}})
 	seed(MsgRemoteEmit, RemoteEmit{Items: []core.Item{{Value: fuzzPayload{N: 8, S: "gob"}}}})
 	seed(MsgRemoteEmitAck, RemoteEmitAck{Accepted: 64})
+	seed(MsgSnapBegin, SnapBegin{Stream: 7, Chunks: 2, MaxBytes: 4096})
+	seed(MsgSnapBeginAck, SnapBeginAck{Stream: 7})
+	seed(MsgSnapNext, SnapNext{Stream: 7, Seq: 3})
+	seed(MsgSnapChunk, SnapChunk{Stream: 7, Seq: 3, Part: SnapPart{
+		Kind: PartSE, Name: "store", Index: 1, Store: 1, ChunkIndex: 2, ChunkOf: 4,
+		Delta: true, Data: []byte("chunk"),
+	}})
+	seed(MsgSnapChunk, SnapChunk{Stream: 7, Seq: 4, Part: SnapPart{
+		Kind: PartTE, Name: "put", Watermarks: map[uint64]uint64{1: 9, ^uint64(0): 3}, OutSeq: 11,
+	}})
+	seed(MsgSnapEnd, SnapEnd{Stream: 7, Chunks: 12, Bytes: 1 << 20})
+	seed(MsgRestoreBegin, RestoreBegin{Stream: 8})
+	seed(MsgRestoreBeginAck, RestoreBeginAck{Stream: 8})
+	seed(MsgRestoreChunk, RestoreChunk{Stream: 8, Seq: 1, Part: SnapPart{
+		Kind: PartEdge, Edge: 2, Inst: 3, Data: []byte("items"),
+	}})
+	seed(MsgRestoreChunkAck, RestoreChunkAck{Stream: 8, Seq: 1})
+	seed(MsgRestoreEnd, RestoreEnd{Stream: 8, Chunks: 2})
+	seed(MsgRestoreEndAck, RestoreEndAck{Stream: 8})
 	f.Add([]byte{MsgInject, VersionFlat, 0x01, 'p', 0xff})
 	// Hostile item count: a RemoteEmit header claiming 2^30 items in a
 	// five-byte body must be rejected, not allocated.
 	f.Add([]byte{MsgRemoteEmit, VersionFlat, 0x01, 0x02, 0x80, 0x80, 0x80, 0x80, 0x04})
+	// Hostile watermark count: a SnapChunk part header claiming 2^30
+	// watermark pairs in a near-empty body must be rejected, not allocated.
+	f.Add([]byte{MsgSnapChunk, VersionFlat,
+		1, 0, 0, 0, 0, 0, 0, 0, // stream
+		1, 0, 0, 0, 0, 0, 0, 0, // seq
+		1, 0, 0, 1, 0, 0, 0, // kind, name len, index, store, chunk idx/of, delta
+		0x80, 0x80, 0x80, 0x80, 0x04}) // watermark count 2^30
 
 	decodeByType := func(msgType byte, p Payload) (any, error) {
 		switch msgType {
@@ -286,6 +312,50 @@ func FuzzFlatRoundTrip(f *testing.F) {
 			return m, err
 		case MsgRemoteEmitAck:
 			var m RemoteEmitAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgSnapBegin:
+			var m SnapBegin
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgSnapBeginAck:
+			var m SnapBeginAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgSnapNext:
+			var m SnapNext
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgSnapChunk:
+			var m SnapChunk
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgSnapEnd:
+			var m SnapEnd
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreBegin:
+			var m RestoreBegin
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreBeginAck:
+			var m RestoreBeginAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreChunk:
+			var m RestoreChunk
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreChunkAck:
+			var m RestoreChunkAck
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreEnd:
+			var m RestoreEnd
+			err := Unmarshal(p, &m)
+			return m, err
+		case MsgRestoreEndAck:
+			var m RestoreEndAck
 			err := Unmarshal(p, &m)
 			return m, err
 		}

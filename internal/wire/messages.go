@@ -37,6 +37,18 @@ const (
 	MsgPeersAck      byte = 0x18 // PeersAck
 	MsgEdgeTrim      byte = 0x19 // EdgeTrim      -> MsgEdgeTrimAck
 	MsgEdgeTrimAck   byte = 0x1a // EdgeTrimAck
+	// Streaming snapshot transfer (v2 protocol; see wire/snapstream.go).
+	MsgSnapBegin       byte = 0x1b // SnapBegin     -> MsgSnapBeginAck
+	MsgSnapBeginAck    byte = 0x1c // SnapBeginAck
+	MsgSnapNext        byte = 0x1d // SnapNext      -> MsgSnapChunk or MsgSnapEnd
+	MsgSnapChunk       byte = 0x1e // SnapChunk
+	MsgSnapEnd         byte = 0x1f // SnapEnd
+	MsgRestoreBegin    byte = 0x20 // RestoreBegin  -> MsgRestoreBeginAck
+	MsgRestoreBeginAck byte = 0x21 // RestoreBeginAck
+	MsgRestoreChunk    byte = 0x22 // RestoreChunk  -> MsgRestoreChunkAck
+	MsgRestoreChunkAck byte = 0x23 // RestoreChunkAck
+	MsgRestoreEnd      byte = 0x24 // RestoreEnd    -> MsgRestoreEndAck
+	MsgRestoreEndAck   byte = 0x25 // RestoreEndAck
 )
 
 // msgNames is the registry of known message types; Decode rejects a type
@@ -68,6 +80,18 @@ var msgNames = map[byte]string{
 	MsgPeersAck:      "PeersAck",
 	MsgEdgeTrim:      "EdgeTrim",
 	MsgEdgeTrimAck:   "EdgeTrimAck",
+
+	MsgSnapBegin:       "SnapBegin",
+	MsgSnapBeginAck:    "SnapBeginAck",
+	MsgSnapNext:        "SnapNext",
+	MsgSnapChunk:       "SnapChunk",
+	MsgSnapEnd:         "SnapEnd",
+	MsgRestoreBegin:    "RestoreBegin",
+	MsgRestoreBeginAck: "RestoreBeginAck",
+	MsgRestoreChunk:    "RestoreChunk",
+	MsgRestoreChunkAck: "RestoreChunkAck",
+	MsgRestoreEnd:      "RestoreEnd",
+	MsgRestoreEndAck:   "RestoreEndAck",
 }
 
 // Shard places a contiguous slice [First, First+Count) of a TE's or SE's
@@ -294,10 +318,22 @@ type EdgeTrimEntry struct {
 	Watermarks map[uint64]uint64
 }
 
-// EdgeTrim distributes post-checkpoint trim points for cross-worker edge
-// send logs.
+// LocalTrim carries one TE's coordinator-folded watermark floor (min per
+// origin across every instance of that TE, cluster-wide). Once every
+// instance has snapshotted past a seq, no recovery can ever replay it, so
+// workers may drop covered entries from their local output buffers.
+type LocalTrim struct {
+	TE         string
+	Watermarks map[uint64]uint64
+}
+
+// EdgeTrim distributes post-checkpoint trim points: per-destination trims
+// for cross-worker edge send logs, plus per-TE floors for worker-local
+// output buffers. Old peers gob-decode the message without Locals and
+// simply skip the local trim.
 type EdgeTrim struct {
-	Trims []EdgeTrimEntry
+	Trims  []EdgeTrimEntry
+	Locals []LocalTrim
 }
 
 // EdgeTrimAck confirms the trim.

@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/state"
+	"repro/internal/wire/flat"
+)
+
+// This file defines the v2 streaming snapshot transfer protocol. A worker's
+// state no longer crosses the wire as one monolithic gob Snapshot/Restore
+// frame: it is split into self-describing SnapParts, each well under the
+// frame cap, and pulled (SnapBegin/SnapNext -> SnapChunk*/SnapEnd) or
+// pushed (RestoreBegin/RestoreChunk*/RestoreEnd) one part per frame with a
+// per-stream id and a dense chunk seq for idempotent retry. SplitSnapshot
+// and AssembleSnapshot convert between the part stream and the v1
+// monolithic Snapshot, which stays as the version-negotiation fallback.
+
+// SnapPart kinds. Each part carries exactly one unit of a worker's
+// snapshot; the Kind decides which fields are meaningful.
+const (
+	// PartSE: one state-store checkpoint chunk of SE Name/Index
+	// (Store/ChunkIndex/ChunkOf/Delta/Data mirror state.Chunk).
+	PartSE byte = 1
+	// PartTE: TE instance Name/Index recovery metadata
+	// (Watermarks, OutSeq).
+	PartTE byte = 2
+	// PartTEBuf: a slice of TE instance Name/Index's replay log for
+	// out-edge Edge, items flat-encoded with EncodeItems in Data. A long
+	// log splits into several parts; order within one (Name, Index, Edge)
+	// follows stream order.
+	PartTEBuf byte = 3
+	// PartEdge: a slice of the cross-worker send log toward global
+	// instance Inst over graph edge Edge, EncodeItems-encoded in Data.
+	PartEdge byte = 4
+)
+
+// SnapPart is one streamed unit of a worker snapshot. The flat layout
+// encodes every field unconditionally so the codec stays branch-free; the
+// unused fields of a kind are zero.
+type SnapPart struct {
+	Kind       byte
+	Name       string // SE or TE name (PartSE, PartTE, PartTEBuf)
+	Index      int    // SE or TE instance index
+	Store      state.StoreType
+	ChunkIndex int
+	ChunkOf    int
+	Delta      bool
+	Watermarks map[uint64]uint64
+	OutSeq     uint64
+	Edge       int
+	Inst       int
+	Data       []byte
+}
+
+// SnapBegin opens a snapshot pull stream on the worker. The worker cuts a
+// consistent snapshot (pausing processing only for the cut, not the
+// transfer) and serves it chunk by chunk via SnapNext.
+type SnapBegin struct {
+	Stream uint64
+	// Chunks is the per-store checkpoint parallelism hint (mirrors
+	// SnapshotReq.Chunks; 0 = default).
+	Chunks int
+	// MaxBytes bounds the encoded payload of each served part
+	// (0 = worker default). One oversized entry may still exceed it;
+	// the bound is per-part best effort, never per-frame exact.
+	MaxBytes int
+}
+
+// SnapBeginAck confirms the stream is open and the cut is taken.
+type SnapBeginAck struct {
+	Stream uint64
+}
+
+// SnapNext requests chunk Seq (1-based, dense) of an open stream. Repeating
+// the last Seq re-serves the identical frame, so a lost reply is retried
+// without advancing the stream.
+type SnapNext struct {
+	Stream uint64
+	Seq    uint64
+}
+
+// SnapChunk answers SnapNext with one part.
+type SnapChunk struct {
+	Stream uint64
+	Seq    uint64
+	Part   SnapPart
+}
+
+// SnapEnd answers the SnapNext past the last part: the stream is complete
+// and closed. Chunks and Bytes let the puller verify it saw everything.
+type SnapEnd struct {
+	Stream uint64
+	Chunks uint64
+	Bytes  uint64
+}
+
+// RestoreBegin opens a restore push stream on a freshly deployed worker.
+type RestoreBegin struct {
+	Stream uint64
+}
+
+// RestoreBeginAck confirms the worker is ready for chunks.
+type RestoreBeginAck struct {
+	Stream uint64
+}
+
+// RestoreChunk delivers part Seq (1-based, dense). Re-sending the most
+// recently applied Seq after a lost ack is acked again without re-applying
+// (replay-log appends are not idempotent); any other gap aborts the stream.
+type RestoreChunk struct {
+	Stream uint64
+	Seq    uint64
+	Part   SnapPart
+}
+
+// RestoreChunkAck confirms part Seq was applied.
+type RestoreChunkAck struct {
+	Stream uint64
+	Seq    uint64
+}
+
+// RestoreEnd closes the push stream; Chunks must match the applied count or
+// the worker rejects the restore as truncated.
+type RestoreEnd struct {
+	Stream uint64
+	Chunks uint64
+}
+
+// RestoreEndAck confirms the restore is complete and the worker unsealed.
+type RestoreEndAck struct {
+	Stream uint64
+}
+
+// encodePartFields appends the flat layout of a part (see SnapPart).
+func encodePartFields(e *flat.Encoder, p *SnapPart) {
+	e.Byte(p.Kind)
+	e.Str(p.Name)
+	e.Uvarint(uint64(p.Index))
+	e.Byte(byte(p.Store))
+	e.Uvarint(uint64(p.ChunkIndex))
+	e.Uvarint(uint64(p.ChunkOf))
+	if p.Delta {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+	e.Uvarint(uint64(len(p.Watermarks)))
+	// Sorted origin order so identical parts encode to identical bytes
+	// (retry caches and tests compare frames byte-for-byte).
+	origins := make([]uint64, 0, len(p.Watermarks))
+	for o := range p.Watermarks {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		e.Uvarint(o)
+		e.Uvarint(p.Watermarks[o])
+	}
+	e.Uvarint(p.OutSeq)
+	e.Uvarint(uint64(p.Edge))
+	e.Uvarint(uint64(p.Inst))
+	e.Blob(p.Data)
+}
+
+// decodePartFields parses the flat layout of a part.
+func decodePartFields(d *flat.Decoder) (SnapPart, error) {
+	var p SnapPart
+	p.Kind = d.Byte()
+	p.Name = d.Str()
+	p.Index = int(d.Uvarint())
+	p.Store = state.StoreType(d.Byte())
+	p.ChunkIndex = int(d.Uvarint())
+	p.ChunkOf = int(d.Uvarint())
+	p.Delta = d.Byte() != 0
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(d.Remaining())/2 {
+		return p, fmt.Errorf("%w: watermark count %d exceeds payload", ErrBadPayload, n)
+	}
+	if d.Err() == nil && n > 0 {
+		p.Watermarks = make(map[uint64]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			o := d.Uvarint()
+			p.Watermarks[o] = d.Uvarint()
+			if d.Err() != nil {
+				break
+			}
+		}
+	}
+	p.OutSeq = d.Uvarint()
+	p.Edge = int(d.Uvarint())
+	p.Inst = int(d.Uvarint())
+	p.Data = d.Blob()
+	return p, nil
+}
+
+// EncodeSnapPart flat-encodes one part on its own (no envelope) — the
+// coordinator's retention format for pulled chunks. The returned slice is
+// freshly allocated and owned by the caller.
+func EncodeSnapPart(p *SnapPart) []byte {
+	e := flat.GetEncoder()
+	defer flat.PutEncoder(e)
+	encodePartFields(e, p)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeSnapPart parses an EncodeSnapPart payload. The part copies its
+// bytes out of b, so b may be reused afterwards.
+func DecodeSnapPart(b []byte) (SnapPart, error) {
+	d := flat.NewDecoder(b)
+	p, err := decodePartFields(d)
+	if err != nil {
+		return p, err
+	}
+	if err := d.Err(); err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if !d.Done() {
+		return p, fmt.Errorf("%w: %d trailing byte(s)", ErrBadPayload, d.Remaining())
+	}
+	return p, nil
+}
+
+// SplitSnapshot flattens a v1 monolithic Snapshot into the equivalent part
+// stream: per TE instance one PartTE plus one PartTEBuf per non-empty
+// replay log, per cross-worker edge log one PartEdge, per SE chunk one
+// PartSE. Parts reference (not copy) the snapshot's backing bytes.
+func SplitSnapshot(snap *Snapshot) []SnapPart {
+	var parts []SnapPart
+	for i := range snap.TEs {
+		te := &snap.TEs[i]
+		parts = append(parts, SnapPart{
+			Kind:       PartTE,
+			Name:       te.TE,
+			Index:      te.Index,
+			Watermarks: te.Watermarks,
+			OutSeq:     te.OutSeq,
+		})
+		for edge, data := range te.Buffered {
+			if len(data) == 0 {
+				continue
+			}
+			parts = append(parts, SnapPart{
+				Kind:  PartTEBuf,
+				Name:  te.TE,
+				Index: te.Index,
+				Edge:  edge,
+				Data:  data,
+			})
+		}
+	}
+	for i := range snap.Edges {
+		es := &snap.Edges[i]
+		if len(es.Data) == 0 {
+			continue
+		}
+		parts = append(parts, SnapPart{
+			Kind: PartEdge,
+			Edge: es.Edge,
+			Inst: es.Inst,
+			Data: es.Data,
+		})
+	}
+	for i := range snap.SEs {
+		se := &snap.SEs[i]
+		for _, c := range se.Chunks {
+			parts = append(parts, SnapPart{
+				Kind:       PartSE,
+				Name:       se.SE,
+				Index:      se.Index,
+				Store:      c.Type,
+				ChunkIndex: c.Index,
+				ChunkOf:    c.Of,
+				Delta:      c.Delta,
+				Data:       c.Data,
+			})
+		}
+	}
+	return parts
+}
+
+type snapKey struct {
+	name  string
+	index int
+}
+
+// AssembleSnapshot reconstructs a v1 monolithic Snapshot from a part
+// stream — the back-compat push path toward a pre-streaming worker. Split
+// replay-log blobs for the same (TE, Index, Edge) or (Edge, Inst) are
+// merged by decoding and re-encoding their items (the EncodeItems format
+// has a leading count, so raw concatenation would be invalid). Buffered
+// edge slots a TE never filled get a valid empty-items blob, matching what
+// an old worker's decode loop expects.
+func AssembleSnapshot(parts []SnapPart) (Snapshot, error) {
+	var snap Snapshot
+	teIdx := make(map[snapKey]int)
+	seIdx := make(map[snapKey]int)
+	type bufKey struct {
+		name  string
+		index int
+		edge  int
+	}
+	type edgeKey struct {
+		edge int
+		inst int
+	}
+	bufs := make(map[bufKey][]core.Item)
+	edges := make(map[edgeKey][]core.Item)
+	var bufOrder []bufKey
+	var edgeOrder []edgeKey
+
+	for i := range parts {
+		p := &parts[i]
+		switch p.Kind {
+		case PartTE:
+			k := snapKey{p.Name, p.Index}
+			if _, dup := teIdx[k]; dup {
+				return snap, fmt.Errorf("wire: duplicate TE part %s/%d", p.Name, p.Index)
+			}
+			teIdx[k] = len(snap.TEs)
+			snap.TEs = append(snap.TEs, TESnap{
+				TE:         p.Name,
+				Index:      p.Index,
+				Watermarks: p.Watermarks,
+				OutSeq:     p.OutSeq,
+			})
+		case PartTEBuf:
+			items, err := DecodeItems(p.Data)
+			if err != nil {
+				return snap, fmt.Errorf("wire: TE buffer part %s/%d edge %d: %w", p.Name, p.Index, p.Edge, err)
+			}
+			k := bufKey{p.Name, p.Index, p.Edge}
+			if _, seen := bufs[k]; !seen {
+				bufOrder = append(bufOrder, k)
+			}
+			bufs[k] = append(bufs[k], items...)
+		case PartEdge:
+			items, err := DecodeItems(p.Data)
+			if err != nil {
+				return snap, fmt.Errorf("wire: edge log part %d/%d: %w", p.Edge, p.Inst, err)
+			}
+			k := edgeKey{p.Edge, p.Inst}
+			if _, seen := edges[k]; !seen {
+				edgeOrder = append(edgeOrder, k)
+			}
+			edges[k] = append(edges[k], items...)
+		case PartSE:
+			k := snapKey{p.Name, p.Index}
+			idx, seen := seIdx[k]
+			if !seen {
+				idx = len(snap.SEs)
+				seIdx[k] = idx
+				snap.SEs = append(snap.SEs, SESnap{SE: p.Name, Index: p.Index})
+			}
+			snap.SEs[idx].Chunks = append(snap.SEs[idx].Chunks, state.Chunk{
+				Type:  p.Store,
+				Index: p.ChunkIndex,
+				Of:    p.ChunkOf,
+				Delta: p.Delta,
+				Data:  p.Data,
+			})
+		default:
+			return snap, fmt.Errorf("wire: unknown snapshot part kind %d", p.Kind)
+		}
+	}
+
+	for _, k := range bufOrder {
+		idx, seen := teIdx[snapKey{k.name, k.index}]
+		if !seen {
+			return snap, fmt.Errorf("wire: TE buffer part %s/%d without TE part", k.name, k.index)
+		}
+		te := &snap.TEs[idx]
+		for len(te.Buffered) <= k.edge {
+			empty, err := EncodeItems(nil)
+			if err != nil {
+				return snap, err
+			}
+			te.Buffered = append(te.Buffered, empty)
+		}
+		data, err := EncodeItems(bufs[k])
+		if err != nil {
+			return snap, fmt.Errorf("wire: TE buffer part %s/%d edge %d: %w", k.name, k.index, k.edge, err)
+		}
+		te.Buffered[k.edge] = data
+	}
+	sort.Slice(edgeOrder, func(i, j int) bool {
+		if edgeOrder[i].edge != edgeOrder[j].edge {
+			return edgeOrder[i].edge < edgeOrder[j].edge
+		}
+		return edgeOrder[i].inst < edgeOrder[j].inst
+	})
+	for _, k := range edgeOrder {
+		data, err := EncodeItems(edges[k])
+		if err != nil {
+			return snap, fmt.Errorf("wire: edge log part %d/%d: %w", k.edge, k.inst, err)
+		}
+		snap.Edges = append(snap.Edges, EdgeLogSnap{
+			Edge: k.edge,
+			Inst: k.inst,
+			Data: data,
+		})
+	}
+	return snap, nil
+}

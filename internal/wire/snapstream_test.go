@@ -1,0 +1,316 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// roundTripFlat encodes a message, requires the flat version byte, decodes
+// it back into out, and returns the frame.
+func roundTripFlat(t *testing.T, msgType byte, in, out any) []byte {
+	t.Helper()
+	frame, err := Encode(msgType, in)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", MsgName(msgType), err)
+	}
+	if frame[1] != VersionFlat {
+		t.Fatalf("%s: encoded version %d, want flat", MsgName(msgType), frame[1])
+	}
+	if err := Expect(frame, msgType, out); err != nil {
+		t.Fatalf("%s: decode: %v", MsgName(msgType), err)
+	}
+	return frame
+}
+
+// TestSnapStreamRoundTrips covers every streaming snapshot message through
+// the envelope codec.
+func TestSnapStreamRoundTrips(t *testing.T) {
+	part := SnapPart{
+		Kind:       PartSE,
+		Name:       "store",
+		Index:      3,
+		Store:      state.TypeKVMap,
+		ChunkIndex: 2,
+		ChunkOf:    5,
+		Delta:      true,
+		Data:       []byte("chunk-bytes"),
+	}
+	tePart := SnapPart{
+		Kind:       PartTE,
+		Name:       "put",
+		Index:      1,
+		Watermarks: map[uint64]uint64{1: 9, ^uint64(0): 3, 7: 7},
+		OutSeq:     42,
+	}
+
+	var sb SnapBegin
+	roundTripFlat(t, MsgSnapBegin, SnapBegin{Stream: 9, Chunks: 2, MaxBytes: 4096}, &sb)
+	if sb.Stream != 9 || sb.Chunks != 2 || sb.MaxBytes != 4096 {
+		t.Fatalf("SnapBegin round trip: %+v", sb)
+	}
+	var sba SnapBeginAck
+	roundTripFlat(t, MsgSnapBeginAck, SnapBeginAck{Stream: 9}, &sba)
+	if sba.Stream != 9 {
+		t.Fatalf("SnapBeginAck round trip: %+v", sba)
+	}
+	var sn SnapNext
+	roundTripFlat(t, MsgSnapNext, SnapNext{Stream: 9, Seq: 17}, &sn)
+	if sn.Stream != 9 || sn.Seq != 17 {
+		t.Fatalf("SnapNext round trip: %+v", sn)
+	}
+	for _, p := range []SnapPart{part, tePart} {
+		var sc SnapChunk
+		roundTripFlat(t, MsgSnapChunk, SnapChunk{Stream: 9, Seq: 17, Part: p}, &sc)
+		if sc.Stream != 9 || sc.Seq != 17 || !reflect.DeepEqual(normalizePart(sc.Part), normalizePart(p)) {
+			t.Fatalf("SnapChunk round trip:\n got %+v\nwant %+v", sc.Part, p)
+		}
+	}
+	var se SnapEnd
+	roundTripFlat(t, MsgSnapEnd, SnapEnd{Stream: 9, Chunks: 40, Bytes: 1 << 30}, &se)
+	if se.Stream != 9 || se.Chunks != 40 || se.Bytes != 1<<30 {
+		t.Fatalf("SnapEnd round trip: %+v", se)
+	}
+	var rb RestoreBegin
+	roundTripFlat(t, MsgRestoreBegin, RestoreBegin{Stream: 5}, &rb)
+	if rb.Stream != 5 {
+		t.Fatalf("RestoreBegin round trip: %+v", rb)
+	}
+	var rba RestoreBeginAck
+	roundTripFlat(t, MsgRestoreBeginAck, RestoreBeginAck{Stream: 5}, &rba)
+	if rba.Stream != 5 {
+		t.Fatalf("RestoreBeginAck round trip: %+v", rba)
+	}
+	var rc RestoreChunk
+	roundTripFlat(t, MsgRestoreChunk, RestoreChunk{Stream: 5, Seq: 2, Part: part}, &rc)
+	if rc.Stream != 5 || rc.Seq != 2 || !reflect.DeepEqual(normalizePart(rc.Part), normalizePart(part)) {
+		t.Fatalf("RestoreChunk round trip: %+v", rc)
+	}
+	var rca RestoreChunkAck
+	roundTripFlat(t, MsgRestoreChunkAck, RestoreChunkAck{Stream: 5, Seq: 2}, &rca)
+	if rca.Stream != 5 || rca.Seq != 2 {
+		t.Fatalf("RestoreChunkAck round trip: %+v", rca)
+	}
+	var re RestoreEnd
+	roundTripFlat(t, MsgRestoreEnd, RestoreEnd{Stream: 5, Chunks: 3}, &re)
+	if re.Stream != 5 || re.Chunks != 3 {
+		t.Fatalf("RestoreEnd round trip: %+v", re)
+	}
+	var rea RestoreEndAck
+	roundTripFlat(t, MsgRestoreEndAck, RestoreEndAck{Stream: 5}, &rea)
+	if rea.Stream != 5 {
+		t.Fatalf("RestoreEndAck round trip: %+v", rea)
+	}
+}
+
+// normalizePart maps empty-but-allocated Data/Watermarks to nil so encoded
+// and source parts compare structurally.
+func normalizePart(p SnapPart) SnapPart {
+	if len(p.Data) == 0 {
+		p.Data = nil
+	}
+	if len(p.Watermarks) == 0 {
+		p.Watermarks = nil
+	}
+	return p
+}
+
+// TestSnapPartDeterministicEncoding: identical parts must encode to
+// identical bytes regardless of map iteration order — the worker's
+// retry cache compares and re-serves frames byte-for-byte.
+func TestSnapPartDeterministicEncoding(t *testing.T) {
+	p := SnapPart{Kind: PartTE, Name: "t", Watermarks: map[uint64]uint64{}}
+	for i := uint64(0); i < 64; i++ {
+		p.Watermarks[i*2654435761] = i
+	}
+	first := EncodeSnapPart(&p)
+	for i := 0; i < 8; i++ {
+		if got := EncodeSnapPart(&p); !bytes.Equal(got, first) {
+			t.Fatal("EncodeSnapPart is not deterministic across calls")
+		}
+	}
+}
+
+// TestSnapPartHostileDecode: malformed part payloads must error, not
+// allocate or panic.
+func TestSnapPartHostileDecode(t *testing.T) {
+	good := EncodeSnapPart(&SnapPart{Kind: PartSE, Name: "s", Data: []byte("d")})
+	if _, err := DecodeSnapPart(good); err != nil {
+		t.Fatalf("control part rejected: %v", err)
+	}
+	// Trailing garbage.
+	if _, err := DecodeSnapPart(append(append([]byte(nil), good...), 0xff)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Truncations at every prefix length must error, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeSnapPart(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Hostile watermark count: header claims 2^30 pairs, body is empty.
+	hostile := []byte{
+		PartTE, 1, 't', 0, 0, 0, 0, 0, // kind, name, index, store, idx, of, delta
+		0x80, 0x80, 0x80, 0x80, 0x04, // watermark count 2^30
+	}
+	_, err := DecodeSnapPart(hostile)
+	if err == nil {
+		t.Fatal("hostile watermark count accepted")
+	}
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("hostile watermark count error = %v, want ErrBadPayload", err)
+	}
+}
+
+// buildSnapshot assembles a representative monolithic snapshot: two SE
+// instances with multiple chunks, TEs with and without replay logs, and a
+// cross-worker edge log.
+func buildSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	mkItems := func(n int, origin uint64) []byte {
+		items := make([]core.Item, n)
+		for i := range items {
+			items[i] = core.Item{Origin: origin, Seq: uint64(i + 1), Key: uint64(i), Value: []byte(fmt.Sprintf("v%d", i))}
+		}
+		data, err := EncodeItems(items)
+		if err != nil {
+			t.Fatalf("encode items: %v", err)
+		}
+		return data
+	}
+	return Snapshot{
+		SEs: []SESnap{
+			{SE: "store", Index: 0, Chunks: []state.Chunk{
+				{Type: state.TypeKVMap, Index: 0, Of: 2, Data: []byte("c0")},
+				{Type: state.TypeKVMap, Index: 1, Of: 2, Data: []byte("c1")},
+			}},
+			{SE: "store", Index: 1, Chunks: []state.Chunk{
+				{Type: state.TypeKVMap, Index: 0, Of: 1, Delta: true, Data: []byte("d0")},
+			}},
+		},
+		TEs: []TESnap{
+			{TE: "put", Index: 0, Watermarks: map[uint64]uint64{1: 5, 2: 9}, OutSeq: 14,
+				Buffered: [][]byte{mkItems(3, 100), mkItems(0, 0)}},
+			{TE: "get", Index: 0, Watermarks: map[uint64]uint64{1: 2}, OutSeq: 2},
+		},
+		Edges: []EdgeLogSnap{
+			{Edge: 0, Inst: 2, Data: mkItems(4, 200)},
+		},
+	}
+}
+
+// TestSplitAssembleEquivalence: splitting a snapshot into parts and
+// assembling them back must reproduce the snapshot, including when bounded
+// chunking split a replay log or edge log across several parts.
+func TestSplitAssembleEquivalence(t *testing.T) {
+	snap := buildSnapshot(t)
+	parts := SplitSnapshot(&snap)
+	got, err := AssembleSnapshot(parts)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	assertSnapshotEqual(t, snap, got)
+
+	// Now re-split the buffered logs into single-item parts, the shape the
+	// bounded streaming capture produces, and assemble again.
+	var split []SnapPart
+	for _, p := range parts {
+		if (p.Kind != PartTEBuf && p.Kind != PartEdge) || len(p.Data) == 0 {
+			split = append(split, p)
+			continue
+		}
+		items, err := DecodeItems(p.Data)
+		if err != nil {
+			t.Fatalf("decode items: %v", err)
+		}
+		if len(items) == 0 {
+			split = append(split, p)
+			continue
+		}
+		for _, it := range items {
+			sub := p
+			data, err := EncodeItems([]core.Item{it})
+			if err != nil {
+				t.Fatalf("re-encode item: %v", err)
+			}
+			sub.Data = data
+			split = append(split, sub)
+		}
+	}
+	got2, err := AssembleSnapshot(split)
+	if err != nil {
+		t.Fatalf("assemble split blobs: %v", err)
+	}
+	assertSnapshotEqual(t, snap, got2)
+}
+
+// assertSnapshotEqual compares snapshots semantically: SE chunks and TE
+// metadata structurally, buffered/edge logs by their decoded items.
+func assertSnapshotEqual(t *testing.T, want, got Snapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(want.SEs, got.SEs) {
+		t.Fatalf("SEs diverged:\n got %+v\nwant %+v", got.SEs, want.SEs)
+	}
+	if len(want.TEs) != len(got.TEs) {
+		t.Fatalf("TE count %d, want %d", len(got.TEs), len(want.TEs))
+	}
+	decode := func(b []byte) []core.Item {
+		if len(b) == 0 {
+			return nil
+		}
+		items, err := DecodeItems(b)
+		if err != nil {
+			t.Fatalf("decode items: %v", err)
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		return items
+	}
+	for i, wt := range want.TEs {
+		gt := got.TEs[i]
+		if wt.TE != gt.TE || wt.Index != gt.Index || wt.OutSeq != gt.OutSeq ||
+			!reflect.DeepEqual(wt.Watermarks, gt.Watermarks) {
+			t.Fatalf("TE %d metadata diverged:\n got %+v\nwant %+v", i, gt, wt)
+		}
+		if len(wt.Buffered) != len(gt.Buffered) {
+			t.Fatalf("TE %d buffered edges %d, want %d", i, len(gt.Buffered), len(wt.Buffered))
+		}
+		for e := range wt.Buffered {
+			if !reflect.DeepEqual(decode(wt.Buffered[e]), decode(gt.Buffered[e])) {
+				t.Fatalf("TE %d edge %d replay log diverged", i, e)
+			}
+		}
+	}
+	if len(want.Edges) != len(got.Edges) {
+		t.Fatalf("edge log count %d, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i, we := range want.Edges {
+		ge := got.Edges[i]
+		if we.Edge != ge.Edge || we.Inst != ge.Inst ||
+			!reflect.DeepEqual(decode(we.Data), decode(ge.Data)) {
+			t.Fatalf("edge log %d diverged", i)
+		}
+	}
+}
+
+// TestAssembleSnapshotRejects covers the assembly error paths: duplicate TE
+// metadata, a replay-log part with no TE part, and an unknown kind.
+func TestAssembleSnapshotRejects(t *testing.T) {
+	te := SnapPart{Kind: PartTE, Name: "t", Index: 0}
+	if _, err := AssembleSnapshot([]SnapPart{te, te}); err == nil {
+		t.Fatal("duplicate PartTE accepted")
+	}
+	buf := SnapPart{Kind: PartTEBuf, Name: "t", Index: 0, Edge: 0, Data: []byte{0}}
+	if _, err := AssembleSnapshot([]SnapPart{buf}); err == nil {
+		t.Fatal("PartTEBuf without PartTE accepted")
+	}
+	if _, err := AssembleSnapshot([]SnapPart{{Kind: 99}}); err == nil {
+		t.Fatal("unknown part kind accepted")
+	}
+}
